@@ -1,0 +1,114 @@
+// Command powbench regenerates the experiments of the paper:
+//
+//	powbench -table1      per-circuit results without / with delay constraints
+//	powbench -table2      contribution of OS2/IS2/OS3/IS3 to power and area
+//	powbench -fig6        the power-delay trade-off curve
+//	powbench -all         everything
+//
+// -circuits restricts the run to a comma-separated subset; -csv writes the
+// Table 1 rows to a file for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"powder/internal/circuits"
+	"powder/internal/expt"
+)
+
+func main() {
+	var (
+		table1   = flag.Bool("table1", false, "run the Table 1 experiment")
+		table2   = flag.Bool("table2", false, "run the Table 2 experiment (same runs as Table 1)")
+		fig6     = flag.Bool("fig6", false, "run the Figure 6 power-delay trade-off")
+		baseline = flag.Bool("baseline", false, "compare redundancy removal (ref [1]) against POWDER")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list the benchmark circuits and exit")
+		subset   = flag.String("circuits", "", "comma-separated circuit subset (default: the paper's sets)")
+		csvPath  = flag.String("csv", "", "write Table 1 rows as CSV to this file")
+		quiet    = flag.Bool("quiet", false, "suppress per-circuit progress")
+		mapArea  = flag.Bool("map-area", false, "use area-cost initial mapping instead of power-aware")
+		preOpt   = flag.Bool("preopt", false, "pre-optimize initial circuits with redundancy removal (POSE-grade starting points)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range circuits.All() {
+			fmt.Printf("%-10s %s\n", s.Name, s.Kind)
+		}
+		return
+	}
+	if !*table1 && !*table2 && !*fig6 && !*baseline && !*all {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := expt.RunOptions{MapArea: *mapArea, PreOptimize: *preOpt}
+	if !*quiet {
+		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	pick := func(defaults []circuits.Spec) []circuits.Spec {
+		if *subset == "" {
+			return defaults
+		}
+		var out []circuits.Spec
+		for _, name := range strings.Split(*subset, ",") {
+			s, err := circuits.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "powbench:", err)
+				os.Exit(1)
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+
+	if *table1 || *table2 || *all {
+		suite, err := expt.RunSuite(pick(circuits.All()), opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "powbench:", err)
+			os.Exit(1)
+		}
+		if *table1 || *all {
+			expt.RenderTable1(os.Stdout, suite)
+			fmt.Println()
+		}
+		if *table2 || *all {
+			expt.RenderTable2(os.Stdout, suite)
+			fmt.Println()
+		}
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "powbench:", err)
+				os.Exit(1)
+			}
+			expt.RenderCSV(f, suite)
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+		}
+	}
+
+	if *baseline || *all {
+		rows, err := expt.RunBaseline(pick(circuits.All()), opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "powbench:", err)
+			os.Exit(1)
+		}
+		expt.RenderBaseline(os.Stdout, rows)
+		fmt.Println()
+	}
+
+	if *fig6 || *all {
+		points, err := expt.RunTradeoff(pick(circuits.Fig6Subset()), nil, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "powbench:", err)
+			os.Exit(1)
+		}
+		expt.RenderTradeoff(os.Stdout, points)
+	}
+}

@@ -1,0 +1,196 @@
+// Command powder optimizes the power of a technology-mapped circuit by
+// ATPG-based structural transformations (Rohfleisch/Kölbl/Wurth, DAC'96).
+//
+// Usage:
+//
+//	powder -in circuit.blif [-lib cells.genlib] [-out optimized.blif] [flags]
+//	powder -circuit 9sym    [-out optimized.blif] [flags]
+//
+// The circuit is read as mapped BLIF against the library (default: the
+// built-in lib2-style library), or generated from the built-in benchmark
+// suite with -circuit. The optimized netlist is written as mapped BLIF.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"powder/internal/atpg"
+	"powder/internal/blif"
+	"powder/internal/cellib"
+	"powder/internal/circuits"
+	"powder/internal/core"
+	"powder/internal/netlist"
+	"powder/internal/power"
+	"powder/internal/resize"
+	"powder/internal/synth"
+	"powder/internal/transform"
+	"powder/internal/verilog"
+)
+
+func main() {
+	var (
+		inPath   = flag.String("in", "", "input mapped BLIF file")
+		circuit  = flag.String("circuit", "", "use a built-in benchmark circuit instead of -in")
+		libPath  = flag.String("lib", "", "genlib library file (default: built-in lib2)")
+		outPath  = flag.String("out", "", "write the optimized netlist as BLIF")
+		vlogPath = flag.String("verilog", "", "write the optimized netlist as structural Verilog (with primitives)")
+		delayFac = flag.Float64("delay-factor", 0, "delay constraint as a factor of the initial delay (1.0 = keep delay; 0 = unconstrained)")
+		delayAbs = flag.Float64("delay", 0, "absolute delay constraint in library time units (0 = unconstrained)")
+		repeat   = flag.Int("repeat", 10, "substitutions per candidate harvest")
+		preK     = flag.Int("preselect", 12, "candidates reestimated per selection")
+		words    = flag.Int("words", 64, "64-bit sample words for probability estimation")
+		seed     = flag.Int64("seed", 1, "random-vector seed")
+		budget   = flag.Int64("budget", 0, "ATPG/SAT conflict budget per check (0 = default)")
+		maxSubs  = flag.Int("max-subs", 0, "stop after this many substitutions (0 = unlimited)")
+		noInv    = flag.Bool("no-inverted", false, "disable inverted-source substitutions")
+		doResize = flag.Bool("resize", false, "run the gate re-sizing pass after POWDER")
+		doVerify = flag.Bool("verify", false, "independently re-verify the optimized circuit against the original (SAT equivalence check)")
+		verbose  = flag.Bool("v", false, "trace every performed substitution")
+	)
+	flag.Parse()
+
+	if err := run(*inPath, *circuit, *libPath, *outPath, *vlogPath, *delayFac, *delayAbs,
+		*repeat, *preK, *words, *seed, *budget, *maxSubs, !*noInv, *doResize, *doVerify, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "powder:", err)
+		os.Exit(1)
+	}
+}
+
+func run(inPath, circuit, libPath, outPath, vlogPath string, delayFac, delayAbs float64,
+	repeat, preK, words int, seed, budget int64, maxSubs int, inverted, doResize, doVerify, verbose bool) error {
+
+	lib := cellib.Lib2()
+	if libPath != "" {
+		f, err := os.Open(libPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		lib, err = cellib.ParseGenlib(f)
+		if err != nil {
+			return err
+		}
+	}
+
+	var nl *netlist.Netlist
+	switch {
+	case inPath != "" && circuit != "":
+		return fmt.Errorf("use either -in or -circuit, not both")
+	case inPath != "":
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		nl, err = blif.Read(f, lib)
+		if err != nil {
+			return err
+		}
+	case circuit != "":
+		spec, err := circuits.ByName(circuit)
+		if err != nil {
+			return fmt.Errorf("%v (known: %v)", err, circuits.Names())
+		}
+		nl, err = synth.Compile(spec.Build(), lib, synth.Options{Mode: synth.CostPower})
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -in FILE or -circuit NAME (see -h)")
+	}
+
+	opts := core.Options{
+		DelayConstraint:  delayAbs,
+		DelayFactor:      delayFac,
+		Repeat:           repeat,
+		PreselectK:       preK,
+		MaxSubstitutions: maxSubs,
+		CheckBudget:      budget,
+		Power:            power.Options{Words: words, Seed: seed},
+		Transform:        transform.Config{AllowInverted: inverted},
+	}
+	if verbose {
+		opts.Trace = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	var original *netlist.Netlist
+	if doVerify {
+		original = nl.Clone()
+	}
+
+	res, err := core.Optimize(nl, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("circuit: %s\n", nl.Name)
+	fmt.Printf("  power: %10.3f -> %10.3f  (%.1f%% reduction)\n",
+		res.Initial.Power, res.Final.Power, res.PowerReductionPct())
+	fmt.Printf("  area:  %10.0f -> %10.0f  (%+.1f%%)\n",
+		res.Initial.Area, res.Final.Area, res.AreaChangePct())
+	fmt.Printf("  delay: %10.2f -> %10.2f", res.InitialDelay, res.FinalDelay)
+	if res.Constraint > 0 {
+		fmt.Printf("  (constraint %.2f)", res.Constraint)
+	}
+	fmt.Println()
+	fmt.Printf("  gates: %10d -> %10d\n", res.Initial.Gates, res.Final.Gates)
+	fmt.Printf("  substitutions: %d (OS2 %d, IS2 %d, OS3 %d, IS3 %d) in %s\n",
+		res.Applied,
+		res.ByClass[transform.OS2].Count, res.ByClass[transform.IS2].Count,
+		res.ByClass[transform.OS3].Count, res.ByClass[transform.IS3].Count,
+		res.Runtime.Round(1e6))
+	fmt.Printf("  permissibility checks: %s\n", res.CheckStats)
+
+	if doResize {
+		rr, err := resize.Optimize(nl, resize.Options{
+			DelayConstraint: res.Constraint,
+			Power:           power.Options{Words: words, Seed: seed},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s\n", rr)
+	}
+
+	if doVerify {
+		eq, err := atpg.Equivalent(original, nl, 0)
+		if err != nil {
+			return err
+		}
+		switch eq.Verdict {
+		case atpg.Permissible:
+			fmt.Println("  verify: optimized circuit proven equivalent to the original")
+		case atpg.NotPermissible:
+			return fmt.Errorf("VERIFICATION FAILED: output %q differs on %v",
+				eq.DifferingOutput, eq.Counterexample)
+		default:
+			fmt.Println("  verify: inconclusive (budget exhausted)")
+		}
+	}
+
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := blif.Write(f, nl); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", outPath)
+	}
+	if vlogPath != "" {
+		f, err := os.Create(vlogPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := verilog.Write(f, nl, verilog.Options{EmitPrimitives: true}); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", vlogPath)
+	}
+	return nil
+}

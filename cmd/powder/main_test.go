@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"strings"
+
+	"powder/internal/blif"
+	"powder/internal/cellib"
+)
+
+func TestRunBuiltinCircuitEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "opt.blif")
+	err := run("", "t481", "", out, "", 1.0, 0, 10, 12, 16, 1, 0, 0, true, false, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The written netlist must parse back against the default library.
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	nl, err := blif.Read(f, cellib.Lib2())
+	if err != nil {
+		t.Fatalf("output BLIF unreadable: %v", err)
+	}
+	if nl.GateCount() == 0 {
+		t.Fatalf("empty output netlist")
+	}
+}
+
+func TestRunFileInputWithCustomLibrary(t *testing.T) {
+	dir := t.TempDir()
+	libPath := filepath.Join(dir, "lib.genlib")
+	blifPath := filepath.Join(dir, "c.blif")
+	libSrc := `
+GATE inv1  10 O=!a;      PIN * INV 1.0 999 0.3 0.10 0.3 0.10
+GATE nand2 16 O=!(a*b);  PIN * INV 1.0 999 0.5 0.12 0.5 0.12
+`
+	blifSrc := `
+.model t
+.inputs a b
+.outputs y
+.gate nand2 a=a b=b O=n1
+.gate inv1 a=n1 O=y
+.end
+`
+	if err := os.WriteFile(libPath, []byte(libSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(blifPath, []byte(blifSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(blifPath, "", libPath, "", "", 0, 0, 10, 12, 8, 1, 0, 0, true, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunArgumentValidation(t *testing.T) {
+	if err := run("", "", "", "", "", 0, 0, 10, 12, 8, 1, 0, 0, true, false, false, false); err == nil {
+		t.Errorf("no input should fail")
+	}
+	if err := run("x.blif", "t481", "", "", "", 0, 0, 10, 12, 8, 1, 0, 0, true, false, false, false); err == nil {
+		t.Errorf("both -in and -circuit should fail")
+	}
+	if err := run("", "nonexistent-circuit", "", "", "", 0, 0, 10, 12, 8, 1, 0, 0, true, false, false, false); err == nil {
+		t.Errorf("unknown circuit should fail")
+	}
+	if err := run("/nonexistent/path.blif", "", "", "", "", 0, 0, 10, 12, 8, 1, 0, 0, true, false, false, false); err == nil {
+		t.Errorf("missing input file should fail")
+	}
+}
+
+func TestRunWithResizeAndVerify(t *testing.T) {
+	if err := run("", "clip", "", "", "", 1.0, 0, 10, 12, 16, 1, 0, 0, true, true, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVerilogOutput(t *testing.T) {
+	dir := t.TempDir()
+	v := filepath.Join(dir, "opt.v")
+	if err := run("", "clip", "", "", v, 0, 0, 10, 12, 16, 1, 0, 0, true, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "module clip(") || !strings.Contains(string(data), "endmodule") {
+		t.Errorf("verilog output malformed")
+	}
+}

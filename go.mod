@@ -1,0 +1,3 @@
+module powder
+
+go 1.22

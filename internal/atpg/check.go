@@ -1,0 +1,248 @@
+package atpg
+
+import (
+	"fmt"
+
+	"powder/internal/logic"
+	"powder/internal/netlist"
+	"powder/internal/sat"
+)
+
+// Verdict is the outcome of a permissibility check.
+type Verdict int
+
+const (
+	// Aborted means the proof budget was exhausted; the paper treats this
+	// exactly like a refutation (the substitution is not performed).
+	Aborted Verdict = iota
+	// Permissible means the substitution provably preserves all
+	// primary-output functions.
+	Permissible
+	// NotPermissible means a distinguishing input vector exists.
+	NotPermissible
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Permissible:
+		return "permissible"
+	case NotPermissible:
+		return "not-permissible"
+	}
+	return "aborted"
+}
+
+// Source describes the substituting signal of a substitution:
+// either an existing stem B (optionally inverted) for the 2-signal forms
+// OS2/IS2, or the output of a new 2-input gate over stems B and C with
+// truth table Gate for the 3-signal forms OS3/IS3.
+type Source struct {
+	B       netlist.NodeID
+	InvertB bool
+	// C is InvalidNode for 2-signal substitutions.
+	C       netlist.NodeID
+	InvertC bool
+	// Gate is the new gate's 2-variable truth table (variable 0 = B,
+	// variable 1 = C); ignored when C is InvalidNode.
+	Gate logic.TT
+}
+
+// IsThree reports whether the source inserts a new gate.
+func (s Source) IsThree() bool { return s.C != netlist.InvalidNode }
+
+// effectiveTT folds the input inversions into the new gate's table.
+func (s Source) effectiveTT() logic.TT {
+	tt := s.Gate
+	if s.InvertB {
+		tt = flipInput(tt, 0)
+	}
+	if s.InvertC {
+		tt = flipInput(tt, 1)
+	}
+	return tt
+}
+
+// flipInput returns the table of f with input i complemented.
+func flipInput(tt logic.TT, i int) logic.TT {
+	var out logic.TT
+	out.N = tt.N
+	for m := uint(0); m < 1<<uint(tt.N); m++ {
+		if tt.Eval(m ^ (1 << uint(i))) {
+			out.Bits |= 1 << uint64(m)
+		}
+	}
+	return out
+}
+
+// CheckStats counts checker outcomes.
+type CheckStats struct {
+	Checks      int
+	Permissible int
+	Refuted     int
+	Aborted     int
+}
+
+// Checker proves or refutes candidate substitutions on one netlist. It is
+// stateless across checks except for statistics and the last
+// counterexample; create one per netlist.
+type Checker struct {
+	nl *netlist.Netlist
+	// Budget is the conflict budget per check; exceeded means Aborted.
+	Budget int64
+	Stats  CheckStats
+
+	// cex holds the distinguishing primary-input assignment of the last
+	// NotPermissible verdict, in input order.
+	cex []bool
+}
+
+// NewChecker returns a checker with the default proof budget.
+func NewChecker(nl *netlist.Netlist) *Checker {
+	return &Checker{nl: nl, Budget: 50000}
+}
+
+// Counterexample returns the primary-input assignment (in Inputs() order)
+// that refuted the last NotPermissible check, or nil.
+func (c *Checker) Counterexample() []bool { return c.cex }
+
+// CheckBranch decides whether rewiring pin pin of gate g to the source is
+// permissible (the IS2/IS3 forms).
+func (c *Checker) CheckBranch(g netlist.NodeID, pin int, src Source) Verdict {
+	return c.check([]netlist.Branch{{Gate: g, Pin: pin}}, src)
+}
+
+// CheckStem decides whether substituting every fanout of stem a (including
+// primary outputs it drives) with the source is permissible (the OS2/OS3
+// forms).
+func (c *Checker) CheckStem(a netlist.NodeID, src Source) Verdict {
+	n := c.nl.Node(a)
+	branches := append([]netlist.Branch(nil), n.Fanouts()...)
+	return c.check(branches, src)
+}
+
+// check builds the substitution miter and decides it.
+//
+// The miter shares the unchanged part of the circuit: the original cone is
+// encoded once; every gate in the transitive fanout of a rewired pin is
+// duplicated with the rewired pins reading the source signal. The check
+// asks whether any primary output can differ; UNSAT proves permissibility.
+func (c *Checker) check(changed []netlist.Branch, src Source) Verdict {
+	c.Stats.Checks++
+	nl := c.nl
+
+	changedPin := make(map[netlist.Branch]bool, len(changed))
+	var changedPOs []int
+	roots := make([]netlist.NodeID, 0, len(changed))
+	for _, b := range changed {
+		if b.IsPO() {
+			changedPOs = append(changedPOs, b.Pin)
+			continue
+		}
+		changedPin[b] = true
+		roots = append(roots, b.Gate)
+	}
+
+	// Gates whose function can change: the rewired gates plus their TFO.
+	dup := make(map[netlist.NodeID]bool)
+	for _, r := range roots {
+		dup[r] = true
+		for id := range nl.TFO(r) {
+			dup[id] = true
+		}
+	}
+	// A source inside the duplicated region would mean a combinational
+	// cycle in the rewired circuit; such candidates are structural
+	// mistakes, never permissible rewirings.
+	if dup[src.B] || (src.IsThree() && dup[src.C]) {
+		c.Stats.Refuted++
+		return NotPermissible
+	}
+
+	s := sat.New()
+	s.SetBudget(c.Budget)
+	b := newCNFBuilder(nl, s)
+
+	// Source variable.
+	srcVar := b.nodeVar(src.B)
+	if src.IsThree() {
+		v := s.NewVar()
+		encodeCellClauses(s, src.effectiveTT(), []int{b.nodeVar(src.B), b.nodeVar(src.C)}, v)
+		srcVar = v
+	} else if src.InvertB {
+		v := s.NewVar()
+		s.AddClause(sat.Pos(v), sat.Pos(srcVar))
+		s.AddClause(sat.Neg(v), sat.Neg(srcVar))
+		srcVar = v
+	}
+
+	// Duplicate the affected region in topological order.
+	dupVar := make(map[netlist.NodeID]int, len(dup))
+	for _, id := range nl.TopoOrder() {
+		if !dup[id] {
+			continue
+		}
+		n := nl.Node(id)
+		ins := make([]int, len(n.Fanins()))
+		for pin, f := range n.Fanins() {
+			switch {
+			case changedPin[netlist.Branch{Gate: id, Pin: pin}]:
+				ins[pin] = srcVar
+			case dup[f]:
+				ins[pin] = dupVar[f]
+			default:
+				ins[pin] = b.nodeVar(f)
+			}
+		}
+		v := s.NewVar()
+		encodeCellClauses(s, n.Cell().TT, ins, v)
+		dupVar[id] = v
+	}
+
+	// Miter: some primary output differs.
+	var diffs []sat.Lit
+	seenPO := make(map[int]bool)
+	for _, poIdx := range changedPOs {
+		seenPO[poIdx] = true
+		d := nl.Outputs()[poIdx].Driver
+		diffs = append(diffs, sat.Pos(xorVar(s, b.nodeVar(d), srcVar)))
+	}
+	for poIdx, po := range nl.Outputs() {
+		if seenPO[poIdx] || !dup[po.Driver] {
+			continue
+		}
+		diffs = append(diffs, sat.Pos(xorVar(s, b.nodeVar(po.Driver), dupVar[po.Driver])))
+	}
+	if len(diffs) == 0 {
+		// No primary output can observe the change.
+		c.Stats.Permissible++
+		return Permissible
+	}
+	if !s.AddClause(diffs...) {
+		c.Stats.Permissible++
+		return Permissible
+	}
+
+	switch s.Solve() {
+	case sat.Unsat:
+		c.Stats.Permissible++
+		return Permissible
+	case sat.Sat:
+		c.Stats.Refuted++
+		c.cex = make([]bool, len(nl.Inputs()))
+		for i, in := range nl.Inputs() {
+			if v := b.varOf[in]; v >= 0 {
+				c.cex[i] = s.Value(v)
+			}
+		}
+		return NotPermissible
+	default:
+		c.Stats.Aborted++
+		return Aborted
+	}
+}
+
+// String renders the stats.
+func (st CheckStats) String() string {
+	return fmt.Sprintf("checks=%d permissible=%d refuted=%d aborted=%d",
+		st.Checks, st.Permissible, st.Refuted, st.Aborted)
+}

@@ -1,0 +1,118 @@
+package atpg
+
+import (
+	"fmt"
+
+	"powder/internal/netlist"
+	"powder/internal/sat"
+)
+
+// EquivResult is the outcome of a combinational equivalence check.
+type EquivResult struct {
+	Verdict Verdict
+	// Counterexample holds a distinguishing input assignment (by the
+	// input names of the first circuit) when Verdict is NotPermissible.
+	Counterexample map[string]bool
+	// DifferingOutput names the first output observed to differ.
+	DifferingOutput string
+}
+
+// Equivalent builds the miter of two netlists and decides combinational
+// equivalence with the same budgeted CDCL engine the substitution checker
+// uses. Inputs and outputs are matched by name; both circuits must expose
+// identical port sets. budget <= 0 uses a generous default.
+func Equivalent(x, y *netlist.Netlist, budget int64) (*EquivResult, error) {
+	// Port matching.
+	yIn := make(map[string]netlist.NodeID)
+	for _, id := range y.Inputs() {
+		if !y.Node(id).Dead() {
+			yIn[y.Node(id).Name()] = id
+		}
+	}
+	var pairsIn [][2]netlist.NodeID
+	for _, id := range x.Inputs() {
+		if x.Node(id).Dead() {
+			continue
+		}
+		name := x.Node(id).Name()
+		yid, ok := yIn[name]
+		if !ok {
+			// An input missing on one side is fine only if the other side
+			// ignores it; treat it as a free variable there.
+			continue
+		}
+		pairsIn = append(pairsIn, [2]netlist.NodeID{id, yid})
+		delete(yIn, name)
+	}
+
+	yOut := make(map[string]netlist.NodeID)
+	for _, po := range y.Outputs() {
+		yOut[po.Name] = po.Driver
+	}
+	type outPair struct {
+		name string
+		x, y netlist.NodeID
+	}
+	var pairsOut []outPair
+	for _, po := range x.Outputs() {
+		yd, ok := yOut[po.Name]
+		if !ok {
+			return nil, fmt.Errorf("atpg: output %q missing in %s", po.Name, y.Name)
+		}
+		pairsOut = append(pairsOut, outPair{name: po.Name, x: po.Driver, y: yd})
+	}
+	if len(pairsOut) != len(y.Outputs()) {
+		return nil, fmt.Errorf("atpg: output sets differ (%d vs %d)", len(pairsOut), len(y.Outputs()))
+	}
+
+	s := sat.New()
+	if budget <= 0 {
+		budget = 500000
+	}
+	s.SetBudget(budget)
+	bx := newCNFBuilder(x, s)
+	by := newCNFBuilder(y, s)
+
+	// Tie the matched inputs together.
+	for _, p := range pairsIn {
+		vx, vy := bx.nodeVar(p[0]), by.nodeVar(p[1])
+		s.AddClause(sat.Neg(vx), sat.Pos(vy))
+		s.AddClause(sat.Pos(vx), sat.Neg(vy))
+	}
+
+	// Miter the outputs.
+	var diffs []sat.Lit
+	diffVarToName := make(map[int]string)
+	for _, p := range pairsOut {
+		d := xorVar(s, bx.nodeVar(p.x), by.nodeVar(p.y))
+		diffVarToName[d] = p.name
+		diffs = append(diffs, sat.Pos(d))
+	}
+	if !s.AddClause(diffs...) {
+		return &EquivResult{Verdict: Permissible}, nil
+	}
+
+	switch s.Solve() {
+	case sat.Unsat:
+		return &EquivResult{Verdict: Permissible}, nil
+	case sat.Sat:
+		res := &EquivResult{Verdict: NotPermissible, Counterexample: make(map[string]bool)}
+		for _, id := range x.Inputs() {
+			if x.Node(id).Dead() {
+				continue
+			}
+			if v := bx.varOf[id]; v >= 0 {
+				res.Counterexample[x.Node(id).Name()] = s.Value(v)
+			}
+		}
+		for d, name := range diffVarToName {
+			if s.Value(d) {
+				res.DifferingOutput = name
+				break
+			}
+		}
+		return res, nil
+	default:
+		return &EquivResult{Verdict: Aborted}, nil
+	}
+}

@@ -1,0 +1,149 @@
+package atpg
+
+import (
+	"math/rand"
+	"testing"
+
+	"powder/internal/cellib"
+	"powder/internal/netlist"
+)
+
+func TestEquivalentIdentical(t *testing.T) {
+	nl, _ := fig2(t)
+	res, err := Equivalent(nl, nl.Clone(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Permissible {
+		t.Errorf("identical circuits must be equivalent, got %v", res.Verdict)
+	}
+}
+
+func TestEquivalentAfterPermissibleRewire(t *testing.T) {
+	nl, ids := fig2(t)
+	cp := nl.Clone()
+	// The paper's Figure 2 move preserves the functions.
+	if err := cp.ReplaceFanin(ids["d"], 0, ids["e"]); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Equivalent(nl, cp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Permissible {
+		t.Errorf("figure-2 rewire must verify equivalent, got %v", res.Verdict)
+	}
+}
+
+func TestEquivalentDetectsChange(t *testing.T) {
+	nl, ids := fig2(t)
+	cp := nl.Clone()
+	// Break it: f's pin 1 reads c instead of b.
+	if err := cp.ReplaceFanin(ids["f"], 1, ids["c"]); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Equivalent(nl, cp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != NotPermissible {
+		t.Fatalf("broken circuit must be caught, got %v", res.Verdict)
+	}
+	if res.DifferingOutput != "f" {
+		t.Errorf("differing output = %q, want f", res.DifferingOutput)
+	}
+	if len(res.Counterexample) == 0 {
+		t.Errorf("counterexample missing")
+	}
+	// The counterexample must actually distinguish: evaluate both circuits.
+	if !cexDistinguishes(t, nl, cp, res.Counterexample) {
+		t.Errorf("counterexample does not distinguish the circuits")
+	}
+}
+
+func cexDistinguishes(t *testing.T, x, y *netlist.Netlist, cex map[string]bool) bool {
+	t.Helper()
+	evalAll := func(nl *netlist.Netlist) map[string]bool {
+		val := make(map[netlist.NodeID]bool)
+		for _, id := range nl.TopoOrder() {
+			n := nl.Node(id)
+			if n.Kind() == netlist.KindInput {
+				val[id] = cex[n.Name()]
+				continue
+			}
+			var m uint
+			for pin, f := range n.Fanins() {
+				if val[f] {
+					m |= 1 << uint(pin)
+				}
+			}
+			val[id] = n.Cell().TT.Eval(m)
+		}
+		out := make(map[string]bool)
+		for _, po := range nl.Outputs() {
+			out[po.Name] = val[po.Driver]
+		}
+		return out
+	}
+	ox, oy := evalAll(x), evalAll(y)
+	for name, v := range ox {
+		if oy[name] != v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestEquivalentPortMismatch(t *testing.T) {
+	nl, _ := fig2(t)
+	lib := cellib.Lib2()
+	other := netlist.New("other", lib)
+	a, _ := other.AddInput("a")
+	g, _ := other.AddGate("g", lib.Cell("inv"), []netlist.NodeID{a})
+	if err := other.AddOutput("weird", g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Equivalent(nl, other, 0); err == nil {
+		t.Errorf("mismatched output ports must error")
+	}
+}
+
+func TestEquivalentRandomMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(888))
+	agree := 0
+	for trial := 0; trial < 25; trial++ {
+		nl := randomNetlist(t, rng, 5, 12)
+		cp := nl.Clone()
+		// Random rewire (may or may not change the function).
+		var gates []netlist.NodeID
+		cp.LiveNodes(func(n *netlist.Node) {
+			if n.Kind() == netlist.KindGate {
+				gates = append(gates, n.ID())
+			}
+		})
+		g := gates[rng.Intn(len(gates))]
+		pin := rng.Intn(len(cp.Node(g).Fanins()))
+		nd := netlist.NodeID(rng.Intn(cp.NumNodes()))
+		if cp.Node(nd).Dead() || cp.TFO(g)[nd] || nd == g {
+			continue
+		}
+		if err := cp.ReplaceFanin(g, pin, nd); err != nil {
+			continue
+		}
+		res, err := Equivalent(nl, cp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Permissible
+		if !exhaustiveEqual(t, nl, cp) {
+			want = NotPermissible
+		}
+		if res.Verdict != want {
+			t.Fatalf("trial %d: equiv=%v brute=%v", trial, res.Verdict, want)
+		}
+		agree++
+	}
+	if agree < 12 {
+		t.Fatalf("too few equivalence cross-checks: %d", agree)
+	}
+}

@@ -1,0 +1,262 @@
+// Package blif reads and writes technology-mapped circuits in a BLIF
+// subset: .model/.inputs/.outputs/.gate/.end. Gates reference cells of a
+// cellib.Library by name with explicit pin bindings, e.g.
+//
+//	.model fig2
+//	.inputs a b c
+//	.outputs f
+//	.gate xor2 a=a b=c O=d
+//	.gate and2 a=d b=b O=f
+//	.end
+//
+// Gate output names name the stem signal; a signal listed in .outputs is
+// attached as a primary output of the same name.
+package blif
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"powder/internal/cellib"
+	"powder/internal/netlist"
+)
+
+// Read parses a mapped BLIF model against the given library.
+func Read(r io.Reader, lib *cellib.Library) (*netlist.Netlist, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	var (
+		modelName string
+		inputs    []string
+		outputs   []string
+	)
+	type gateLine struct {
+		cell    *cellib.Cell
+		output  string
+		pinConn map[string]string // pin name -> signal name
+		lineNo  int
+	}
+	var gates []gateLine
+
+	lineNo := 0
+	var pending string // for '\' continuations
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if strings.HasSuffix(line, "\\") {
+			pending += strings.TrimSuffix(line, "\\") + " "
+			continue
+		}
+		line = pending + line
+		pending = ""
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case ".model":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("blif line %d: .model needs a name", lineNo)
+			}
+			modelName = fields[1]
+		case ".inputs":
+			inputs = append(inputs, fields[1:]...)
+		case ".outputs":
+			outputs = append(outputs, fields[1:]...)
+		case ".gate":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("blif line %d: malformed .gate", lineNo)
+			}
+			cell := lib.Cell(fields[1])
+			if cell == nil {
+				return nil, fmt.Errorf("blif line %d: unknown cell %q", lineNo, fields[1])
+			}
+			g := gateLine{cell: cell, pinConn: make(map[string]string), lineNo: lineNo}
+			for _, kv := range fields[2:] {
+				eq := strings.IndexByte(kv, '=')
+				if eq <= 0 {
+					return nil, fmt.Errorf("blif line %d: bad connection %q", lineNo, kv)
+				}
+				formal, actual := kv[:eq], kv[eq+1:]
+				if formal == cell.Output {
+					if g.output != "" {
+						return nil, fmt.Errorf("blif line %d: two outputs on one gate", lineNo)
+					}
+					g.output = actual
+					continue
+				}
+				if cell.PinIndex(formal) < 0 {
+					return nil, fmt.Errorf("blif line %d: cell %s has no pin %q", lineNo, cell.Name, formal)
+				}
+				if _, dup := g.pinConn[formal]; dup {
+					return nil, fmt.Errorf("blif line %d: pin %q connected twice", lineNo, formal)
+				}
+				g.pinConn[formal] = actual
+			}
+			if g.output == "" {
+				return nil, fmt.Errorf("blif line %d: gate has no output connection (%s=...)", lineNo, cell.Output)
+			}
+			if len(g.pinConn) != cell.NumPins() {
+				return nil, fmt.Errorf("blif line %d: cell %s needs %d pin connections, got %d",
+					lineNo, cell.Name, cell.NumPins(), len(g.pinConn))
+			}
+			gates = append(gates, g)
+		case ".names":
+			return nil, fmt.Errorf("blif line %d: .names (unmapped logic) is not supported; map the circuit first", lineNo)
+		case ".end":
+			// Consume and ignore; anything after is ignored too (single model).
+		case ".latch":
+			return nil, fmt.Errorf("blif line %d: sequential elements are not supported", lineNo)
+		default:
+			return nil, fmt.Errorf("blif line %d: unknown construct %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if modelName == "" {
+		modelName = "model"
+	}
+
+	nl := netlist.New(modelName, lib)
+	for _, in := range inputs {
+		if _, err := nl.AddInput(in); err != nil {
+			return nil, fmt.Errorf("blif: %v", err)
+		}
+	}
+
+	// Gates may appear in any order; insert them in dependency order.
+	producer := make(map[string]int, len(gates)) // signal -> gate index
+	for i, g := range gates {
+		if _, dup := producer[g.output]; dup {
+			return nil, fmt.Errorf("blif line %d: signal %q driven twice", g.lineNo, g.output)
+		}
+		if nl.FindNode(g.output) != netlist.InvalidNode {
+			return nil, fmt.Errorf("blif line %d: signal %q collides with an input", g.lineNo, g.output)
+		}
+		producer[g.output] = i
+	}
+	state := make([]byte, len(gates)) // 0 new, 1 visiting, 2 placed
+	var place func(i int) error
+	place = func(i int) error {
+		switch state[i] {
+		case 1:
+			return fmt.Errorf("blif line %d: combinational cycle through %q", gates[i].lineNo, gates[i].output)
+		case 2:
+			return nil
+		}
+		state[i] = 1
+		g := gates[i]
+		fanins := make([]netlist.NodeID, g.cell.NumPins())
+		for pin := 0; pin < g.cell.NumPins(); pin++ {
+			sig := g.pinConn[g.cell.Pins[pin].Name]
+			if j, ok := producer[sig]; ok {
+				if err := place(j); err != nil {
+					return err
+				}
+			}
+			id := nl.FindNode(sig)
+			if id == netlist.InvalidNode {
+				return fmt.Errorf("blif line %d: undriven signal %q", g.lineNo, sig)
+			}
+			fanins[pin] = id
+		}
+		if _, err := nl.AddGate(g.output, g.cell, fanins); err != nil {
+			return fmt.Errorf("blif line %d: %v", g.lineNo, err)
+		}
+		state[i] = 2
+		return nil
+	}
+	for i := range gates {
+		if err := place(i); err != nil {
+			return nil, err
+		}
+	}
+	for _, out := range outputs {
+		id := nl.FindNode(out)
+		if id == netlist.InvalidNode {
+			return nil, fmt.Errorf("blif: output %q is not driven", out)
+		}
+		if err := nl.AddOutput(out, id); err != nil {
+			return nil, fmt.Errorf("blif: %v", err)
+		}
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, fmt.Errorf("blif: parsed netlist invalid: %v", err)
+	}
+	return nl, nil
+}
+
+// Write emits the netlist as mapped BLIF in topological order.
+func Write(w io.Writer, nl *netlist.Netlist) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".model %s\n", nl.Name)
+
+	var inNames []string
+	for _, id := range nl.Inputs() {
+		if !nl.Node(id).Dead() {
+			inNames = append(inNames, nl.Node(id).Name())
+		}
+	}
+	writeWrapped(bw, ".inputs", inNames)
+
+	// Outputs are referenced by the driving stem's signal name. A PO whose
+	// name differs from its driver is emitted under the driver name (the
+	// function is preserved; only the port label changes), and drivers
+	// feeding several POs are emitted once.
+	var outNames []string
+	seenOut := make(map[string]bool)
+	for _, po := range nl.Outputs() {
+		name := nl.Node(po.Driver).Name()
+		if !seenOut[name] {
+			seenOut[name] = true
+			outNames = append(outNames, name)
+		}
+	}
+	writeWrapped(bw, ".outputs", outNames)
+
+	for _, id := range nl.TopoOrder() {
+		n := nl.Node(id)
+		if n.Kind() != netlist.KindGate {
+			continue
+		}
+		fmt.Fprintf(bw, ".gate %s", n.Cell().Name)
+		for pin, f := range n.Fanins() {
+			fmt.Fprintf(bw, " %s=%s", n.Cell().Pins[pin].Name, nl.Node(f).Name())
+		}
+		fmt.Fprintf(bw, " %s=%s\n", n.Cell().Output, n.Name())
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+func writeWrapped(w io.Writer, directive string, names []string) {
+	fmt.Fprint(w, directive)
+	col := len(directive)
+	for _, n := range names {
+		if col+1+len(n) > 78 {
+			fmt.Fprint(w, " \\\n   ")
+			col = 4
+		}
+		fmt.Fprintf(w, " %s", n)
+		col += 1 + len(n)
+	}
+	fmt.Fprintln(w)
+}
+
+// SignalNames returns the sorted live stem-signal names; exported for tests
+// and tools that diff circuits.
+func SignalNames(nl *netlist.Netlist) []string {
+	var names []string
+	nl.LiveNodes(func(n *netlist.Node) { names = append(names, n.Name()) })
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,167 @@
+package blif
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"powder/internal/cellib"
+	"powder/internal/netlist"
+)
+
+const fig2 = `
+# the paper's Figure 2 circuit A
+.model fig2
+.inputs a b c
+.outputs f e
+.gate and2 a=a b=b O=e
+.gate xor2 a=a b=c O=d
+.gate and2 a=d b=b O=f
+.end
+`
+
+func TestReadBasic(t *testing.T) {
+	lib := cellib.Lib2()
+	nl, err := Read(strings.NewReader(fig2), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Name != "fig2" {
+		t.Errorf("model name = %q", nl.Name)
+	}
+	if nl.GateCount() != 3 || len(nl.Inputs()) != 3 || len(nl.Outputs()) != 2 {
+		t.Errorf("shape: %d gates %d inputs %d outputs", nl.GateCount(), len(nl.Inputs()), len(nl.Outputs()))
+	}
+	d := nl.FindNode("d")
+	if d == netlist.InvalidNode {
+		t.Fatal("signal d missing")
+	}
+	if nl.Node(d).Cell().Name != "xor2" {
+		t.Errorf("d is %s, want xor2", nl.Node(d).Cell().Name)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadOutOfOrderGates(t *testing.T) {
+	lib := cellib.Lib2()
+	// Gates deliberately listed consumer-first.
+	src := `
+.model ooo
+.inputs a b
+.outputs y
+.gate inv a=x O=y
+.gate and2 a=a b=b O=x
+.end
+`
+	nl, err := Read(strings.NewReader(src), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.GateCount() != 2 {
+		t.Errorf("GateCount = %d", nl.GateCount())
+	}
+}
+
+func TestReadContinuationLines(t *testing.T) {
+	lib := cellib.Lib2()
+	src := ".model c\n.inputs a \\\n b\n.outputs y\n.gate and2 a=a \\\n b=b O=y\n.end\n"
+	nl, err := Read(strings.NewReader(src), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Inputs()) != 2 {
+		t.Errorf("continuation parsing lost inputs: %d", len(nl.Inputs()))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	lib := cellib.Lib2()
+	cases := map[string]string{
+		"unknown cell":     ".model m\n.inputs a\n.outputs y\n.gate frob a=a O=y\n",
+		"bad connection":   ".model m\n.inputs a\n.outputs y\n.gate inv a O=y\n",
+		"no output pin":    ".model m\n.inputs a\n.outputs y\n.gate inv a=a\n",
+		"missing pin":      ".model m\n.inputs a\n.outputs y\n.gate and2 a=a O=y\n",
+		"unknown pin":      ".model m\n.inputs a\n.outputs y\n.gate inv q=a O=y\n",
+		"pin twice":        ".model m\n.inputs a\n.outputs y\n.gate inv a=a a=a O=y\n",
+		"undriven signal":  ".model m\n.inputs a\n.outputs y\n.gate inv a=zz O=y\n",
+		"undriven output":  ".model m\n.inputs a\n.outputs nope\n.gate inv a=a O=y\n",
+		"driven twice":     ".model m\n.inputs a\n.outputs y\n.gate inv a=a O=y\n.gate inv a=a O=y\n",
+		"input collision":  ".model m\n.inputs a\n.outputs a\n.gate inv a=a O=a\n",
+		"names construct":  ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n",
+		"latch construct":  ".model m\n.inputs a\n.outputs y\n.latch a y re clk 0\n",
+		"unknown keyword":  ".model m\n.frobnicate\n",
+		"cycle":            ".model m\n.inputs a\n.outputs y\n.gate and2 a=a b=z O=y\n.gate inv a=y O=z\n",
+		"two gate outputs": ".model m\n.inputs a\n.outputs y\n.gate inv a=a O=y O=z\n",
+	}
+	for name, src := range cases {
+		if _, err := Read(strings.NewReader(src), lib); err == nil {
+			t.Errorf("%s: Read should fail", name)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	lib := cellib.Lib2()
+	nl, err := Read(strings.NewReader(fig2), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(bytes.NewReader(buf.Bytes()), lib)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if back.GateCount() != nl.GateCount() || len(back.Inputs()) != len(nl.Inputs()) ||
+		len(back.Outputs()) != len(nl.Outputs()) {
+		t.Errorf("round trip changed shape")
+	}
+	a, b := SignalNames(nl), SignalNames(back)
+	if len(a) != len(b) {
+		t.Fatalf("signal sets differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("signal %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	if back.Area() != nl.Area() {
+		t.Errorf("area changed in round trip")
+	}
+}
+
+func TestWriteWrapsLongLines(t *testing.T) {
+	lib := cellib.Lib2()
+	nl := netlist.New("wide", lib)
+	var last netlist.NodeID
+	for i := 0; i < 40; i++ {
+		id, err := nl.AddInput(strings.Repeat("x", 6) + string(rune('a'+i%26)) + string(rune('0'+i/26)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = id
+	}
+	g, err := nl.AddGate("y", lib.Cell("inv"), []netlist.NodeID{last})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.AddOutput("y", g); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if len(line) > 80 {
+			t.Errorf("line exceeds 80 columns: %q", line)
+		}
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes()), lib); err != nil {
+		t.Fatalf("wrapped output unreadable: %v", err)
+	}
+}

@@ -1,0 +1,117 @@
+package blif
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"powder/internal/cellib"
+	"powder/internal/logic"
+	"powder/internal/netlist"
+	"powder/internal/sim"
+)
+
+// TestRandomNetlistRoundTrip: arbitrary generated circuits survive
+// Write/Read with identical structure and function.
+func TestRandomNetlistRoundTrip(t *testing.T) {
+	lib := cellib.Lib2()
+	cells := []string{"inv", "buf", "nand2", "nor2", "and2", "or2", "xor2", "xnor2", "aoi21", "oai21", "aoi22", "oai22", "mux2", "nand3", "nor4", "and4"}
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(500 + trial)))
+		nl := netlist.New("rt", lib)
+		var pool []netlist.NodeID
+		nIn := 3 + rng.Intn(5)
+		for i := 0; i < nIn; i++ {
+			id, err := nl.AddInput(logic.VarName(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool = append(pool, id)
+		}
+		for i := 0; i < 5+rng.Intn(20); i++ {
+			cell := lib.Cell(cells[rng.Intn(len(cells))])
+			fanins := make([]netlist.NodeID, cell.NumPins())
+			for p := range fanins {
+				fanins[p] = pool[rng.Intn(len(pool))]
+			}
+			id, err := nl.AddGate("", cell, fanins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool = append(pool, id)
+		}
+		nOut := 1 + rng.Intn(3)
+		for i := 0; i < nOut; i++ {
+			if err := nl.AddOutput(logic.VarName(20+i), pool[len(pool)-1-i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nl.SweepDead()
+
+		var buf bytes.Buffer
+		if err := Write(&buf, nl); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Read(bytes.NewReader(buf.Bytes()), lib)
+		if err != nil {
+			t.Fatalf("trial %d: reparse failed: %v\n%s", trial, err, buf.String())
+		}
+		if back.GateCount() != nl.GateCount() || back.Area() != nl.Area() {
+			t.Fatalf("trial %d: structure changed in round trip", trial)
+		}
+		// Functional equivalence on random vectors, matching outputs by
+		// position (Write emits them in declaration order).
+		s1 := sim.New(nl, 4)
+		s1.SetInputsRandom(7, nil)
+		s1.Run()
+		s2 := sim.New(back, 4)
+		s2.SetInputsRandom(7, nil)
+		s2.Run()
+		if len(nl.Outputs()) != len(back.Outputs()) {
+			t.Fatalf("trial %d: output count changed", trial)
+		}
+		for i := range nl.Outputs() {
+			v1 := s1.Value(nl.Outputs()[i].Driver)
+			v2 := s2.Value(back.Outputs()[i].Driver)
+			for w := range v1 {
+				if v1[w] != v2[w] {
+					t.Fatalf("trial %d: output %d differs after round trip", trial, i)
+				}
+			}
+		}
+	}
+}
+
+// TestReadRejectsGarbage: malformed inputs fail cleanly, never panic.
+func TestReadRejectsGarbage(t *testing.T) {
+	lib := cellib.Lib2()
+	rng := rand.New(rand.NewSource(99))
+	tokens := []string{".model", ".inputs", ".outputs", ".gate", ".end", "and2",
+		"a=a", "b=b", "O=y", "a", "b", "y", "=", "\\", "#x", "inv", "a=", "=y"}
+	for trial := 0; trial < 300; trial++ {
+		var b bytes.Buffer
+		n := rng.Intn(30)
+		for i := 0; i < n; i++ {
+			b.WriteString(tokens[rng.Intn(len(tokens))])
+			if rng.Intn(3) == 0 {
+				b.WriteByte('\n')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: Read panicked on %q: %v", trial, b.String(), r)
+				}
+			}()
+			nl, err := Read(bytes.NewReader(b.Bytes()), lib)
+			if err == nil && nl != nil {
+				// Accepted inputs must at least be valid netlists.
+				if verr := nl.Validate(); verr != nil {
+					t.Fatalf("trial %d: accepted invalid netlist: %v", trial, verr)
+				}
+			}
+		}()
+	}
+}

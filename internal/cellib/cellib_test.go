@@ -1,0 +1,228 @@
+package cellib
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"powder/internal/logic"
+)
+
+func TestNewCellValidation(t *testing.T) {
+	pins := []Pin{{Name: "a", Cap: 1}, {Name: "b", Cap: 1}}
+	and := logic.And(logic.Var(0), logic.Var(1))
+	if _, err := NewCell("and2", 10, pins, "O", and, 1, 0.1, 0); err != nil {
+		t.Fatalf("valid cell rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		f    func() (*Cell, error)
+	}{
+		{"empty name", func() (*Cell, error) { return NewCell("", 10, pins, "O", and, 1, 0.1, 0) }},
+		{"negative area", func() (*Cell, error) { return NewCell("x", -1, pins, "O", and, 1, 0.1, 0) }},
+		{"duplicate pin", func() (*Cell, error) {
+			return NewCell("x", 1, []Pin{{Name: "a", Cap: 1}, {Name: "a", Cap: 1}}, "O", and, 1, 0.1, 0)
+		}},
+		{"function beyond pins", func() (*Cell, error) {
+			return NewCell("x", 1, pins[:1], "O", and, 1, 0.1, 0)
+		}},
+		{"unused pin", func() (*Cell, error) {
+			return NewCell("x", 1, pins, "O", logic.Var(0), 1, 0.1, 0)
+		}},
+		{"negative pin cap", func() (*Cell, error) {
+			return NewCell("x", 1, []Pin{{Name: "a", Cap: -1}}, "O", logic.Not(logic.Var(0)), 1, 0.1, 0)
+		}},
+	}
+	for _, c := range cases {
+		if _, err := c.f(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestCellPredicates(t *testing.T) {
+	lib := Lib2()
+	inv := lib.Cell("inv")
+	if inv == nil || !inv.IsInverter() || inv.IsBuffer() {
+		t.Fatalf("inv cell predicates wrong: %v", inv)
+	}
+	buf := lib.Cell("buf")
+	if buf == nil || !buf.IsBuffer() || buf.IsInverter() {
+		t.Fatalf("buf cell predicates wrong: %v", buf)
+	}
+	nand := lib.Cell("nand2")
+	if nand.IsInverter() || nand.IsBuffer() {
+		t.Fatalf("nand2 misclassified")
+	}
+	if got := nand.PinIndex("b"); got != 1 {
+		t.Errorf("PinIndex(b) = %d, want 1", got)
+	}
+	if got := nand.PinIndex("zz"); got != -1 {
+		t.Errorf("PinIndex(zz) = %d, want -1", got)
+	}
+}
+
+func TestCellDelayModel(t *testing.T) {
+	lib := Lib2()
+	nand := lib.Cell("nand2")
+	d0 := nand.Delay(0)
+	d4 := nand.Delay(4)
+	if d0 != nand.Intrinsic {
+		t.Errorf("Delay(0) = %v, want intrinsic %v", d0, nand.Intrinsic)
+	}
+	if d4 <= d0 {
+		t.Errorf("delay must grow with load: %v vs %v", d4, d0)
+	}
+	if got, want := d4-d0, 4*nand.Drive; got < want-1e-12 || got > want+1e-12 {
+		t.Errorf("load-dependent part = %v, want %v", got, want)
+	}
+}
+
+func TestLib2Contents(t *testing.T) {
+	lib := Lib2()
+	if err := lib.Validate(); err != nil {
+		t.Fatalf("Lib2 invalid: %v", err)
+	}
+	wantCells := []string{"inv", "nand2", "nand3", "nand4", "nor2", "and2", "or2", "xor2", "xnor2", "aoi21", "oai21", "aoi22", "oai22"}
+	for _, n := range wantCells {
+		if lib.Cell(n) == nil {
+			t.Errorf("Lib2 missing %s", n)
+		}
+	}
+	// XOR pins must be heavier than NAND pins (paper Section 3.1 example).
+	if lib.Cell("xor2").Pins[0].Cap <= lib.Cell("nand2").Pins[0].Cap {
+		t.Errorf("xor2 pin cap should exceed nand2 pin cap")
+	}
+	// Functional spot checks.
+	xnor := lib.Cell("xnor2")
+	if xnor.TT.Eval(0) != true || xnor.TT.Eval(1) != false || xnor.TT.Eval(3) != true {
+		t.Errorf("xnor2 truth table wrong: %v", xnor.TT)
+	}
+	aoi21 := lib.Cell("aoi21")
+	// !(a*b + c): minterm a=1,b=1,c=0 -> 0; a=0,b=0,c=0 -> 1
+	if aoi21.TT.Eval(0b011) || !aoi21.TT.Eval(0) {
+		t.Errorf("aoi21 truth table wrong: %v", aoi21.TT)
+	}
+}
+
+func TestLibraryLookups(t *testing.T) {
+	lib := Lib2()
+	if lib.Inverter() == nil || lib.Inverter().Name != "inv" {
+		t.Errorf("Inverter() = %v", lib.Inverter())
+	}
+	if lib.Buffer() == nil || lib.Buffer().Name != "buf" {
+		t.Errorf("Buffer() = %v", lib.Buffer())
+	}
+	two := lib.TwoInputCells()
+	if len(two) < 6 {
+		t.Fatalf("expected several 2-input cells, got %d", len(two))
+	}
+	for i := 1; i < len(two); i++ {
+		if two[i-1].Area > two[i].Area {
+			t.Errorf("TwoInputCells not sorted by area")
+		}
+	}
+	nandTT := logic.TTFromExpr(logic.Not(logic.And(logic.Var(0), logic.Var(1))), 2)
+	if m := lib.SmallestMatch(nandTT); m == nil || m.Name != "nand2" {
+		t.Errorf("SmallestMatch(nand2) = %v", m)
+	}
+	if m := lib.SmallestMatch(logic.TTConst(true, 0)); m != nil {
+		t.Errorf("SmallestMatch(const) should be nil, got %v", m)
+	}
+}
+
+func TestLibraryDuplicate(t *testing.T) {
+	lib := NewLibrary("t")
+	inv, _ := NewCell("inv", 1, []Pin{{Name: "a", Cap: 1}}, "O", logic.Not(logic.Var(0)), 1, 0.1, 0)
+	if err := lib.Add(inv); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Add(inv); err == nil {
+		t.Errorf("duplicate Add should fail")
+	}
+}
+
+func TestGenlibRoundTrip(t *testing.T) {
+	lib := Lib2()
+	var buf bytes.Buffer
+	if err := WriteGenlib(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseGenlib(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if back.Len() != lib.Len() {
+		t.Fatalf("round trip lost cells: %d vs %d", back.Len(), lib.Len())
+	}
+	for _, c := range lib.Cells() {
+		b := back.Cell(c.Name)
+		if b == nil {
+			t.Errorf("cell %s lost in round trip", c.Name)
+			continue
+		}
+		if !b.TT.Equal(c.TT) {
+			t.Errorf("cell %s function changed: %v vs %v", c.Name, b.TT, c.TT)
+		}
+		if b.Area != c.Area {
+			t.Errorf("cell %s area changed: %v vs %v", c.Name, b.Area, c.Area)
+		}
+		if b.Intrinsic != c.Intrinsic || b.Drive != c.Drive {
+			t.Errorf("cell %s delay params changed", c.Name)
+		}
+	}
+}
+
+func TestParseGenlibBasics(t *testing.T) {
+	src := `
+# a tiny library
+GATE myinv 10 O=!a;
+  PIN a INV 1.5 999 0.5 0.2 0.7 0.4
+GATE mynand 20 O=!(a*b);
+  PIN * NONINV 1 999 1.0 0.2 1.0 0.2
+`
+	lib, err := ParseGenlib(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := lib.Cell("myinv")
+	if inv == nil {
+		t.Fatal("myinv missing")
+	}
+	if inv.Pins[0].Cap != 1.5 {
+		t.Errorf("pin cap = %v, want 1.5", inv.Pins[0].Cap)
+	}
+	if got, want := inv.Intrinsic, 0.6; got != want { // (0.5+0.7)/2
+		t.Errorf("intrinsic = %v, want %v", got, want)
+	}
+	if got, want := inv.Drive, 0.3; got < want-1e-12 || got > want+1e-12 { // (0.2+0.4)/2
+		t.Errorf("drive = %v, want %v", got, want)
+	}
+	nand := lib.Cell("mynand")
+	if nand == nil || nand.NumPins() != 2 {
+		t.Fatalf("mynand wrong: %v", nand)
+	}
+}
+
+func TestParseGenlibErrors(t *testing.T) {
+	bad := []string{
+		"NOTGATE x 1 O=a;",
+		"GATE x",
+		"GATE x abc O=!a; PIN a INV 1 1 1 1 1 1",
+		"GATE x 1 O=!a",                               // missing semicolon and pins
+		"GATE x 1 !a; PIN a INV 1 1 1 1 1 1",          // missing '='
+		"GATE x 1 O=!a;",                              // no PIN line
+		"GATE x 1 O=!a; PIN a INV 1 1 1 1 1",          // short PIN line
+		"GATE x 1 O=!a; PIN a INV 1 1 1 1 1 frog",     // bad number
+		"GATE x 1 O=!a*!a + b; PIN a INV 1 1 1 1 1 1", // pin b missing
+		"GATE x 1 O=a*!a; PIN * NONINV 1 1 1 1 1 1",   // constant function: unused pins
+	}
+	for _, src := range bad {
+		if _, err := ParseGenlib(strings.NewReader(src)); err == nil {
+			t.Errorf("ParseGenlib(%q) should fail", src)
+		}
+	}
+	if _, err := ParseGenlib(strings.NewReader("# only a comment\n")); err == nil {
+		t.Errorf("empty library should fail")
+	}
+}

@@ -1,0 +1,236 @@
+package cellib
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"powder/internal/logic"
+)
+
+// ParseGenlib reads a library in a genlib-subset format:
+//
+//	GATE <name> <area> <out>=<expr>;
+//	PIN <pin|*> <phase> <input-load> <max-load> <rise-block> <rise-fanout> <fall-block> <fall-fanout>
+//
+// Comments start with '#' and run to end of line. The PIN lines following a
+// GATE line describe its pins; "PIN *" applies to every pin of the gate.
+// The linear delay model parameters are derived as
+//
+//	Intrinsic = max over pins of (rise-block + fall-block)/2
+//	Drive     = max over pins of (rise-fanout + fall-fanout)/2
+//
+// and the pin capacitance is the input-load. The phase token is accepted
+// and ignored (the function expression already encodes polarity).
+func ParseGenlib(r io.Reader) (*Library, error) {
+	lib := NewLibrary("genlib")
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+
+	// Tokenize the whole input; genlib statements can span lines.
+	var tokens []string
+	lineOf := make(map[int]int) // token index -> line number, for errors
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		// Split but keep '=' and ';' attached handling below.
+		for _, f := range strings.Fields(line) {
+			lineOf[len(tokens)] = lineNo
+			tokens = append(tokens, f)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	i := 0
+	next := func() (string, bool) {
+		if i >= len(tokens) {
+			return "", false
+		}
+		t := tokens[i]
+		i++
+		return t, true
+	}
+	peek := func() string {
+		if i >= len(tokens) {
+			return ""
+		}
+		return tokens[i]
+	}
+	errAt := func(format string, args ...any) error {
+		ln := lineOf[i-1]
+		return fmt.Errorf("genlib line %d: %s", ln, fmt.Sprintf(format, args...))
+	}
+
+	for {
+		t, ok := next()
+		if !ok {
+			break
+		}
+		if t != "GATE" {
+			return nil, errAt("expected GATE, got %q", t)
+		}
+		name, ok := next()
+		if !ok {
+			return nil, errAt("GATE missing name")
+		}
+		areaTok, ok := next()
+		if !ok {
+			return nil, errAt("GATE %s missing area", name)
+		}
+		area, err := strconv.ParseFloat(areaTok, 64)
+		if err != nil {
+			return nil, errAt("GATE %s bad area %q", name, areaTok)
+		}
+		// Function: tokens up to and including the one ending with ';'.
+		var fn strings.Builder
+		for {
+			ft, ok := next()
+			if !ok {
+				return nil, errAt("GATE %s function not terminated with ';'", name)
+			}
+			fn.WriteString(ft)
+			if strings.HasSuffix(ft, ";") {
+				break
+			}
+			fn.WriteByte(' ')
+		}
+		fnStr := strings.TrimSuffix(fn.String(), ";")
+		eq := strings.IndexByte(fnStr, '=')
+		if eq < 0 {
+			return nil, errAt("GATE %s function %q missing '='", name, fnStr)
+		}
+		outName := strings.TrimSpace(fnStr[:eq])
+		exprStr := strings.TrimSpace(fnStr[eq+1:])
+		varNames := logic.CollectVarNames(exprStr)
+		expr, err := logic.ParseExpr(exprStr, varNames)
+		if err != nil {
+			return nil, errAt("GATE %s: %v", name, err)
+		}
+
+		// PIN lines.
+		type pinSpec struct {
+			cap, maxLoad, intrinsic, drive float64
+		}
+		pinSpecs := make(map[string]pinSpec)
+		var star *pinSpec
+		for peek() == "PIN" {
+			next() // consume PIN
+			pname, ok := next()
+			if !ok {
+				return nil, errAt("GATE %s: PIN missing name", name)
+			}
+			if _, ok := next(); !ok { // phase token, ignored
+				return nil, errAt("GATE %s pin %s: missing phase", name, pname)
+			}
+			var nums [6]float64
+			for k := 0; k < 6; k++ {
+				vtok, ok := next()
+				if !ok {
+					return nil, errAt("GATE %s pin %s: missing numeric field %d", name, pname, k)
+				}
+				v, err := strconv.ParseFloat(vtok, 64)
+				if err != nil {
+					return nil, errAt("GATE %s pin %s: bad number %q", name, pname, vtok)
+				}
+				nums[k] = v
+			}
+			spec := pinSpec{
+				cap:       nums[0],
+				maxLoad:   nums[1],
+				intrinsic: (nums[2] + nums[4]) / 2,
+				drive:     (nums[3] + nums[5]) / 2,
+			}
+			if pname == "*" {
+				s := spec
+				star = &s
+			} else {
+				pinSpecs[pname] = spec
+			}
+		}
+
+		var pins []Pin
+		intrinsic, drive, maxLoad := 0.0, 0.0, 0.0
+		if len(varNames) == 0 && expr.Op != logic.OpConst0 && expr.Op != logic.OpConst1 {
+			return nil, errAt("GATE %s has no pins and is not constant", name)
+		}
+		for _, vn := range varNames {
+			spec, ok := pinSpecs[vn]
+			if !ok {
+				if star == nil {
+					return nil, errAt("GATE %s: no PIN line for %s", name, vn)
+				}
+				spec = *star
+			}
+			pins = append(pins, Pin{Name: vn, Cap: spec.cap})
+			if spec.intrinsic > intrinsic {
+				intrinsic = spec.intrinsic
+			}
+			if spec.drive > drive {
+				drive = spec.drive
+			}
+			if maxLoad == 0 || (spec.maxLoad > 0 && spec.maxLoad < maxLoad) {
+				maxLoad = spec.maxLoad
+			}
+		}
+		cell, err := NewCell(name, area, pins, outName, expr, intrinsic, drive, maxLoad)
+		if err != nil {
+			return nil, errAt("%v", err)
+		}
+		if err := lib.Add(cell); err != nil {
+			return nil, errAt("%v", err)
+		}
+	}
+	if lib.Len() == 0 {
+		return nil, fmt.Errorf("genlib: empty library")
+	}
+	return lib, nil
+}
+
+// WriteGenlib emits the library in the same genlib-subset format that
+// ParseGenlib reads (one "PIN *" line per gate; rise and fall numbers are
+// written equal since the model is symmetric).
+func WriteGenlib(w io.Writer, lib *Library) error {
+	for _, c := range lib.Cells() {
+		varNames := make([]string, len(c.Pins))
+		for i, p := range c.Pins {
+			varNames[i] = p.Name
+		}
+		if _, err := fmt.Fprintf(w, "GATE %s %g %s=%s;\n", c.Name, c.Area, c.Output,
+			logic.FormatWithNames(c.Function, varNames)); err != nil {
+			return err
+		}
+		capv := 0.0
+		if len(c.Pins) > 0 {
+			capv = c.Pins[0].Cap
+		}
+		uniformCaps := true
+		for _, p := range c.Pins {
+			if p.Cap != capv {
+				uniformCaps = false
+				break
+			}
+		}
+		if uniformCaps && len(c.Pins) > 0 {
+			if _, err := fmt.Fprintf(w, "  PIN * NONINV %g %g %g %g %g %g\n",
+				capv, c.MaxLoad, c.Intrinsic, c.Drive, c.Intrinsic, c.Drive); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, p := range c.Pins {
+			if _, err := fmt.Fprintf(w, "  PIN %s NONINV %g %g %g %g %g %g\n",
+				p.Name, p.Cap, c.MaxLoad, c.Intrinsic, c.Drive, c.Intrinsic, c.Drive); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

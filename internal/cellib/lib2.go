@@ -1,0 +1,82 @@
+package cellib
+
+import "powder/internal/logic"
+
+// lib2Spec is one row of the built-in library table.
+type lib2Spec struct {
+	name      string
+	area      float64
+	pinCap    float64
+	expr      string
+	intrinsic float64
+	drive     float64
+}
+
+// lib2Cells is modelled on the MCNC lib2.genlib library the paper used:
+// the same gate families (INV/BUF, NAND/NOR/AND/OR 2-4, XOR/XNOR, AOI/OAI)
+// with areas in the same unit system (hundreds to thousands of layout
+// units, e.g. NAND2 = 1392). Capacitances follow the paper's Section 3.1
+// example: simple-gate inputs load 1 unit, EXOR/EXNOR inputs load 2 units.
+// Delay parameters are in nanoseconds for the intrinsic term and
+// nanoseconds per capacitance unit for the drive term.
+var lib2Cells = []lib2Spec{
+	{"inv", 928, 0.9, "!a", 0.40, 0.15},
+	{"buf", 1392, 1.0, "a", 0.70, 0.10},
+	{"nand2", 1392, 1.0, "!(a*b)", 0.60, 0.15},
+	{"nand3", 1856, 1.0, "!(a*b*c)", 0.80, 0.17},
+	{"nand4", 2320, 1.0, "!(a*b*c*d)", 1.00, 0.19},
+	{"nor2", 1392, 1.0, "!(a+b)", 0.70, 0.16},
+	{"nor3", 1856, 1.0, "!(a+b+c)", 0.90, 0.18},
+	{"nor4", 2320, 1.0, "!(a+b+c+d)", 1.10, 0.20},
+	{"and2", 1856, 1.0, "a*b", 0.90, 0.12},
+	{"and3", 2320, 1.0, "a*b*c", 1.10, 0.13},
+	{"and4", 2784, 1.0, "a*b*c*d", 1.30, 0.14},
+	{"or2", 1856, 1.0, "a+b", 1.00, 0.12},
+	{"or3", 2320, 1.0, "a+b+c", 1.20, 0.13},
+	{"or4", 2784, 1.0, "a+b+c+d", 1.40, 0.14},
+	{"xor2", 2784, 2.0, "a^b", 1.40, 0.18},
+	{"xnor2", 2784, 2.0, "!(a^b)", 1.40, 0.18},
+	{"aoi21", 1856, 1.0, "!(a*b+c)", 0.80, 0.17},
+	{"oai21", 1856, 1.0, "!((a+b)*c)", 0.80, 0.17},
+	{"aoi22", 2320, 1.0, "!(a*b+c*d)", 0.90, 0.18},
+	{"oai22", 2320, 1.0, "!((a+b)*(c+d))", 0.90, 0.18},
+	{"mux2", 2784, 1.0, "a*!c+b*c", 1.30, 0.16},
+
+	// Higher-drive variants (suffix x2/x4): larger area and input
+	// capacitance, proportionally lower drive resistance. They are never
+	// chosen by the area- or power-cost mapper for lightly loaded nets,
+	// but give the re-sizing pass (resize package) real choices, as in the
+	// gate re-sizing phase of the paper's Figure 1 flow.
+	{"invx2", 1392, 1.6, "!a", 0.42, 0.085},
+	{"invx4", 2320, 3.0, "!a", 0.45, 0.048},
+	{"bufx2", 1856, 1.7, "a", 0.74, 0.055},
+	{"nand2x2", 1856, 1.8, "!(a*b)", 0.63, 0.085},
+	{"nor2x2", 1856, 1.8, "!(a+b)", 0.74, 0.090},
+	{"and2x2", 2320, 1.8, "a*b", 0.95, 0.068},
+	{"or2x2", 2320, 1.8, "a+b", 1.05, 0.068},
+	{"xor2x2", 3248, 3.4, "a^b", 1.47, 0.100},
+}
+
+// Lib2 returns the built-in library modelled on MCNC lib2.genlib (see
+// DESIGN.md for the substitution rationale). A fresh Library is returned on
+// every call, so callers may extend their copy freely.
+func Lib2() *Library {
+	lib := NewLibrary("lib2")
+	for _, s := range lib2Cells {
+		varNames := logic.CollectVarNames(s.expr)
+		expr := logic.MustParseExpr(s.expr, varNames)
+		pins := make([]Pin, len(varNames))
+		for i, vn := range varNames {
+			pins[i] = Pin{Name: vn, Cap: s.pinCap}
+		}
+		cell, err := NewCell(s.name, s.area, pins, "O", expr, s.intrinsic, s.drive, 0)
+		if err != nil {
+			panic(err)
+		}
+		lib.MustAdd(cell)
+	}
+	if err := lib.Validate(); err != nil {
+		panic(err)
+	}
+	return lib
+}

@@ -1,0 +1,127 @@
+package cellib
+
+import (
+	"fmt"
+	"sort"
+
+	"powder/internal/logic"
+)
+
+// Library is a set of cells indexed by name and by function.
+type Library struct {
+	Name   string
+	cells  []*Cell
+	byName map[string]*Cell
+}
+
+// NewLibrary returns an empty library.
+func NewLibrary(name string) *Library {
+	return &Library{Name: name, byName: make(map[string]*Cell)}
+}
+
+// Add inserts a cell; the name must be unique within the library.
+func (l *Library) Add(c *Cell) error {
+	if _, dup := l.byName[c.Name]; dup {
+		return fmt.Errorf("cellib: duplicate cell name %s", c.Name)
+	}
+	l.cells = append(l.cells, c)
+	l.byName[c.Name] = c
+	return nil
+}
+
+// MustAdd is Add but panics on error; for building known-good libraries.
+func (l *Library) MustAdd(c *Cell) {
+	if err := l.Add(c); err != nil {
+		panic(err)
+	}
+}
+
+// Cell returns the named cell, or nil.
+func (l *Library) Cell(name string) *Cell { return l.byName[name] }
+
+// Cells returns all cells in insertion order. The slice must not be mutated.
+func (l *Library) Cells() []*Cell { return l.cells }
+
+// Len returns the number of cells.
+func (l *Library) Len() int { return len(l.cells) }
+
+// Inverter returns the smallest-area inverter cell, or nil if the library
+// has none.
+func (l *Library) Inverter() *Cell {
+	var best *Cell
+	for _, c := range l.cells {
+		if c.IsInverter() && (best == nil || c.Area < best.Area) {
+			best = c
+		}
+	}
+	return best
+}
+
+// Buffer returns the smallest-area buffer cell, or nil.
+func (l *Library) Buffer() *Cell {
+	var best *Cell
+	for _, c := range l.cells {
+		if c.IsBuffer() && (best == nil || c.Area < best.Area) {
+			best = c
+		}
+	}
+	return best
+}
+
+// TwoInputCells returns all cells with exactly two input pins, sorted by
+// area. These are the candidates for the new gate of OS3/IS3 substitutions.
+func (l *Library) TwoInputCells() []*Cell {
+	var out []*Cell
+	for _, c := range l.cells {
+		if len(c.Pins) == 2 {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Area < out[j].Area })
+	return out
+}
+
+// MatchTT returns the cells whose truth table equals tt exactly (same pin
+// order), sorted by area.
+func (l *Library) MatchTT(tt logic.TT) []*Cell {
+	var out []*Cell
+	for _, c := range l.cells {
+		if c.TT.Equal(tt) {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Area < out[j].Area })
+	return out
+}
+
+// SmallestMatch returns the minimum-area cell implementing tt exactly, or
+// nil if none does.
+func (l *Library) SmallestMatch(tt logic.TT) *Cell {
+	m := l.MatchTT(tt)
+	if len(m) == 0 {
+		return nil
+	}
+	return m[0]
+}
+
+// Validate checks library-level invariants: at least one inverter, at least
+// one 2-input NAND or AND (needed by the mapper's subject graph), and
+// pairwise-distinct names (guaranteed by Add, re-checked here defensively).
+func (l *Library) Validate() error {
+	if l.Inverter() == nil {
+		return fmt.Errorf("cellib: library %s has no inverter", l.Name)
+	}
+	nand2 := logic.TTFromExpr(logic.Not(logic.And(logic.Var(0), logic.Var(1))), 2)
+	and2 := logic.TTFromExpr(logic.And(logic.Var(0), logic.Var(1)), 2)
+	if l.SmallestMatch(nand2) == nil && l.SmallestMatch(and2) == nil {
+		return fmt.Errorf("cellib: library %s has neither NAND2 nor AND2", l.Name)
+	}
+	names := make(map[string]bool, len(l.cells))
+	for _, c := range l.cells {
+		if names[c.Name] {
+			return fmt.Errorf("cellib: duplicate cell %s", c.Name)
+		}
+		names[c.Name] = true
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+package circuits
+
+import (
+	"math/rand"
+	"testing"
+
+	"powder/internal/cellib"
+	"powder/internal/netlist"
+	"powder/internal/sim"
+	"powder/internal/synth"
+)
+
+func TestAllBuildAndCompile(t *testing.T) {
+	lib := cellib.Lib2()
+	if len(All()) != 47 {
+		t.Fatalf("Table 1 has 47 circuits, got %d", len(All()))
+	}
+	seen := make(map[string]bool)
+	for _, spec := range All() {
+		if seen[spec.Name] {
+			t.Errorf("duplicate circuit %s", spec.Name)
+		}
+		seen[spec.Name] = true
+		d := spec.Build()
+		nl, err := synth.Compile(d, lib, synth.Options{Mode: synth.CostPower})
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if err := nl.Validate(); err != nil {
+			t.Fatalf("%s: invalid netlist: %v", spec.Name, err)
+		}
+		if nl.GateCount() < 5 {
+			t.Errorf("%s: suspiciously small (%d gates)", spec.Name, nl.GateCount())
+		}
+		if len(nl.Outputs()) != len(d.Outputs) {
+			t.Errorf("%s: output count mismatch", spec.Name)
+		}
+	}
+}
+
+func TestDeterministicBuilds(t *testing.T) {
+	lib := cellib.Lib2()
+	for _, name := range []string{"frg1", "spla", "apex1"} {
+		spec, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nl1, err := synth.Compile(spec.Build(), lib, synth.Options{Mode: synth.CostPower})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nl2, err := synth.Compile(spec.Build(), lib, synth.Options{Mode: synth.CostPower})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nl1.GateCount() != nl2.GateCount() || nl1.Area() != nl2.Area() {
+			t.Errorf("%s: non-deterministic build", name)
+		}
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Errorf("unknown name should fail")
+	}
+	if len(Names()) != 47 {
+		t.Errorf("Names() length wrong")
+	}
+}
+
+func TestFig6Subset(t *testing.T) {
+	sub := Fig6Subset()
+	if len(sub) != 18 {
+		t.Fatalf("Figure 6 subset must have 18 circuits, got %d", len(sub))
+	}
+}
+
+// evalDesignOutputs computes output values of a compiled circuit on a
+// random vector set and returns a sampler.
+func compileAndSim(t *testing.T, name string, words int) (*netlist.Netlist, *sim.Simulator) {
+	t.Helper()
+	spec, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cellib.Lib2()
+	nl, err := synth.Compile(spec.Build(), lib, synth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(nl, words)
+	return nl, s
+}
+
+func TestRd84CountsOnes(t *testing.T) {
+	nl, s := compileAndSim(t, "rd84", 4) // 256 = 2^8 exhaustive
+	if err := s.SetInputsExhaustive(); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	outs := nl.Outputs()
+	for vec := 0; vec < 256; vec++ {
+		ones := 0
+		for i := 0; i < 8; i++ {
+			if vec>>uint(i)&1 == 1 {
+				ones++
+			}
+		}
+		got := 0
+		for b, po := range outs {
+			w := s.Value(po.Driver)
+			if w[vec/64]>>uint(vec%64)&1 == 1 {
+				got |= 1 << uint(b)
+			}
+		}
+		if got != ones {
+			t.Fatalf("rd84(%08b) = %d, want %d", vec, got, ones)
+		}
+	}
+}
+
+func TestNineSymIsSymmetric(t *testing.T) {
+	nl, s := compileAndSim(t, "9sym", 8) // 512 = 2^9 exhaustive
+	if err := s.SetInputsExhaustive(); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	w := s.Value(nl.Outputs()[0].Driver)
+	for vec := 0; vec < 512; vec++ {
+		ones := 0
+		for i := 0; i < 9; i++ {
+			if vec>>uint(i)&1 == 1 {
+				ones++
+			}
+		}
+		want := ones >= 3 && ones <= 6
+		got := w[vec/64]>>uint(vec%64)&1 == 1
+		if got != want {
+			t.Fatalf("9sym(%09b) = %v, want %v (ones=%d)", vec, got, want, ones)
+		}
+	}
+}
+
+func TestComparatorCorrect(t *testing.T) {
+	nl, s := compileAndSim(t, "comp", 16)
+	s.SetInputsRandom(3, nil)
+	s.Run()
+	gt := s.Value(nl.Outputs()[0].Driver)
+	eq := s.Value(nl.Outputs()[1].Driver)
+	lt := s.Value(nl.Outputs()[2].Driver)
+	// Reconstruct A and B from the input words per sample.
+	rng := rand.New(rand.NewSource(3))
+	_ = rng
+	for vecW := 0; vecW < 4; vecW++ { // spot check 256 samples
+		for bit := 0; bit < 64; bit++ {
+			a, b := 0, 0
+			for i := 0; i < 8; i++ {
+				if s.Value(nl.Inputs()[i])[vecW]>>uint(bit)&1 == 1 {
+					a |= 1 << uint(i)
+				}
+				if s.Value(nl.Inputs()[8+i])[vecW]>>uint(bit)&1 == 1 {
+					b |= 1 << uint(i)
+				}
+			}
+			gotGT := gt[vecW]>>uint(bit)&1 == 1
+			gotEQ := eq[vecW]>>uint(bit)&1 == 1
+			gotLT := lt[vecW]>>uint(bit)&1 == 1
+			if gotGT != (a > b) || gotEQ != (a == b) || gotLT != (a < b) {
+				t.Fatalf("comp(%d,%d) = gt%v eq%v lt%v", a, b, gotGT, gotEQ, gotLT)
+			}
+		}
+	}
+}
+
+func TestAluAddCorrect(t *testing.T) {
+	nl, s := compileAndSim(t, "alu2", 16)
+	s.SetInputsRandom(7, nil)
+	// Force the control bits to ADD (s1=s0=0).
+	n := len(nl.Inputs())
+	for w := 0; w < s.Words(); w++ {
+		s.SetInputWord(nl.Inputs()[n-1], w, 0)
+		s.SetInputWord(nl.Inputs()[n-2], w, 0)
+	}
+	s.Run()
+	bits := (n - 2) / 2
+	for vecW := 0; vecW < 4; vecW++ {
+		for bit := 0; bit < 64; bit++ {
+			a, b := 0, 0
+			for i := 0; i < bits; i++ {
+				if s.Value(nl.Inputs()[i])[vecW]>>uint(bit)&1 == 1 {
+					a |= 1 << uint(i)
+				}
+				if s.Value(nl.Inputs()[bits+i])[vecW]>>uint(bit)&1 == 1 {
+					b |= 1 << uint(i)
+				}
+			}
+			got := 0
+			for i := 0; i < bits; i++ {
+				if s.Value(nl.Outputs()[i].Driver)[vecW]>>uint(bit)&1 == 1 {
+					got |= 1 << uint(i)
+				}
+			}
+			if s.Value(nl.Outputs()[bits].Driver)[vecW]>>uint(bit)&1 == 1 {
+				got |= 1 << uint(bits)
+			}
+			if got != a+b {
+				t.Fatalf("alu add(%d,%d) = %d", a, b, got)
+			}
+		}
+	}
+}
+
+func TestRotatorCorrect(t *testing.T) {
+	nl, s := compileAndSim(t, "rot", 8)
+	s.SetInputsRandom(11, nil)
+	s.Run()
+	for vecW := 0; vecW < 2; vecW++ {
+		for bit := 0; bit < 64; bit++ {
+			data, shift := 0, 0
+			for i := 0; i < 16; i++ {
+				if s.Value(nl.Inputs()[i])[vecW]>>uint(bit)&1 == 1 {
+					data |= 1 << uint(i)
+				}
+			}
+			for i := 0; i < 4; i++ {
+				if s.Value(nl.Inputs()[16+i])[vecW]>>uint(bit)&1 == 1 {
+					shift |= 1 << uint(i)
+				}
+			}
+			want := (data>>uint(shift) | data<<(16-uint(shift))) & 0xFFFF
+			got := 0
+			for i := 0; i < 16; i++ {
+				if s.Value(nl.Outputs()[i].Driver)[vecW]>>uint(bit)&1 == 1 {
+					got |= 1 << uint(i)
+				}
+			}
+			if got != want {
+				t.Fatalf("rot(%04x, %d) = %04x, want %04x", data, shift, got, want)
+			}
+		}
+	}
+}
+
+func TestT481HasRedundancy(t *testing.T) {
+	// The t481 substitute deliberately contains two spellings of the same
+	// function; the compiled netlist must therefore be larger than the
+	// minimal form, leaving headroom for POWDER.
+	lib := cellib.Lib2()
+	spec, err := ByName("t481")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := synth.Compile(spec.Build(), lib, synth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.GateCount() < 20 {
+		t.Errorf("t481 should carry redundancy, got only %d gates", nl.GateCount())
+	}
+}

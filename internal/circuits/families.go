@@ -1,0 +1,417 @@
+// Package circuits provides generators for the 47 benchmark circuits of
+// the paper's Table 1. Where a circuit's function is public knowledge the
+// generator is functionally faithful (rd84, the 9sym family, comparators,
+// ALUs, parity/ECC trees, rotators); the remaining MCNC PLAs are replaced
+// by seeded synthetic logic of matching shape — same input/output counts
+// (scaled down ~2-4x, see DESIGN.md) and comparable gate counts after
+// mapping, with deliberate structural redundancy of the kind the POSE flow
+// leaves behind and POWDER exploits.
+package circuits
+
+import (
+	"math/rand"
+
+	"powder/internal/logic"
+	"powder/internal/synth"
+)
+
+// inputNames returns x0..x{n-1}.
+func inputNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = "x" + itoa(i)
+	}
+	return names
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+// comparator builds an n-bit magnitude comparator: A > B, A = B, A < B.
+func comparator(name string, bits int) *synth.Design {
+	d := synth.NewDesign(name, inputNames(2*bits)...)
+	a := func(i int) *logic.Expr { return logic.Var(i) }
+	b := func(i int) *logic.Expr { return logic.Var(bits + i) }
+	// eq[i] = a_i == b_i; gt = OR_i (a_i & !b_i & AND_{j>i} eq_j)
+	eqAll := logic.Const(true)
+	var gtTerms []*logic.Expr
+	for i := bits - 1; i >= 0; i-- {
+		gtTerms = append(gtTerms, logic.And(eqAll, a(i), logic.Not(b(i))))
+		eqAll = logic.And(eqAll, logic.Not(logic.Xor(a(i), b(i))))
+	}
+	gt := logic.Or(gtTerms...)
+	d.AddOutput("gt", gt)
+	d.AddOutput("eq", eqAll)
+	d.AddOutput("lt", logic.Not(logic.Or(gt, eqAll)))
+	return d
+}
+
+// countOnes builds the rd84-style rate circuit: outputs are the binary
+// count of ones among the n inputs.
+func countOnes(name string, n, outBits int) *synth.Design {
+	d := synth.NewDesign(name, inputNames(n)...)
+	// Ripple adders over expressions: sum is a vector of expression bits.
+	sum := []*logic.Expr{logic.Const(false)}
+	for i := 0; i < n; i++ {
+		carry := logic.Var(i)
+		for b := 0; b < len(sum); b++ {
+			s := logic.Xor(sum[b], carry)
+			carry = logic.And(sum[b], carry)
+			sum[b] = s
+		}
+		if len(sum) < outBits {
+			sum = append(sum, carry)
+		}
+	}
+	for b := 0; b < outBits && b < len(sum); b++ {
+		d.AddOutput("s"+itoa(b), sum[b])
+	}
+	return d
+}
+
+// symmetric builds an n-input symmetric function: output 1 iff the number
+// of ones is in the member set.
+func symmetric(name string, n int, members []int) *synth.Design {
+	d := synth.NewDesign(name, inputNames(n)...)
+	// Count ones (as in countOnes), then decode membership.
+	sum := []*logic.Expr{logic.Const(false)}
+	width := 0
+	for v := n; v > 0; v >>= 1 {
+		width++
+	}
+	for i := 0; i < n; i++ {
+		carry := logic.Var(i)
+		for b := 0; b < len(sum); b++ {
+			s := logic.Xor(sum[b], carry)
+			carry = logic.And(sum[b], carry)
+			sum[b] = s
+		}
+		if len(sum) < width {
+			sum = append(sum, carry)
+		}
+	}
+	var terms []*logic.Expr
+	for _, m := range members {
+		lits := make([]*logic.Expr, len(sum))
+		for b := range sum {
+			if m>>uint(b)&1 == 1 {
+				lits[b] = sum[b]
+			} else {
+				lits[b] = logic.Not(sum[b])
+			}
+		}
+		terms = append(terms, logic.And(lits...))
+	}
+	d.AddOutput("f", logic.Or(terms...))
+	return d
+}
+
+// adderBits ripple-adds two expression vectors, returning sum bits and the
+// carry-out.
+func adderBits(a, b []*logic.Expr, cin *logic.Expr) ([]*logic.Expr, *logic.Expr) {
+	n := len(a)
+	sum := make([]*logic.Expr, n)
+	c := cin
+	for i := 0; i < n; i++ {
+		sum[i] = logic.Xor(a[i], b[i], c)
+		c = logic.Or(logic.And(a[i], b[i]), logic.And(c, logic.Xor(a[i], b[i])))
+	}
+	return sum, c
+}
+
+// alu builds a small ALU: two n-bit operands, 2 control bits selecting
+// ADD / AND / OR / XOR, n+1 outputs (result + carry).
+func alu(name string, bits int) *synth.Design {
+	nIn := 2*bits + 2
+	d := synth.NewDesign(name, inputNames(nIn)...)
+	a := make([]*logic.Expr, bits)
+	b := make([]*logic.Expr, bits)
+	for i := 0; i < bits; i++ {
+		a[i] = logic.Var(i)
+		b[i] = logic.Var(bits + i)
+	}
+	s0 := logic.Var(2 * bits)
+	s1 := logic.Var(2*bits + 1)
+	sum, cout := adderBits(a, b, logic.Const(false))
+	selAdd := logic.And(logic.Not(s1), logic.Not(s0))
+	selAnd := logic.And(logic.Not(s1), s0)
+	selOr := logic.And(s1, logic.Not(s0))
+	selXor := logic.And(s1, s0)
+	for i := 0; i < bits; i++ {
+		out := logic.Or(
+			logic.And(selAdd, sum[i]),
+			logic.And(selAnd, a[i], b[i]),
+			logic.And(selOr, logic.Or(a[i], b[i])),
+			logic.And(selXor, logic.Xor(a[i], b[i])),
+		)
+		d.AddOutput("r"+itoa(i), out)
+	}
+	d.AddOutput("cout", logic.And(selAdd, cout))
+	return d
+}
+
+// multiplier builds an n x n array multiplier (f51m flavor).
+func multiplier(name string, bits int) *synth.Design {
+	d := synth.NewDesign(name, inputNames(2*bits)...)
+	// Partial products accumulated by ripple adders.
+	acc := make([]*logic.Expr, 2*bits)
+	for i := range acc {
+		acc[i] = logic.Const(false)
+	}
+	for j := 0; j < bits; j++ {
+		pp := make([]*logic.Expr, 2*bits)
+		for i := range pp {
+			pp[i] = logic.Const(false)
+		}
+		for i := 0; i < bits; i++ {
+			pp[i+j] = logic.And(logic.Var(i), logic.Var(bits+j))
+		}
+		acc, _ = adderBits(acc, pp, logic.Const(false))
+	}
+	for i := 0; i < 2*bits; i++ {
+		d.AddOutput("p"+itoa(i), acc[i])
+	}
+	return d
+}
+
+// clip builds the clip-style saturator: a signed n-bit input is clamped to
+// outBits magnitude.
+func clip(name string, n, outBits int) *synth.Design {
+	d := synth.NewDesign(name, inputNames(n)...)
+	sign := logic.Var(n - 1)
+	// Overflow when any high magnitude bit differs from sign.
+	var ovTerms []*logic.Expr
+	for i := outBits - 1; i < n-1; i++ {
+		ovTerms = append(ovTerms, logic.Xor(logic.Var(i), sign))
+	}
+	ov := logic.Or(ovTerms...)
+	for i := 0; i < outBits-1; i++ {
+		// Saturate: on overflow output !sign (max magnitude), else pass.
+		out := logic.Or(logic.And(ov, logic.Not(sign)), logic.And(logic.Not(ov), logic.Var(i)))
+		d.AddOutput("y"+itoa(i), out)
+	}
+	d.AddOutput("ysign", sign)
+	return d
+}
+
+// priorityLogic builds a C432-style interrupt priority circuit: n request
+// lines gated by n enables; outputs the highest-priority active line's
+// index (one-hot collapsed to binary) plus a busy flag.
+func priorityLogic(name string, lines int) *synth.Design {
+	d := synth.NewDesign(name, inputNames(2*lines)...)
+	req := func(i int) *logic.Expr { return logic.And(logic.Var(i), logic.Var(lines+i)) }
+	width := 0
+	for v := lines; v > 0; v >>= 1 {
+		width++
+	}
+	higherClear := logic.Const(true)
+	outBits := make([]*logic.Expr, width)
+	for i := range outBits {
+		outBits[i] = logic.Const(false)
+	}
+	var busyTerms []*logic.Expr
+	for i := lines - 1; i >= 0; i-- {
+		sel := logic.And(higherClear, req(i))
+		busyTerms = append(busyTerms, sel)
+		for b := 0; b < width; b++ {
+			if i>>uint(b)&1 == 1 {
+				outBits[b] = logic.Or(outBits[b], sel)
+			}
+		}
+		higherClear = logic.And(higherClear, logic.Not(req(i)))
+	}
+	for b := 0; b < width; b++ {
+		d.AddOutput("v"+itoa(b), outBits[b])
+	}
+	d.AddOutput("busy", logic.Or(busyTerms...))
+	return d
+}
+
+// eccTree builds C1355/C1908-flavor parity logic: data bits plus check
+// bits, outputs are syndrome-corrected data (XOR trees with some masking).
+func eccTree(name string, dataBits, checkBits int) *synth.Design {
+	n := dataBits + checkBits
+	d := synth.NewDesign(name, inputNames(n)...)
+	// Syndrome s_j = parity over data bits whose index has bit j set,
+	// XOR the check bit.
+	synd := make([]*logic.Expr, checkBits)
+	for j := 0; j < checkBits; j++ {
+		var xs []*logic.Expr
+		for i := 0; i < dataBits; i++ {
+			if (i+1)>>uint(j)&1 == 1 {
+				xs = append(xs, logic.Var(i))
+			}
+		}
+		xs = append(xs, logic.Var(dataBits+j))
+		synd[j] = logic.Xor(xs...)
+	}
+	// Corrected data bit i = data_i XOR (syndrome == i+1).
+	for i := 0; i < dataBits; i++ {
+		lits := make([]*logic.Expr, checkBits)
+		for j := 0; j < checkBits; j++ {
+			if (i+1)>>uint(j)&1 == 1 {
+				lits[j] = synd[j]
+			} else {
+				lits[j] = logic.Not(synd[j])
+			}
+		}
+		d.AddOutput("d"+itoa(i), logic.Xor(logic.Var(i), logic.And(lits...)))
+	}
+	return d
+}
+
+// rotator builds a barrel rotator: dataBits data inputs, log2 shift
+// controls, rotated outputs (the rot benchmark's namesake core).
+func rotator(name string, dataBits, shiftBits int) *synth.Design {
+	d := synth.NewDesign(name, inputNames(dataBits+shiftBits)...)
+	cur := make([]*logic.Expr, dataBits)
+	for i := range cur {
+		cur[i] = logic.Var(i)
+	}
+	for s := 0; s < shiftBits; s++ {
+		sh := 1 << uint(s)
+		sel := logic.Var(dataBits + s)
+		next := make([]*logic.Expr, dataBits)
+		for i := range next {
+			next[i] = logic.Or(
+				logic.And(logic.Not(sel), cur[i]),
+				logic.And(sel, cur[(i+sh)%dataBits]),
+			)
+		}
+		cur = next
+	}
+	for i := range cur {
+		d.AddOutput("r"+itoa(i), cur[i])
+	}
+	return d
+}
+
+// equivChain builds the t481 substitute: AND of per-pair equivalences,
+// which is huge as two-level logic but tiny multi-level.
+func equivChain(name string, pairs int) *synth.Design {
+	d := synth.NewDesign(name, inputNames(2*pairs)...)
+	terms := make([]*logic.Expr, pairs)
+	for i := 0; i < pairs; i++ {
+		terms[i] = logic.Not(logic.Xor(logic.Var(2*i), logic.Var(2*i+1)))
+	}
+	// Two redundantly different spellings of the same function, OR-ed:
+	// leaves exactly the kind of slack structural transformations recover.
+	direct := logic.And(terms...)
+	var dup []*logic.Expr
+	for i := 0; i < pairs; i++ {
+		dup = append(dup, logic.Or(
+			logic.And(logic.Var(2*i), logic.Var(2*i+1)),
+			logic.And(logic.Not(logic.Var(2*i)), logic.Not(logic.Var(2*i+1))),
+		))
+	}
+	d.AddOutput("f", logic.Or(direct, logic.And(dup...)))
+	return d
+}
+
+// feistel builds the scaled "des" stand-in: a 3-round toy Feistel network
+// over half-width words with 3-bit S-box lookups built from gates.
+func feistel(name string, half, keyBits, rounds int) *synth.Design {
+	d := synth.NewDesign(name, inputNames(2*half+keyBits)...)
+	l := make([]*logic.Expr, half)
+	r := make([]*logic.Expr, half)
+	for i := 0; i < half; i++ {
+		l[i] = logic.Var(i)
+		r[i] = logic.Var(half + i)
+	}
+	key := func(i int) *logic.Expr { return logic.Var(2*half + i%keyBits) }
+	for round := 0; round < rounds; round++ {
+		f := make([]*logic.Expr, half)
+		for i := 0; i < half; i++ {
+			a := logic.Xor(r[i], key(i+round))
+			b := logic.Xor(r[(i+1)%half], key(i+round+3))
+			c := r[(i+5)%half]
+			// A small nonlinear mix (3-input S-box-ish).
+			f[i] = logic.Xor(logic.And(a, b), logic.Or(logic.And(b, c), logic.And(a, logic.Not(c))))
+		}
+		newR := make([]*logic.Expr, half)
+		for i := 0; i < half; i++ {
+			newR[i] = logic.Xor(l[i], f[i])
+		}
+		l, r = r, newR
+	}
+	for i := 0; i < half; i++ {
+		d.AddOutput("l"+itoa(i), l[i])
+		d.AddOutput("r"+itoa(i), r[i])
+	}
+	return d
+}
+
+// randomLogic builds a seeded synthetic multi-level circuit: a pool of
+// shared random subfunctions over the inputs, outputs drawn from the pool
+// with injected absorbable redundancy (terms like x + x*y), mimicking the
+// residual don't-care slack of real optimized PLAs.
+func randomLogic(name string, nIn, nOut, depth, poolPerLevel int, seed int64) *synth.Design {
+	rng := rand.New(rand.NewSource(seed))
+	d := synth.NewDesign(name, inputNames(nIn)...)
+	pool := make([]*logic.Expr, 0, nIn+depth*poolPerLevel)
+	for i := 0; i < nIn; i++ {
+		pool = append(pool, logic.Var(i))
+	}
+	pick := func() *logic.Expr {
+		e := pool[rng.Intn(len(pool))]
+		if rng.Intn(3) == 0 {
+			return logic.Not(e)
+		}
+		return e
+	}
+	for lv := 0; lv < depth; lv++ {
+		for k := 0; k < poolPerLevel; k++ {
+			var e *logic.Expr
+			switch rng.Intn(6) {
+			case 0:
+				e = logic.And(pick(), pick())
+			case 1:
+				e = logic.Or(pick(), pick())
+			case 2:
+				e = logic.Xor(pick(), pick())
+			case 3:
+				e = logic.And(pick(), pick(), pick())
+			case 4:
+				e = logic.Or(pick(), pick(), pick())
+			default:
+				e = logic.Or(logic.And(pick(), pick()), logic.And(pick(), pick()))
+			}
+			pool = append(pool, e)
+		}
+	}
+	for o := 0; o < nOut; o++ {
+		e := pick()
+		for rng.Intn(3) != 0 { // combine a few pool signals
+			switch rng.Intn(3) {
+			case 0:
+				e = logic.And(e, pick())
+			case 1:
+				e = logic.Or(e, pick())
+			default:
+				e = logic.Xor(e, pick())
+			}
+		}
+		// Injected absorbable redundancy: f + f*g, f ^ 0-shaped terms.
+		if rng.Intn(2) == 0 {
+			g := pick()
+			e = logic.Or(e, logic.And(e, g))
+		}
+		if rng.Intn(4) == 0 {
+			g := pick()
+			e = logic.Or(logic.And(e, g), logic.And(e, logic.Not(g)))
+		}
+		d.AddOutput("o"+itoa(o), e)
+	}
+	return d
+}

@@ -1,0 +1,157 @@
+package circuits
+
+import (
+	"fmt"
+
+	"powder/internal/synth"
+)
+
+// Spec is one benchmark circuit generator.
+type Spec struct {
+	// Name matches the paper's Table 1 row.
+	Name string
+	// Kind documents whether the generator is functionally faithful or a
+	// synthetic stand-in (see the package comment).
+	Kind string
+	// Build constructs the technology-independent design.
+	Build func() *synth.Design
+}
+
+// seedOf derives a deterministic per-name seed for the synthetic circuits.
+func seedOf(name string) int64 {
+	var h int64 = 1469598103934665603
+	for _, c := range name {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h
+}
+
+func synthetic(name string, nIn, nOut, depth, pool int) Spec {
+	return Spec{
+		Name: name,
+		Kind: "synthetic",
+		Build: func() *synth.Design {
+			return randomLogic(name, nIn, nOut, depth, pool, seedOf(name))
+		},
+	}
+}
+
+func faithful(name, kind string, build func() *synth.Design) Spec {
+	return Spec{Name: name, Kind: kind, Build: build}
+}
+
+// All returns the 47 benchmark circuits in the paper's Table 1 order.
+// Sizes are scaled versus the originals (DESIGN.md); the ordering by
+// initial area broadly tracks the paper's.
+func All() []Spec {
+	return []Spec{
+		faithful("comp", "comparator", func() *synth.Design { return comparator("comp", 8) }),
+		faithful("Z5xp1", "arithmetic", func() *synth.Design { return multiplier("Z5xp1", 3) }),
+		faithful("clip", "saturator", func() *synth.Design { return clip("clip", 9, 5) }),
+		synthetic("frg1", 14, 3, 4, 10),
+		synthetic("c8", 14, 9, 3, 10),
+		synthetic("term1", 17, 7, 3, 12),
+		faithful("f51m", "multiplier", func() *synth.Design { return multiplier("f51m", 4) }),
+		faithful("rd84", "counter", func() *synth.Design { return countOnes("rd84", 8, 4) }),
+		synthetic("bw", 5, 22, 4, 10),
+		synthetic("ttt2", 16, 12, 4, 12),
+		faithful("C432", "priority", func() *synth.Design { return priorityLogic("C432", 12) }),
+		synthetic("i2", 40, 1, 3, 16),
+		faithful("Z9sym", "symmetric", func() *synth.Design { return symmetric("Z9sym", 9, []int{3, 4, 5, 6}) }),
+		synthetic("apex7", 24, 18, 4, 14),
+		faithful("alu4tl", "alu", func() *synth.Design { return alu("alu4tl", 4) }),
+		faithful("9sym", "symmetric", func() *synth.Design { return symmetric("9sym", 9, []int{3, 4, 5, 6}) }),
+		faithful("9symml", "symmetric", func() *synth.Design { return symmetric("9symml", 9, []int{3, 4, 5, 6}) }),
+		synthetic("x1", 22, 15, 4, 14),
+		synthetic("example2", 30, 24, 3, 16),
+		synthetic("ex5", 8, 24, 4, 12),
+		faithful("alu2", "alu", func() *synth.Design { return alu("alu2", 4) }),
+		synthetic("x4", 30, 26, 3, 18),
+		faithful("C880", "alu", func() *synth.Design { return alu("C880", 8) }),
+		faithful("C1355", "ecc", func() *synth.Design { return eccTree("C1355", 16, 5) }),
+		synthetic("duke2", 18, 16, 4, 16),
+		synthetic("pdc", 14, 22, 4, 14),
+		faithful("C1908", "ecc", func() *synth.Design { return eccTree("C1908", 20, 5) }),
+		synthetic("ex4", 32, 18, 4, 16),
+		faithful("t481", "equivalence", func() *synth.Design { return equivChain("t481", 8) }),
+		faithful("rot", "rotator", func() *synth.Design { return rotator("rot", 16, 4) }),
+		synthetic("spla", 14, 26, 4, 16),
+		synthetic("vda", 15, 22, 4, 16),
+		synthetic("misex3", 13, 12, 5, 14),
+		synthetic("frg2", 30, 26, 4, 16),
+		faithful("alu4", "alu", func() *synth.Design { return alu("alu4", 6) }),
+		synthetic("apex6", 32, 26, 4, 18),
+		synthetic("x3", 32, 24, 4, 18),
+		synthetic("apex5", 30, 22, 4, 18),
+		faithful("dalu", "alu", func() *synth.Design { return alu("dalu", 9) }),
+		synthetic("i8", 32, 24, 4, 18),
+		synthetic("table5", 15, 12, 5, 16),
+		synthetic("cps", 20, 26, 4, 18),
+		synthetic("k2", 24, 22, 5, 18),
+		faithful("C5315", "alu", func() *synth.Design { return alu("C5315", 12) }),
+		synthetic("apex1", 22, 24, 5, 18),
+		faithful("pair", "paired-arith", func() *synth.Design { return pairArith("pair") }),
+		faithful("des", "feistel", func() *synth.Design { return feistel("des", 12, 8, 3) }),
+	}
+}
+
+// pairArith combines a multiplier and a rotator sharing inputs (the "pair"
+// benchmark is two interacting blocks).
+func pairArith(name string) *synth.Design {
+	mul := multiplier("m", 4)
+	rot := rotator("r", 8, 3)
+	d := synth.NewDesign(name, inputNames(11)...)
+	// Multiplier uses inputs 0..7; rotator uses 0..7 as data and 8..10 as
+	// shift controls.
+	for _, o := range mul.Outputs {
+		d.AddOutput("m_"+o.Name, o.Expr)
+	}
+	for _, o := range rot.Outputs {
+		d.AddOutput("r_"+o.Name, o.Expr)
+	}
+	return d
+}
+
+// ByName returns the named spec.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("circuits: unknown circuit %q", name)
+}
+
+// Names lists all benchmark names in Table 1 order.
+func Names() []string {
+	specs := All()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Fig6Subset returns the 18-circuit subset used for the paper's
+// power-delay trade-off experiment (Figure 6): a spread of small and
+// medium circuits across the families.
+func Fig6Subset() []Spec {
+	want := map[string]bool{
+		"comp": true, "Z5xp1": true, "clip": true, "frg1": true,
+		"term1": true, "f51m": true, "rd84": true, "ttt2": true,
+		"C432": true, "Z9sym": true, "alu4tl": true, "x1": true,
+		"ex5": true, "alu2": true, "duke2": true, "t481": true,
+		"misex3": true, "rot": true,
+	}
+	var out []Spec
+	for _, s := range All() {
+		if want[s.Name] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

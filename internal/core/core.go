@@ -1,0 +1,332 @@
+// Package core implements POWDER, the paper's power optimization algorithm
+// (Figure 5): a greedy sequence of permissible signal substitutions, each
+// selected for maximum estimated power gain, optionally under a delay
+// constraint.
+//
+// One optimization round:
+//
+//	power_estimate(netlist)
+//	do {
+//	  cand = get_candidate_substitutions(netlist)      // transform.Generate
+//	  while repeat > 0 && cand != {} {
+//	    good = select_power_red_subst(cand)            // PG_A+PG_B pre-select, PG_C reestimate
+//	    if increases_delay(good) continue              // transform.DelayOK
+//	    if !check_candidate(good) continue             // atpg.Checker (abort => reject)
+//	    perform_substitution(good)                     // transform.Apply
+//	    power_estimate_update(good)                    // power.Model refresh
+//	  }
+//	} while cand != {}
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"powder/internal/atpg"
+	"powder/internal/netlist"
+	"powder/internal/power"
+	"powder/internal/sta"
+	"powder/internal/transform"
+)
+
+// Options configures one POWDER run.
+type Options struct {
+	// DelayConstraint is an absolute required time at the primary outputs;
+	// <= 0 disables it unless DelayFactor is set.
+	DelayConstraint float64
+	// DelayFactor, when positive, sets the constraint to
+	// initial_delay * DelayFactor (1.0 reproduces the paper's "with delay
+	// constraints" mode; 1.2 allows a 20% delay increase, matching the
+	// labels of the paper's Figure 6).
+	DelayFactor float64
+	// Repeat is the number of substitutions performed per candidate
+	// harvest (the paper's `repeat` parameter). Default 10.
+	Repeat int
+	// PreselectK is how many of the best PG_A+PG_B candidates receive the
+	// expensive PG_C reestimation per selection. Default 12.
+	PreselectK int
+	// DisablePreselect reestimates PG_C for every candidate (the ablation
+	// of the paper's pre-selection heuristic).
+	DisablePreselect bool
+	// MinGain is the smallest acceptable power gain; selection stops when
+	// no candidate exceeds it. Default 1e-9.
+	MinGain float64
+	// MaxSubstitutions caps the total number of performed substitutions
+	// (0 = unlimited).
+	MaxSubstitutions int
+	// CheckBudget is the conflict budget per permissibility proof
+	// (0 = checker default). Budget exhaustion rejects the candidate.
+	CheckBudget int64
+	// InputDrive is the drive resistance assumed for primary inputs in the
+	// timing model; extra load on an input then shifts its arrival time.
+	// Zero models ideal input drivers.
+	InputDrive float64
+	// Power configures the probability estimation.
+	Power power.Options
+	// Transform configures candidate generation.
+	Transform transform.Config
+	// Trace, when non-nil, receives one line per performed substitution.
+	Trace func(string)
+}
+
+func (o *Options) normalize() {
+	if o.Repeat <= 0 {
+		o.Repeat = 10
+	}
+	if o.PreselectK <= 0 {
+		o.PreselectK = 12
+	}
+	if o.MinGain <= 0 {
+		o.MinGain = 1e-9
+	}
+}
+
+// ClassStats aggregates the effect of one substitution class, feeding the
+// paper's Table 2.
+type ClassStats struct {
+	Count     int
+	PowerGain float64
+	AreaDelta float64
+}
+
+// Result summarizes an optimization run.
+type Result struct {
+	Initial      power.Report
+	Final        power.Report
+	InitialDelay float64
+	FinalDelay   float64
+	Constraint   float64 // 0 when unconstrained
+	Applied      int
+	Harvests     int
+	Candidates   int // total candidates examined across harvests
+	ByClass      map[transform.Kind]*ClassStats
+	CheckStats   atpg.CheckStats
+	Runtime      time.Duration
+}
+
+// PowerReductionPct returns the percentage power reduction.
+func (r *Result) PowerReductionPct() float64 {
+	if r.Initial.Power == 0 {
+		return 0
+	}
+	return 100 * (r.Initial.Power - r.Final.Power) / r.Initial.Power
+}
+
+// AreaChangePct returns the percentage area change (negative = smaller).
+func (r *Result) AreaChangePct() float64 {
+	if r.Initial.Area == 0 {
+		return 0
+	}
+	return 100 * (r.Final.Area - r.Initial.Area) / r.Initial.Area
+}
+
+// String renders the headline numbers.
+func (r *Result) String() string {
+	return fmt.Sprintf("power %.3f -> %.3f (-%.1f%%), area %.0f -> %.0f, delay %.2f -> %.2f, %d substitutions",
+		r.Initial.Power, r.Final.Power, r.PowerReductionPct(),
+		r.Initial.Area, r.Final.Area, r.InitialDelay, r.FinalDelay, r.Applied)
+}
+
+// Optimize runs POWDER on the netlist in place and returns the run summary.
+func Optimize(nl *netlist.Netlist, opts Options) (*Result, error) {
+	opts.normalize()
+	start := time.Now()
+
+	pm := power.Estimate(nl, opts.Power)
+	res := &Result{
+		Initial: pm.Snapshot(),
+		ByClass: map[transform.Kind]*ClassStats{
+			transform.OS2: {}, transform.IS2: {}, transform.OS3: {}, transform.IS3: {},
+		},
+	}
+	res.InitialDelay = sta.NewWithInputDrive(nl, 0, opts.InputDrive).Delay()
+
+	constraint := opts.DelayConstraint
+	if opts.DelayFactor > 0 {
+		constraint = res.InitialDelay * opts.DelayFactor
+	}
+	res.Constraint = constraint
+
+	checker := atpg.NewChecker(nl)
+	if opts.CheckBudget > 0 {
+		checker.Budget = opts.CheckBudget
+	}
+
+	exhausted := false
+	for !exhausted {
+		an := transform.NewAnalyzer(nl, pm)
+		cands := transform.Generate(nl, pm, opts.Transform)
+		res.Harvests++
+		res.Candidates += len(cands)
+		if len(cands) == 0 {
+			break
+		}
+		for _, s := range cands {
+			an.AnalyzeAB(s)
+		}
+
+		var timing *sta.Analysis
+		if constraint > 0 {
+			timing = sta.NewWithInputDrive(nl, constraint, opts.InputDrive)
+		}
+
+		progress := false
+		for repeat := opts.Repeat; repeat > 0 && len(cands) > 0; {
+			// Pre-selection: the best PG_A+PG_B candidates (cheap), then
+			// PG_C reestimation only for those (paper Section 3.5).
+			k := opts.PreselectK
+			if opts.DisablePreselect || k > len(cands) {
+				k = len(cands)
+			}
+			partialSelectByGainAB(cands, k)
+			var best *transform.Substitution
+			bestIdx := -1
+			for i := 0; i < k; i++ {
+				s := cands[i]
+				if !candidateValid(nl, s) {
+					continue
+				}
+				an.AnalyzeC(s)
+				if best == nil || s.Gain() > best.Gain() {
+					best, bestIdx = s, i
+				}
+			}
+			if best == nil || best.Gain() <= opts.MinGain {
+				// No power-reducing substitution in this harvest; a fresh
+				// harvest (outer loop) may still find some after the
+				// structural changes, and the outer loop terminates once a
+				// whole harvest makes no progress.
+				break
+			}
+			// Drop the candidate from the pool whatever happens next.
+			cands = append(cands[:bestIdx], cands[bestIdx+1:]...)
+
+			if timing != nil && !transform.DelayOK(nl, best, timing) {
+				continue // increases_delay -> discard, pick the next best
+			}
+			if verdict := checkCandidate(checker, best); verdict != atpg.Permissible {
+				continue
+			}
+			if _, err := transform.Apply(nl, best); err != nil {
+				// Structural conflict with an earlier substitution in this
+				// harvest; treat like a failed check.
+				continue
+			}
+			pm.Resync()
+			an = transform.NewAnalyzer(nl, pm)
+			if timing != nil {
+				timing = sta.NewWithInputDrive(nl, constraint, opts.InputDrive)
+			}
+			cs := res.ByClass[best.Kind]
+			cs.Count++
+			cs.PowerGain += best.Gain()
+			cs.AreaDelta += best.AreaDelta
+			res.Applied++
+			progress = true
+			repeat--
+			if opts.Trace != nil {
+				opts.Trace(fmt.Sprintf("apply %v", best))
+			}
+			if opts.MaxSubstitutions > 0 && res.Applied >= opts.MaxSubstitutions {
+				exhausted = true
+				break
+			}
+			// Stale AB gains are refreshed for the surviving candidates;
+			// this keeps the pre-selection meaningful within the repeat
+			// window without a full re-harvest.
+			kept := cands[:0]
+			for _, s := range cands {
+				if candidateValid(nl, s) {
+					an.AnalyzeAB(s)
+					kept = append(kept, s)
+				}
+			}
+			cands = kept
+		}
+		if !progress {
+			break
+		}
+	}
+
+	res.Final = pm.Snapshot()
+	res.FinalDelay = sta.NewWithInputDrive(nl, 0, opts.InputDrive).Delay()
+	res.CheckStats = checker.Stats
+	res.Runtime = time.Since(start)
+	if err := nl.Validate(); err != nil {
+		return res, fmt.Errorf("core: netlist invalid after optimization: %v", err)
+	}
+	return res, nil
+}
+
+// checkCandidate runs the exact permissibility proof (the paper's
+// check_candidate; an ATPG abort counts as not permissible).
+func checkCandidate(c *atpg.Checker, s *transform.Substitution) atpg.Verdict {
+	if s.IsBranchSub() {
+		return c.CheckBranch(s.G, s.Pin, s.Src)
+	}
+	return c.CheckStem(s.A, s.Src)
+}
+
+// partialSelectByGainAB moves the k highest-GainAB candidates to the front
+// (selection is O(k*n), cheaper than a full sort for small k).
+func partialSelectByGainAB(cands []*transform.Substitution, k int) {
+	for i := 0; i < k; i++ {
+		maxJ := i
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].GainAB > cands[maxJ].GainAB {
+				maxJ = j
+			}
+		}
+		cands[i], cands[maxJ] = cands[maxJ], cands[i]
+	}
+}
+
+// candidateValid re-checks a candidate against the current netlist state:
+// earlier substitutions in the same harvest may have removed or rewired
+// the nodes it references.
+func candidateValid(nl *netlist.Netlist, s *transform.Substitution) bool {
+	alive := func(id netlist.NodeID) bool {
+		return id >= 0 && int(id) < nl.NumNodes() && !nl.Node(id).Dead()
+	}
+	if !alive(s.A) || !alive(s.Src.B) {
+		return false
+	}
+	if s.Src.IsThree() && !alive(s.Src.C) {
+		return false
+	}
+	var root netlist.NodeID
+	if s.IsBranchSub() {
+		if !alive(s.G) {
+			return false
+		}
+		g := nl.Node(s.G)
+		if s.Pin >= len(g.Fanins()) || g.Fanins()[s.Pin] != s.A {
+			return false
+		}
+		root = s.G
+	} else {
+		if nl.Node(s.A).NumFanouts() == 0 {
+			return false
+		}
+		root = s.A
+	}
+	// Cycle checks against the current structure (early-exit reachability,
+	// not a full TFO: this runs for every surviving candidate after every
+	// applied substitution).
+	if nl.Reaches(root, s.Src.B) {
+		return false
+	}
+	if s.Src.IsThree() && nl.Reaches(root, s.Src.C) {
+		return false
+	}
+	if s.Src.InvertB && s.Inv == transform.InvReuse {
+		if !alive(s.InvNode) || nl.Reaches(root, s.InvNode) {
+			return false
+		}
+		inv := nl.Node(s.InvNode)
+		if !inv.Cell().IsInverter() || inv.Fanins()[0] != s.Src.B {
+			return false
+		}
+	}
+	return true
+}

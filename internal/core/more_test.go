@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"powder/internal/atpg"
+	"powder/internal/transform"
+)
+
+func TestOptimizeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	nl1 := randomNetlist(t, rng, 6, 18)
+	nl2 := nl1.Clone()
+	opts := Options{Transform: transform.Config{AllowInverted: true}}
+	r1, err := Optimize(nl1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Optimize(nl2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Final.Power != r2.Final.Power || r1.Applied != r2.Applied ||
+		r1.Final.Area != r2.Final.Area {
+		t.Errorf("optimization is not deterministic: %v vs %v", r1, r2)
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	// Running POWDER on its own output must find (almost) nothing: the
+	// first run only stops when no positive-gain candidate remains.
+	nl := redundantCircuit(t)
+	opts := Options{Transform: transform.Config{AllowInverted: true}}
+	if _, err := Optimize(nl, opts); err != nil {
+		t.Fatal(err)
+	}
+	second, err := Optimize(nl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Applied != 0 {
+		t.Errorf("second run applied %d substitutions; the first should have converged", second.Applied)
+	}
+	if second.PowerReductionPct() > 1e-9 {
+		t.Errorf("second run still reduced power by %.3f%%", second.PowerReductionPct())
+	}
+}
+
+func TestOptimizedCircuitVerifiesEquivalent(t *testing.T) {
+	// End-to-end trust chain: the SAT equivalence checker (a different
+	// code path than the per-substitution proofs) confirms the result.
+	rng := rand.New(rand.NewSource(909))
+	for trial := 0; trial < 4; trial++ {
+		nl := randomNetlist(t, rng, 6, 20)
+		ref := nl.Clone()
+		if _, err := Optimize(nl, Options{Transform: transform.Config{AllowInverted: true}}); err != nil {
+			t.Fatal(err)
+		}
+		eq, err := atpg.Equivalent(ref, nl, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eq.Verdict != atpg.Permissible {
+			t.Fatalf("trial %d: optimized circuit not equivalent: %v (output %s, cex %v)",
+				trial, eq.Verdict, eq.DifferingOutput, eq.Counterexample)
+		}
+	}
+}
+
+func TestMinGainThresholdTradesQualityForTime(t *testing.T) {
+	// The paper (Section 4.2) suggests terminating once the per-
+	// substitution gains fall below a threshold. A large MinGain must
+	// apply no more substitutions than the default and end at no lower
+	// power.
+	nl1 := redundantCircuit(t)
+	nl2 := redundantCircuit(t)
+	fine, err := Optimize(nl1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := Optimize(nl2, Options{MinGain: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.Applied > fine.Applied {
+		t.Errorf("high threshold applied more substitutions (%d > %d)", coarse.Applied, fine.Applied)
+	}
+	if coarse.Final.Power < fine.Final.Power-1e-9 {
+		t.Errorf("high threshold ended below the fine run's power")
+	}
+}
+
+func TestCheckBudgetAbortCounting(t *testing.T) {
+	// A ridiculous 1-conflict budget forces aborts on nontrivial proofs;
+	// the run must stay sound (aborts are rejections) and record them.
+	rng := rand.New(rand.NewSource(313))
+	nl := randomNetlist(t, rng, 6, 20)
+	ref := nl.Clone()
+	res, err := Optimize(nl, Options{
+		CheckBudget: 1,
+		Transform:   transform.Config{AllowInverted: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exhaustiveEqual(t, ref, nl) {
+		t.Fatalf("function changed under budget pressure")
+	}
+	_ = res
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"powder/internal/atpg"
+	"powder/internal/cellib"
+	"powder/internal/logic"
+	"powder/internal/netlist"
+	"powder/internal/transform"
+)
+
+// bigRandomNetlist builds a wide circuit beyond exhaustive-simulation
+// reach, to exercise the sampled-probability and SAT paths at scale.
+func bigRandomNetlist(t testing.TB, nIn, nGates int, seed int64) *netlist.Netlist {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	lib := cellib.Lib2()
+	nl := netlist.New("big", lib)
+	var pool []netlist.NodeID
+	for i := 0; i < nIn; i++ {
+		id, err := nl.AddInput(logic.VarName(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool = append(pool, id)
+	}
+	cells := []string{"inv", "nand2", "nor2", "and2", "or2", "xor2", "aoi21", "oai21", "aoi22", "nand3", "mux2"}
+	for i := 0; i < nGates; i++ {
+		cell := nl.Lib.Cell(cells[rng.Intn(len(cells))])
+		fanins := make([]netlist.NodeID, cell.NumPins())
+		for p := range fanins {
+			// Bias toward recent signals for realistic depth.
+			lo := 0
+			if len(pool) > 40 {
+				lo = len(pool) - 40
+			}
+			fanins[p] = pool[lo+rng.Intn(len(pool)-lo)]
+		}
+		id, err := nl.AddGate("", cell, fanins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool = append(pool, id)
+	}
+	for i := 0; i < 12; i++ {
+		if err := nl.AddOutput("out"+logic.VarName(i), pool[len(pool)-1-i*3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nl.SweepDead()
+	return nl
+}
+
+func TestOptimizeAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	nl := bigRandomNetlist(t, 40, 1200, 5)
+	ref := nl.Clone()
+	start := time.Now()
+	res, err := Optimize(nl, Options{
+		MaxSubstitutions: 25, // bound the runtime; this is a scale probe
+		Transform:        transform.Config{AllowInverted: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	t.Logf("scale: %d gates, %d substitutions, %.1f%% reduction in %s",
+		ref.GateCount(), res.Applied, res.PowerReductionPct(), elapsed)
+	if elapsed > 5*time.Minute {
+		t.Errorf("scale run too slow: %s", elapsed)
+	}
+	if res.Applied == 0 {
+		t.Errorf("no substitutions found on a 1200-gate random circuit")
+	}
+	// 40 inputs: exhaustive simulation is out of reach, so verify with the
+	// SAT equivalence checker.
+	eq, err := atpg.Equivalent(ref, nl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq.Verdict != atpg.Permissible {
+		t.Fatalf("scale run broke the circuit: %v (output %s)", eq.Verdict, eq.DifferingOutput)
+	}
+}

@@ -1,0 +1,64 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBaseline(t *testing.T) {
+	specs := smallSubset(t, "t481", "clip")
+	rows, err := RunBaseline(specs, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.InitPower <= 0 {
+			t.Errorf("%s: bad initial power", r.Circuit)
+		}
+		if r.RedPower > r.InitPower+1e-9 {
+			t.Errorf("%s: redundancy removal increased power", r.Circuit)
+		}
+		if r.PowPower > r.InitPower+1e-9 {
+			t.Errorf("%s: POWDER increased power", r.Circuit)
+		}
+	}
+	// t481 carries heavy redundancy: POWDER must at least match the
+	// baseline there.
+	if rows[0].PowPct < rows[0].RedPct-1e-9 {
+		t.Errorf("POWDER (%.1f%%) below redundancy-only baseline (%.1f%%) on t481",
+			rows[0].PowPct, rows[0].RedPct)
+	}
+	var b strings.Builder
+	RenderBaseline(&b, rows)
+	for _, want := range []string{"Baseline", "t481", "clip", "sum"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("baseline table missing %q", want)
+		}
+	}
+}
+
+func TestPreOptimizeOption(t *testing.T) {
+	specs := smallSubset(t, "t481")
+	plain, err := RunSuite(specs, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := RunSuite(specs, RunOptions{PreOptimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-optimized initial circuits start smaller (t481's duplicated
+	// spelling is redundancy-removable).
+	if pre.Rows[0].InitArea >= plain.Rows[0].InitArea {
+		t.Errorf("preopt initial area %.0f should be below plain %.0f",
+			pre.Rows[0].InitArea, plain.Rows[0].InitArea)
+	}
+	// And the remaining POWDER reduction percentage shrinks accordingly.
+	if pre.Rows[0].FreeRedPct > plain.Rows[0].FreeRedPct+1e-9 {
+		t.Logf("note: preopt run still found %.1f%% (plain %.1f%%) — acceptable",
+			pre.Rows[0].FreeRedPct, plain.Rows[0].FreeRedPct)
+	}
+}

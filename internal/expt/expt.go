@@ -1,0 +1,258 @@
+// Package expt regenerates the paper's experiments: Table 1 (per-circuit
+// power/area/delay before and after POWDER, without and with delay
+// constraints), Table 2 (contribution of the substitution classes to power
+// and area reduction), and Figure 6 (the power-delay trade-off).
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"powder/internal/cellib"
+	"powder/internal/circuits"
+	"powder/internal/core"
+	"powder/internal/netlist"
+	"powder/internal/redundancy"
+	"powder/internal/synth"
+	"powder/internal/transform"
+)
+
+// RunOptions configures an experiment run.
+type RunOptions struct {
+	// Library defaults to cellib.Lib2().
+	Library *cellib.Library
+	// Core is the POWDER option template (delay fields are managed by the
+	// experiment drivers).
+	Core core.Options
+	// MapArea switches the initial mapping to pure area cost; the default
+	// is the power-aware mapper (POSE-like initial circuits).
+	MapArea bool
+	// DisableInverted turns off inverted-source substitutions (enabled by
+	// default).
+	DisableInverted bool
+	// PreOptimize runs ATPG-based redundancy removal on every initial
+	// circuit before measuring it, approximating the POSE-grade (already
+	// area-optimized) starting points of the paper's experiments. With it,
+	// POWDER's gains shift from dominated-region removal (OS2) toward
+	// rewiring (IS2/OS3), as in the paper's Table 2.
+	PreOptimize bool
+	// Progress, when non-nil, receives one line per circuit step.
+	Progress func(string)
+
+	mapMode synth.CostMode
+}
+
+func (o *RunOptions) normalize() {
+	if o.Library == nil {
+		o.Library = cellib.Lib2()
+	}
+	if !o.DisableInverted {
+		o.Core.Transform.AllowInverted = true
+	}
+	o.mapMode = synth.CostPower
+	if o.MapArea {
+		o.mapMode = synth.CostArea
+	}
+}
+
+// Table1Row is one circuit's row of the paper's Table 1.
+type Table1Row struct {
+	Circuit string
+	Gates   int
+
+	InitPower float64
+	InitArea  float64
+	InitDelay float64
+
+	FreePower  float64 // POWDER, no delay constraints
+	FreeRedPct float64
+	FreeArea   float64
+
+	ConstrPower  float64 // POWDER with delay constraint = initial delay
+	ConstrRedPct float64
+	ConstrArea   float64
+	ConstrDelay  float64
+	CPUSeconds   float64
+}
+
+// Suite holds the results of the Table 1 + Table 2 experiment.
+type Suite struct {
+	Rows []Table1Row
+	// Class aggregates the per-class statistics over the unconstrained
+	// runs (the paper computes Table 2 from those).
+	Class map[transform.Kind]*core.ClassStats
+	// Totals.
+	SumInitPower, SumFreePower, SumConstrPower float64
+	SumInitArea, SumFreeArea, SumConstrArea    float64
+	SumInitDelay, SumConstrDelay               float64
+}
+
+// FreeRedPct returns the overall unconstrained power reduction percentage.
+func (s *Suite) FreeRedPct() float64 {
+	return 100 * (s.SumInitPower - s.SumFreePower) / s.SumInitPower
+}
+
+// ConstrRedPct returns the overall constrained power reduction percentage.
+func (s *Suite) ConstrRedPct() float64 {
+	return 100 * (s.SumInitPower - s.SumConstrPower) / s.SumInitPower
+}
+
+// FreeAreaPct returns the overall area change of the unconstrained runs.
+func (s *Suite) FreeAreaPct() float64 {
+	return 100 * (s.SumInitArea - s.SumFreeArea) / s.SumInitArea
+}
+
+// ConstrDelayPct returns the overall delay change of the constrained runs.
+func (s *Suite) ConstrDelayPct() float64 {
+	return 100 * (s.SumInitDelay - s.SumConstrDelay) / s.SumInitDelay
+}
+
+// compile builds the initial mapped circuit for a spec.
+func compile(spec circuits.Spec, opts *RunOptions) (*netlist.Netlist, error) {
+	nl, err := synth.Compile(spec.Build(), opts.Library, synth.Options{Mode: opts.mapMode})
+	if err != nil {
+		return nil, err
+	}
+	if opts.PreOptimize {
+		if _, err := redundancy.Remove(nl, redundancy.Options{}); err != nil {
+			return nil, err
+		}
+	}
+	return nl, nil
+}
+
+// RunSuite optimizes every circuit twice (unconstrained and delay-
+// constrained) and assembles Table 1 and Table 2 data.
+func RunSuite(specs []circuits.Spec, opts RunOptions) (*Suite, error) {
+	opts.normalize()
+	suite := &Suite{Class: map[transform.Kind]*core.ClassStats{
+		transform.OS2: {}, transform.IS2: {}, transform.OS3: {}, transform.IS3: {},
+	}}
+	for _, spec := range specs {
+		row, classes, err := runOne(spec, &opts)
+		if err != nil {
+			return nil, fmt.Errorf("expt: %s: %v", spec.Name, err)
+		}
+		suite.Rows = append(suite.Rows, *row)
+		for k, cs := range classes {
+			agg := suite.Class[k]
+			agg.Count += cs.Count
+			agg.PowerGain += cs.PowerGain
+			agg.AreaDelta += cs.AreaDelta
+		}
+		suite.SumInitPower += row.InitPower
+		suite.SumFreePower += row.FreePower
+		suite.SumConstrPower += row.ConstrPower
+		suite.SumInitArea += row.InitArea
+		suite.SumFreeArea += row.FreeArea
+		suite.SumConstrArea += row.ConstrArea
+		suite.SumInitDelay += row.InitDelay
+		suite.SumConstrDelay += row.ConstrDelay
+		if opts.Progress != nil {
+			opts.Progress(fmt.Sprintf("%-10s power %8.3f -> %8.3f (free %5.1f%%) / %8.3f (constr %5.1f%%)  %.1fs",
+				row.Circuit, row.InitPower, row.FreePower, row.FreeRedPct, row.ConstrPower, row.ConstrRedPct, row.CPUSeconds))
+		}
+	}
+	return suite, nil
+}
+
+func runOne(spec circuits.Spec, opts *RunOptions) (*Table1Row, map[transform.Kind]*core.ClassStats, error) {
+	// Unconstrained run.
+	nlFree, err := compile(spec, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	freeOpts := opts.Core
+	freeOpts.DelayConstraint = 0
+	freeOpts.DelayFactor = 0
+	resFree, err := core.Optimize(nlFree, freeOpts)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Constrained run on a fresh copy of the initial circuit.
+	nlC, err := compile(spec, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	cOpts := opts.Core
+	cOpts.DelayFactor = 1.0
+	resC, err := core.Optimize(nlC, cOpts)
+	if err != nil {
+		return nil, nil, err
+	}
+	cpu := time.Since(start).Seconds()
+
+	row := &Table1Row{
+		Circuit:      spec.Name,
+		Gates:        resFree.Initial.Gates,
+		InitPower:    resFree.Initial.Power,
+		InitArea:     resFree.Initial.Area,
+		InitDelay:    resFree.InitialDelay,
+		FreePower:    resFree.Final.Power,
+		FreeRedPct:   resFree.PowerReductionPct(),
+		FreeArea:     resFree.Final.Area,
+		ConstrPower:  resC.Final.Power,
+		ConstrRedPct: resC.PowerReductionPct(),
+		ConstrArea:   resC.Final.Area,
+		ConstrDelay:  resC.FinalDelay,
+		CPUSeconds:   cpu,
+	}
+	return row, resFree.ByClass, nil
+}
+
+// TradeoffPoint is one point of the paper's Figure 6.
+type TradeoffPoint struct {
+	// ConstraintPct is the allowed delay increase in percent (the labels
+	// next to the paper's curve).
+	ConstraintPct int
+	// RelPower is total optimized power / total initial power.
+	RelPower float64
+	// RelDelay is total final delay / total initial delay.
+	RelDelay float64
+}
+
+// DefaultTradeoffPcts matches the constraint labels of the paper's
+// Figure 6.
+var DefaultTradeoffPcts = []int{0, 5, 10, 15, 20, 30, 40, 50, 60, 80, 100, 150, 200}
+
+// RunTradeoff sweeps delay constraints over the circuit subset and returns
+// the relative power/delay curve (Figure 6).
+func RunTradeoff(specs []circuits.Spec, pcts []int, opts RunOptions) ([]TradeoffPoint, error) {
+	opts.normalize()
+	if pcts == nil {
+		pcts = DefaultTradeoffPcts
+	}
+	var points []TradeoffPoint
+	for _, pct := range pcts {
+		sumInitP, sumInitD, sumP, sumD := 0.0, 0.0, 0.0, 0.0
+		for _, spec := range specs {
+			nl, err := compile(spec, &opts)
+			if err != nil {
+				return nil, fmt.Errorf("expt: %s: %v", spec.Name, err)
+			}
+			cOpts := opts.Core
+			cOpts.DelayFactor = 1.0 + float64(pct)/100
+			res, err := core.Optimize(nl, cOpts)
+			if err != nil {
+				return nil, fmt.Errorf("expt: %s: %v", spec.Name, err)
+			}
+			sumInitP += res.Initial.Power
+			sumInitD += res.InitialDelay
+			sumP += res.Final.Power
+			sumD += res.FinalDelay
+		}
+		p := TradeoffPoint{
+			ConstraintPct: pct,
+			RelPower:      sumP / sumInitP,
+			RelDelay:      sumD / sumInitD,
+		}
+		points = append(points, p)
+		if opts.Progress != nil {
+			opts.Progress(fmt.Sprintf("constraint +%3d%%: relative power %.3f, relative delay %.3f",
+				p.ConstraintPct, p.RelPower, p.RelDelay))
+		}
+	}
+	return points, nil
+}

@@ -1,0 +1,126 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+
+	"powder/internal/circuits"
+)
+
+// smallSubset picks a few fast circuits for the harness tests.
+func smallSubset(t *testing.T, names ...string) []circuits.Spec {
+	t.Helper()
+	var specs []circuits.Spec
+	for _, n := range names {
+		s, err := circuits.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+	return specs
+}
+
+func TestRunSuiteSmall(t *testing.T) {
+	specs := smallSubset(t, "clip", "rd84", "t481")
+	suite, err := RunSuite(specs, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.Rows) != 3 {
+		t.Fatalf("rows = %d", len(suite.Rows))
+	}
+	for _, r := range suite.Rows {
+		if r.InitPower <= 0 || r.InitArea <= 0 || r.InitDelay <= 0 {
+			t.Errorf("%s: bad initial numbers %+v", r.Circuit, r)
+		}
+		if r.FreePower > r.InitPower+1e-9 {
+			t.Errorf("%s: unconstrained power increased", r.Circuit)
+		}
+		if r.ConstrPower > r.InitPower+1e-9 {
+			t.Errorf("%s: constrained power increased", r.Circuit)
+		}
+		if r.ConstrDelay > r.InitDelay+1e-9 {
+			t.Errorf("%s: constrained delay increased (%.3f -> %.3f)",
+				r.Circuit, r.InitDelay, r.ConstrDelay)
+		}
+	}
+	if suite.FreeRedPct() <= 0 {
+		t.Errorf("expected an overall power reduction, got %.2f%%", suite.FreeRedPct())
+	}
+	// Unconstrained reductions dominate on these circuits with redundancy.
+	if suite.SumFreePower <= 0 || suite.SumConstrPower <= 0 {
+		t.Errorf("totals missing")
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	specs := smallSubset(t, "clip", "t481")
+	suite, err := RunSuite(specs, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1 strings.Builder
+	RenderTable1(&b1, suite)
+	out := b1.String()
+	for _, want := range []string{"Table 1", "clip", "t481", "reduction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q:\n%s", want, out)
+		}
+	}
+	var b2 strings.Builder
+	RenderTable2(&b2, suite)
+	for _, want := range []string{"Table 2", "OS2", "IS2", "OS3", "IS3"} {
+		if !strings.Contains(b2.String(), want) {
+			t.Errorf("Table 2 output missing %q", want)
+		}
+	}
+	var b3 strings.Builder
+	RenderCSV(&b3, suite)
+	if lines := strings.Count(b3.String(), "\n"); lines != 3 {
+		t.Errorf("CSV should have header + 2 rows, got %d lines", lines)
+	}
+}
+
+func TestRunTradeoffShape(t *testing.T) {
+	specs := smallSubset(t, "clip", "t481", "rd84")
+	points, err := RunTradeoff(specs, []int{0, 50, 200}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Relative power must never exceed 1 and should not increase with a
+	// looser constraint by more than noise.
+	for _, p := range points {
+		if p.RelPower > 1+1e-9 {
+			t.Errorf("relative power > 1 at %d%%", p.ConstraintPct)
+		}
+	}
+	// Delay at constraint 0% must not exceed the initial delay.
+	if points[0].RelDelay > 1+1e-9 {
+		t.Errorf("0%% constraint broke delay: %.3f", points[0].RelDelay)
+	}
+	var b strings.Builder
+	RenderTradeoff(&b, points)
+	if !strings.Contains(b.String(), "Figure 6") || !strings.Contains(b.String(), "*") {
+		t.Errorf("trade-off rendering incomplete:\n%s", b.String())
+	}
+}
+
+func TestMapAreaOption(t *testing.T) {
+	specs := smallSubset(t, "clip")
+	s1, err := RunSuite(specs, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := RunSuite(specs, RunOptions{MapArea: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both must run; the initial circuits may differ in area.
+	if s1.Rows[0].InitArea <= 0 || s2.Rows[0].InitArea <= 0 {
+		t.Errorf("area missing")
+	}
+}

@@ -1,0 +1,146 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"powder/internal/transform"
+)
+
+// RenderTable1 writes the suite in the layout of the paper's Table 1.
+func RenderTable1(w io.Writer, s *Suite) {
+	fmt.Fprintln(w, "Table 1: POWDER on the benchmark suite")
+	fmt.Fprintln(w, "                     initial                |  POWDER no delay constr. |  POWDER with delay constraints")
+	fmt.Fprintf(w, "%-10s %9s %10s %7s | %9s %6s %10s | %9s %6s %10s %7s %7s\n",
+		"circuit", "power", "area", "delay", "power", "red.%", "area", "power", "red.%", "area", "delay", "CPU[s]")
+	fmt.Fprintln(w, strings.Repeat("-", 122))
+	for _, r := range s.Rows {
+		fmt.Fprintf(w, "%-10s %9.2f %10.0f %7.2f | %9.2f %6.1f %10.0f | %9.2f %6.1f %10.0f %7.2f %7.1f\n",
+			r.Circuit, r.InitPower, r.InitArea, r.InitDelay,
+			r.FreePower, r.FreeRedPct, r.FreeArea,
+			r.ConstrPower, r.ConstrRedPct, r.ConstrArea, r.ConstrDelay, r.CPUSeconds)
+	}
+	fmt.Fprintln(w, strings.Repeat("-", 122))
+	fmt.Fprintf(w, "%-10s %9.2f %10.0f %7.2f | %9.2f %6s %10.0f | %9.2f %6s %10.0f %7.2f\n",
+		"sum", s.SumInitPower, s.SumInitArea, s.SumInitDelay,
+		s.SumFreePower, "", s.SumFreeArea,
+		s.SumConstrPower, "", s.SumConstrArea, s.SumConstrDelay)
+	fmt.Fprintf(w, "%-10s %9s %10s %7s | %9s %5.1f%% %9.1f%% | %9s %5.1f%% %9.1f%% %6.1f%%\n",
+		"reduction", "", "", "",
+		"", s.FreeRedPct(), s.FreeAreaPct(),
+		"", s.ConstrRedPct(), 100*(s.SumInitArea-s.SumConstrArea)/s.SumInitArea, s.ConstrDelayPct())
+}
+
+// RenderTable2 writes the per-class contribution table (paper's Table 2).
+func RenderTable2(w io.Writer, s *Suite) {
+	totalPower, totalArea := 0.0, 0.0
+	for _, cs := range s.Class {
+		totalPower += cs.PowerGain
+		totalArea += cs.AreaDelta
+	}
+	fmt.Fprintln(w, "Table 2: contribution of substitution classes (unconstrained runs)")
+	fmt.Fprintf(w, "%-28s %8s %8s %8s %8s\n", "substitution:", "OS2", "IS2", "OS3", "IS3")
+	order := []transform.Kind{transform.OS2, transform.IS2, transform.OS3, transform.IS3}
+
+	fmt.Fprintf(w, "%-28s", "performed substitutions:")
+	for _, k := range order {
+		fmt.Fprintf(w, " %8d", s.Class[k].Count)
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "%-28s", "power reduction contrib.:")
+	for _, k := range order {
+		pct := 0.0
+		if totalPower != 0 {
+			pct = 100 * s.Class[k].PowerGain / totalPower
+		}
+		fmt.Fprintf(w, " %7.1f%%", pct)
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "%-28s", "area reduction contrib.:")
+	for _, k := range order {
+		pct := 0.0
+		if totalArea != 0 {
+			// Negative AreaDelta is a reduction; express each class as a
+			// share of the net reduction, as the paper does (shares can
+			// exceed 100% / go negative).
+			pct = 100 * s.Class[k].AreaDelta / totalArea
+		}
+		fmt.Fprintf(w, " %7.1f%%", pct)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderTradeoff writes the Figure 6 series plus a small ASCII plot.
+func RenderTradeoff(w io.Writer, points []TradeoffPoint) {
+	fmt.Fprintln(w, "Figure 6: power-delay trade-off (totals over the circuit subset)")
+	fmt.Fprintf(w, "%12s %15s %15s\n", "constraint", "rel. power", "rel. delay")
+	for _, p := range points {
+		fmt.Fprintf(w, "%11d%% %15.3f %15.3f\n", p.ConstraintPct, p.RelPower, p.RelDelay)
+	}
+	fmt.Fprintln(w)
+	plotTradeoff(w, points)
+}
+
+// plotTradeoff draws the curve in a text grid: x = relative delay,
+// y = relative power.
+func plotTradeoff(w io.Writer, points []TradeoffPoint) {
+	if len(points) == 0 {
+		return
+	}
+	minP, maxP := points[0].RelPower, points[0].RelPower
+	minD, maxD := points[0].RelDelay, points[0].RelDelay
+	for _, p := range points {
+		minP, maxP = minf(minP, p.RelPower), maxf(maxP, p.RelPower)
+		minD, maxD = minf(minD, p.RelDelay), maxf(maxD, p.RelDelay)
+	}
+	if maxP == minP {
+		maxP = minP + 1e-9
+	}
+	if maxD == minD {
+		maxD = minD + 1e-9
+	}
+	const rows, cols = 16, 56
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols))
+	}
+	for _, p := range points {
+		x := int(float64(cols-1) * (p.RelDelay - minD) / (maxD - minD))
+		y := int(float64(rows-1) * (maxP - p.RelPower) / (maxP - minP))
+		grid[y][x] = '*'
+	}
+	fmt.Fprintf(w, "rel.power %.3f\n", maxP)
+	for _, row := range grid {
+		fmt.Fprintf(w, "  |%s\n", string(row))
+	}
+	fmt.Fprintf(w, "  +%s\n", strings.Repeat("-", cols))
+	fmt.Fprintf(w, "   rel.delay %.3f %*s %.3f\n", minD, cols-16, "", maxD)
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RenderCSV writes the Table 1 rows as CSV for downstream plotting.
+func RenderCSV(w io.Writer, s *Suite) {
+	fmt.Fprintln(w, "circuit,gates,init_power,init_area,init_delay,free_power,free_red_pct,free_area,constr_power,constr_red_pct,constr_area,constr_delay,cpu_s")
+	for _, r := range s.Rows {
+		fmt.Fprintf(w, "%s,%d,%.4f,%.0f,%.3f,%.4f,%.2f,%.0f,%.4f,%.2f,%.0f,%.3f,%.2f\n",
+			r.Circuit, r.Gates, r.InitPower, r.InitArea, r.InitDelay,
+			r.FreePower, r.FreeRedPct, r.FreeArea,
+			r.ConstrPower, r.ConstrRedPct, r.ConstrArea, r.ConstrDelay, r.CPUSeconds)
+	}
+}

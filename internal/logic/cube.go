@@ -1,0 +1,226 @@
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Cube is a product term over up to 64 variables, in (mask, val) encoding:
+// variable i is in the cube's support iff bit i of Mask is set, and then it
+// appears positive iff bit i of Val is set. The empty cube (Mask == 0) is
+// the constant-true product.
+type Cube struct {
+	Mask uint64
+	Val  uint64
+}
+
+// CubeFromString parses a PLA-style cube string of '0', '1' and '-'
+// characters, character i describing variable i.
+func CubeFromString(s string) (Cube, error) {
+	if len(s) > 64 {
+		return Cube{}, fmt.Errorf("logic: cube %q exceeds 64 variables", s)
+	}
+	var c Cube
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+			c.Mask |= 1 << uint(i)
+		case '1':
+			c.Mask |= 1 << uint(i)
+			c.Val |= 1 << uint(i)
+		case '-', '~', '2':
+			// don't care
+		default:
+			return Cube{}, fmt.Errorf("logic: bad cube character %q in %q", s[i], s)
+		}
+	}
+	return c, nil
+}
+
+// MustCube is CubeFromString but panics on error.
+func MustCube(s string) Cube {
+	c, err := CubeFromString(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// String renders the cube over n variables in PLA notation.
+func (c Cube) String(n int) string {
+	b := make([]byte, n)
+	for i := 0; i < n; i++ {
+		bit := uint64(1) << uint(i)
+		switch {
+		case c.Mask&bit == 0:
+			b[i] = '-'
+		case c.Val&bit != 0:
+			b[i] = '1'
+		default:
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// Contains reports whether cube c contains cube d (every minterm of d is a
+// minterm of c).
+func (c Cube) Contains(d Cube) bool {
+	return c.Mask&^d.Mask == 0 && (c.Val^d.Val)&c.Mask == 0
+}
+
+// Eval reports whether the assignment (bit i of in = variable i) satisfies
+// the cube.
+func (c Cube) Eval(in uint64) bool { return (in^c.Val)&c.Mask == 0 }
+
+// Literals returns the number of literals in the cube.
+func (c Cube) Literals() int {
+	n := 0
+	for m := c.Mask; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// Distance returns the number of variables on which the two cubes conflict
+// (both constrain the variable, with opposite polarity).
+func (c Cube) Distance(d Cube) int {
+	conflict := c.Mask & d.Mask & (c.Val ^ d.Val)
+	n := 0
+	for m := conflict; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// Merge merges two distance-1 cubes that differ in exactly the conflicting
+// variable and agree elsewhere; ok is false when they are not mergeable.
+func (c Cube) Merge(d Cube) (Cube, bool) {
+	if c.Mask != d.Mask {
+		return Cube{}, false
+	}
+	diff := (c.Val ^ d.Val) & c.Mask
+	if diff == 0 || diff&(diff-1) != 0 {
+		return Cube{}, false
+	}
+	return Cube{Mask: c.Mask &^ diff, Val: c.Val &^ diff}, true
+}
+
+// SOP is a sum-of-products (a disjunction of cubes) over NumVars variables.
+type SOP struct {
+	NumVars int
+	Cubes   []Cube
+}
+
+// NewSOP returns an empty (constant-false) SOP over n variables.
+func NewSOP(n int) *SOP {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("logic: SOP supports 0..64 variables, got %d", n))
+	}
+	return &SOP{NumVars: n}
+}
+
+// ParseSOP parses newline-separated PLA cube rows ("01-1" style) over n
+// variables.
+func ParseSOP(n int, rows string) (*SOP, error) {
+	s := NewSOP(n)
+	for _, line := range strings.Fields(rows) {
+		c, err := CubeFromString(line)
+		if err != nil {
+			return nil, err
+		}
+		if len(line) != n {
+			return nil, fmt.Errorf("logic: cube %q has %d columns, want %d", line, len(line), n)
+		}
+		s.Cubes = append(s.Cubes, c)
+	}
+	return s, nil
+}
+
+// Add appends a cube.
+func (s *SOP) Add(c Cube) { s.Cubes = append(s.Cubes, c) }
+
+// Eval evaluates the SOP on the assignment in (bit i = variable i).
+func (s *SOP) Eval(in uint64) bool {
+	for _, c := range s.Cubes {
+		if c.Eval(in) {
+			return true
+		}
+	}
+	return false
+}
+
+// Expr converts the SOP to an expression tree.
+func (s *SOP) Expr() *Expr {
+	terms := make([]*Expr, 0, len(s.Cubes))
+	for _, c := range s.Cubes {
+		var lits []*Expr
+		for i := 0; i < s.NumVars; i++ {
+			bit := uint64(1) << uint(i)
+			if c.Mask&bit == 0 {
+				continue
+			}
+			v := Var(i)
+			if c.Val&bit == 0 {
+				v = Not(v)
+			}
+			lits = append(lits, v)
+		}
+		terms = append(terms, And(lits...))
+	}
+	return Or(terms...)
+}
+
+// Minimize performs a light two-level minimization: it repeatedly merges
+// distance-1 same-support cube pairs and removes single-cube-contained
+// cubes. This is far from espresso, but removes the gross redundancy that
+// the benchmark generators introduce.
+func (s *SOP) Minimize() {
+	changed := true
+	for changed {
+		changed = false
+		// Merge distance-1 pairs with identical support.
+		for i := 0; i < len(s.Cubes); i++ {
+			for j := i + 1; j < len(s.Cubes); j++ {
+				if m, ok := s.Cubes[i].Merge(s.Cubes[j]); ok {
+					s.Cubes[i] = m
+					s.Cubes = append(s.Cubes[:j], s.Cubes[j+1:]...)
+					changed = true
+					j--
+				}
+			}
+		}
+		// Single-cube containment.
+		sort.Slice(s.Cubes, func(i, j int) bool {
+			return s.Cubes[i].Literals() < s.Cubes[j].Literals()
+		})
+		for i := 0; i < len(s.Cubes); i++ {
+			for j := i + 1; j < len(s.Cubes); j++ {
+				if s.Cubes[i].Contains(s.Cubes[j]) {
+					s.Cubes = append(s.Cubes[:j], s.Cubes[j+1:]...)
+					changed = true
+					j--
+				}
+			}
+		}
+	}
+}
+
+// Literals returns the total literal count of the SOP.
+func (s *SOP) Literals() int {
+	n := 0
+	for _, c := range s.Cubes {
+		n += c.Literals()
+	}
+	return n
+}
+
+// String renders the SOP as PLA rows.
+func (s *SOP) String() string {
+	rows := make([]string, len(s.Cubes))
+	for i, c := range s.Cubes {
+		rows[i] = c.String(s.NumVars)
+	}
+	return strings.Join(rows, "\n")
+}

@@ -1,0 +1,165 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCubeFromString(t *testing.T) {
+	c := MustCube("01-1")
+	if !c.Eval(0b1010) { // a=0 b=1 c=anything d=1
+		t.Errorf("cube 01-1 should accept 0b1010")
+	}
+	if c.Eval(0b1011) {
+		t.Errorf("cube 01-1 should reject a=1")
+	}
+	if c.Literals() != 3 {
+		t.Errorf("cube 01-1 has %d literals, want 3", c.Literals())
+	}
+	if _, err := CubeFromString("01x"); err == nil {
+		t.Errorf("bad character should fail")
+	}
+	if c.String(4) != "01-1" {
+		t.Errorf("round trip = %q", c.String(4))
+	}
+}
+
+func TestCubeContains(t *testing.T) {
+	big := MustCube("1---")
+	small := MustCube("10-1")
+	if !big.Contains(small) {
+		t.Errorf("1--- should contain 10-1")
+	}
+	if small.Contains(big) {
+		t.Errorf("10-1 should not contain 1---")
+	}
+	if !big.Contains(big) {
+		t.Errorf("cube should contain itself")
+	}
+	other := MustCube("0---")
+	if big.Contains(other) || other.Contains(big) {
+		t.Errorf("disjoint cubes should not contain each other")
+	}
+}
+
+func TestCubeMerge(t *testing.T) {
+	a := MustCube("10-1")
+	b := MustCube("11-1")
+	m, ok := a.Merge(b)
+	if !ok {
+		t.Fatalf("distance-1 cubes should merge")
+	}
+	if m.String(4) != "1--1" {
+		t.Errorf("merge = %q, want 1--1", m.String(4))
+	}
+	// Not mergeable: distance 2.
+	if _, ok := MustCube("00--").Merge(MustCube("11--")); ok {
+		t.Errorf("distance-2 cubes must not merge")
+	}
+	// Not mergeable: different support.
+	if _, ok := MustCube("1---").Merge(MustCube("11--")); ok {
+		t.Errorf("different-support cubes must not merge")
+	}
+}
+
+func TestCubeDistance(t *testing.T) {
+	if d := MustCube("0101").Distance(MustCube("1001")); d != 2 {
+		t.Errorf("distance = %d, want 2", d)
+	}
+	if d := MustCube("01--").Distance(MustCube("--10")); d != 0 {
+		t.Errorf("distance with disjoint support = %d, want 0", d)
+	}
+}
+
+func TestSOPEvalAndExpr(t *testing.T) {
+	s, err := ParseSOP(3, "1-0\n011")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := s.Expr()
+	for m := uint64(0); m < 8; m++ {
+		in := make([]bool, 3)
+		for i := 0; i < 3; i++ {
+			in[i] = m>>uint(i)&1 == 1
+		}
+		if s.Eval(m) != e.Eval(in) {
+			t.Fatalf("SOP and Expr disagree on minterm %d", m)
+		}
+	}
+}
+
+func TestParseSOPErrors(t *testing.T) {
+	if _, err := ParseSOP(3, "1-"); err == nil {
+		t.Errorf("wrong-width row should fail")
+	}
+	if _, err := ParseSOP(3, "1x0"); err == nil {
+		t.Errorf("bad character should fail")
+	}
+}
+
+// Property: Minimize preserves the function (checked on all minterms for
+// small variable counts).
+func TestMinimizePreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(5)
+		s := NewSOP(n)
+		nc := 1 + rng.Intn(12)
+		for i := 0; i < nc; i++ {
+			var c Cube
+			for v := 0; v < n; v++ {
+				switch rng.Intn(3) {
+				case 0:
+					c.Mask |= 1 << uint(v)
+				case 1:
+					c.Mask |= 1 << uint(v)
+					c.Val |= 1 << uint(v)
+				}
+			}
+			s.Add(c)
+		}
+		before := make([]bool, 1<<uint(n))
+		for m := range before {
+			before[m] = s.Eval(uint64(m))
+		}
+		oldLits := s.Literals()
+		s.Minimize()
+		if s.Literals() > oldLits {
+			t.Fatalf("Minimize increased literal count %d -> %d", oldLits, s.Literals())
+		}
+		for m := range before {
+			if s.Eval(uint64(m)) != before[m] {
+				t.Fatalf("trial %d: Minimize changed function at minterm %d", trial, m)
+			}
+		}
+	}
+}
+
+// Property: a cube contains any cube obtained by adding literals to it.
+func TestContainsMonotoneProperty(t *testing.T) {
+	f := func(mask, val, extraMask, extraVal uint64) bool {
+		c := Cube{Mask: mask, Val: val & mask}
+		d := Cube{Mask: mask | extraMask, Val: (val & mask) | (extraVal & extraMask &^ mask)}
+		return c.Contains(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSOPString(t *testing.T) {
+	s, err := ParseSOP(4, "1-01\n0-1-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSOP(4, s.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := uint64(0); m < 16; m++ {
+		if s.Eval(m) != back.Eval(m) {
+			t.Fatalf("String round trip changed function at %d", m)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTTString(t *testing.T) {
+	and := TTFromExpr(And(Var(0), Var(1)), 2)
+	if got := and.String(); got != "1000" {
+		t.Errorf("AND table string = %q, want 1000", got)
+	}
+	v := TTVar(0, 1)
+	if got := v.String(); got != "10" {
+		t.Errorf("var table string = %q, want 10", got)
+	}
+}
+
+func TestTTPermuteExported(t *testing.T) {
+	// f = a * !b; swapping inputs gives !a * b.
+	f := TTFromExpr(And(Var(0), Not(Var(1))), 2)
+	g := f.Permute([]int{1, 0})
+	want := TTFromExpr(And(Not(Var(0)), Var(1)), 2)
+	if !g.Equal(want) {
+		t.Errorf("Permute swap: got %v, want %v", g, want)
+	}
+	// Identity permutation.
+	if !f.Permute([]int{0, 1}).Equal(f) {
+		t.Errorf("identity permutation changed the table")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("wrong-length permutation should panic")
+		}
+	}()
+	f.Permute([]int{0})
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	cases := map[string]func(){
+		"negative Var":       func() { Var(-1) },
+		"TTVar out of range": func() { TTVar(3, 2) },
+		"TTConst 7 vars":     func() { TTConst(true, 7) },
+		"TT width mismatch":  func() { TTVar(0, 2).And(TTVar(0, 3)) },
+		"TT eval out of rng": func() { TTVar(0, 2).Eval(9) },
+		"expr beyond width":  func() { TTFromExpr(Var(5), 2) },
+		"cofactor bad var":   func() { TTVar(0, 2).Cofactor(5, true) },
+		"MustCube bad":       func() { MustCube("01x") },
+		"MustParseExpr bad":  func() { MustParseExpr("((", []string{"a"}) },
+		"SOP too many vars":  func() { NewSOP(65) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestExprStringForms(t *testing.T) {
+	cases := map[string]*Expr{
+		"0":       Const(false),
+		"1":       Const(true),
+		"!a":      Not(Var(0)),
+		"a*b+c":   Or(And(Var(0), Var(1)), Var(2)),
+		"(a+b)*c": And(Or(Var(0), Var(1)), Var(2)),
+		"a^b":     Xor(Var(0), Var(1)),
+	}
+	for want, e := range cases {
+		if got := e.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	// Large variable indices use the vNN form.
+	if got := Var(30).String(); got != "v30" {
+		t.Errorf("Var(30).String() = %q", got)
+	}
+}
+
+func TestFormatWithNamesFallback(t *testing.T) {
+	// Index beyond the provided name list falls back to VarName.
+	e := And(Var(0), Var(5))
+	got := FormatWithNames(e, []string{"x"})
+	if !strings.Contains(got, "x") || !strings.Contains(got, "f") {
+		t.Errorf("FormatWithNames fallback = %q", got)
+	}
+	// Constants and XOR render.
+	got2 := FormatWithNames(Xor(Const(true), Not(Var(0))), []string{"x"})
+	if !strings.Contains(got2, "1") || !strings.Contains(got2, "^") {
+		t.Errorf("FormatWithNames = %q", got2)
+	}
+}
+
+func TestEvalVariableBeyondAssignment(t *testing.T) {
+	// Variables beyond the assignment evaluate to false.
+	e := Var(3)
+	if e.Eval([]bool{true}) {
+		t.Errorf("out-of-range variable should be false")
+	}
+	if e.EvalWords([]uint64{^uint64(0)}) != 0 {
+		t.Errorf("out-of-range variable words should be 0")
+	}
+	// Constants in both evaluators.
+	if !Const(true).Eval(nil) || Const(false).Eval(nil) {
+		t.Errorf("constant Eval wrong")
+	}
+	if Const(true).EvalWords(nil) != ^uint64(0) || Const(false).EvalWords(nil) != 0 {
+		t.Errorf("constant EvalWords wrong")
+	}
+}
+
+func TestIsConstDetection(t *testing.T) {
+	mixed := TTVar(0, 2)
+	if ok, _ := mixed.IsConst(); ok {
+		t.Errorf("a variable is not constant")
+	}
+	if ok, v := TTConst(true, 3).IsConst(); !ok || !v {
+		t.Errorf("const-1 misdetected")
+	}
+}
+
+func TestParseSOPWide(t *testing.T) {
+	s, err := ParseSOP(6, "1-00-1\n-11---")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Cubes) != 2 || s.NumVars != 6 {
+		t.Errorf("ParseSOP shape wrong")
+	}
+	if s.Literals() != 4+2 {
+		t.Errorf("Literals = %d", s.Literals())
+	}
+}

@@ -1,0 +1,278 @@
+// Package logic provides the basic Boolean machinery used throughout the
+// POWDER reproduction: expression trees (as found in genlib cell
+// descriptions), small dense truth tables for library cells, wide truth
+// tables for exact probability analysis, and a light cube/SOP algebra used
+// by the synthesis substrate and the benchmark generators.
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op enumerates the node kinds of a Boolean expression tree.
+type Op int
+
+const (
+	// OpConst0 is the constant false function.
+	OpConst0 Op = iota
+	// OpConst1 is the constant true function.
+	OpConst1
+	// OpVar is a reference to input variable Expr.Var.
+	OpVar
+	// OpNot negates its single child.
+	OpNot
+	// OpAnd is the conjunction of all children (n-ary).
+	OpAnd
+	// OpOr is the disjunction of all children (n-ary).
+	OpOr
+	// OpXor is the exclusive-or of all children (n-ary).
+	OpXor
+)
+
+// String returns the operator symbol used by the genlib expression syntax.
+func (o Op) String() string {
+	switch o {
+	case OpConst0:
+		return "CONST0"
+	case OpConst1:
+		return "CONST1"
+	case OpVar:
+		return "VAR"
+	case OpNot:
+		return "!"
+	case OpAnd:
+		return "*"
+	case OpOr:
+		return "+"
+	case OpXor:
+		return "^"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Expr is an immutable Boolean expression tree. Variables are identified by
+// a small non-negative index; for library cells the index is the pin
+// position. The zero value is the constant-false expression.
+type Expr struct {
+	Op       Op
+	Var      int // valid when Op == OpVar
+	Children []*Expr
+}
+
+// Const returns the constant expression for v.
+func Const(v bool) *Expr {
+	if v {
+		return &Expr{Op: OpConst1}
+	}
+	return &Expr{Op: OpConst0}
+}
+
+// Var returns a variable reference expression.
+func Var(i int) *Expr {
+	if i < 0 {
+		panic("logic: negative variable index")
+	}
+	return &Expr{Op: OpVar, Var: i}
+}
+
+// Not returns the negation of e, collapsing double negations.
+func Not(e *Expr) *Expr {
+	switch e.Op {
+	case OpNot:
+		return e.Children[0]
+	case OpConst0:
+		return Const(true)
+	case OpConst1:
+		return Const(false)
+	}
+	return &Expr{Op: OpNot, Children: []*Expr{e}}
+}
+
+// And returns the conjunction of the operands. With no operands it returns
+// the constant true (the empty product).
+func And(es ...*Expr) *Expr { return nary(OpAnd, es) }
+
+// Or returns the disjunction of the operands. With no operands it returns
+// the constant false (the empty sum).
+func Or(es ...*Expr) *Expr { return nary(OpOr, es) }
+
+// Xor returns the exclusive-or of the operands. With no operands it returns
+// the constant false.
+func Xor(es ...*Expr) *Expr {
+	switch len(es) {
+	case 0:
+		return Const(false)
+	case 1:
+		return es[0]
+	}
+	return &Expr{Op: OpXor, Children: append([]*Expr(nil), es...)}
+}
+
+func nary(op Op, es []*Expr) *Expr {
+	switch len(es) {
+	case 0:
+		if op == OpAnd {
+			return Const(true)
+		}
+		return Const(false)
+	case 1:
+		return es[0]
+	}
+	return &Expr{Op: op, Children: append([]*Expr(nil), es...)}
+}
+
+// MaxVar returns the largest variable index referenced by e, or -1 if e is
+// constant.
+func (e *Expr) MaxVar() int {
+	max := -1
+	e.Walk(func(n *Expr) {
+		if n.Op == OpVar && n.Var > max {
+			max = n.Var
+		}
+	})
+	return max
+}
+
+// NumVars returns MaxVar()+1, i.e. the width of the input space e is defined
+// over when variables are numbered densely from zero.
+func (e *Expr) NumVars() int { return e.MaxVar() + 1 }
+
+// Walk calls f on e and every descendant in depth-first order.
+func (e *Expr) Walk(f func(*Expr)) {
+	f(e)
+	for _, c := range e.Children {
+		c.Walk(f)
+	}
+}
+
+// Eval evaluates e under the assignment in, where in[i] is the value of
+// variable i. Variables beyond len(in) evaluate to false.
+func (e *Expr) Eval(in []bool) bool {
+	switch e.Op {
+	case OpConst0:
+		return false
+	case OpConst1:
+		return true
+	case OpVar:
+		return e.Var < len(in) && in[e.Var]
+	case OpNot:
+		return !e.Children[0].Eval(in)
+	case OpAnd:
+		for _, c := range e.Children {
+			if !c.Eval(in) {
+				return false
+			}
+		}
+		return true
+	case OpOr:
+		for _, c := range e.Children {
+			if c.Eval(in) {
+				return true
+			}
+		}
+		return false
+	case OpXor:
+		v := false
+		for _, c := range e.Children {
+			v = v != c.Eval(in)
+		}
+		return v
+	}
+	panic(fmt.Sprintf("logic: bad op %v", e.Op))
+}
+
+// EvalWords evaluates e bit-parallel: in[i] holds 64 assignments of variable
+// i, one per bit position. The result holds the 64 corresponding outputs.
+func (e *Expr) EvalWords(in []uint64) uint64 {
+	switch e.Op {
+	case OpConst0:
+		return 0
+	case OpConst1:
+		return ^uint64(0)
+	case OpVar:
+		if e.Var < len(in) {
+			return in[e.Var]
+		}
+		return 0
+	case OpNot:
+		return ^e.Children[0].EvalWords(in)
+	case OpAnd:
+		v := ^uint64(0)
+		for _, c := range e.Children {
+			v &= c.EvalWords(in)
+		}
+		return v
+	case OpOr:
+		v := uint64(0)
+		for _, c := range e.Children {
+			v |= c.EvalWords(in)
+		}
+		return v
+	case OpXor:
+		v := uint64(0)
+		for _, c := range e.Children {
+			v ^= c.EvalWords(in)
+		}
+		return v
+	}
+	panic(fmt.Sprintf("logic: bad op %v", e.Op))
+}
+
+// String renders e in genlib syntax (!, *, +, ^ with parentheses), using
+// variable names a, b, c, ... for indices 0, 1, 2, ...
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.format(&b, 0)
+	return b.String()
+}
+
+// precedence: OR=1 < XOR=2 < AND=3 < NOT=4
+func (e *Expr) format(b *strings.Builder, parent int) {
+	var prec int
+	switch e.Op {
+	case OpOr:
+		prec = 1
+	case OpXor:
+		prec = 2
+	case OpAnd:
+		prec = 3
+	default:
+		prec = 4
+	}
+	paren := prec < parent
+	if paren {
+		b.WriteByte('(')
+	}
+	switch e.Op {
+	case OpConst0:
+		b.WriteByte('0')
+	case OpConst1:
+		b.WriteByte('1')
+	case OpVar:
+		b.WriteString(VarName(e.Var))
+	case OpNot:
+		b.WriteByte('!')
+		e.Children[0].format(b, 4)
+	case OpAnd, OpOr, OpXor:
+		sep := e.Op.String()
+		for i, c := range e.Children {
+			if i > 0 {
+				b.WriteString(sep)
+			}
+			c.format(b, prec)
+		}
+	}
+	if paren {
+		b.WriteByte(')')
+	}
+}
+
+// VarName returns the conventional short name for variable index i:
+// a..z, then v26, v27, ...
+func VarName(i int) string {
+	if i < 26 {
+		return string(rune('a' + i))
+	}
+	return fmt.Sprintf("v%d", i)
+}

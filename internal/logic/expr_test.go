@@ -1,0 +1,204 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsCollapse(t *testing.T) {
+	e := Not(Not(Var(3)))
+	if e.Op != OpVar || e.Var != 3 {
+		t.Fatalf("double negation not collapsed: %v", e)
+	}
+	if Not(Const(true)).Op != OpConst0 {
+		t.Fatalf("!1 should be 0")
+	}
+	if Not(Const(false)).Op != OpConst1 {
+		t.Fatalf("!0 should be 1")
+	}
+	if And().Op != OpConst1 {
+		t.Fatalf("empty AND should be constant true")
+	}
+	if Or().Op != OpConst0 {
+		t.Fatalf("empty OR should be constant false")
+	}
+	if Xor().Op != OpConst0 {
+		t.Fatalf("empty XOR should be constant false")
+	}
+	single := Var(2)
+	if And(single) != single || Or(single) != single || Xor(single) != single {
+		t.Fatalf("single-operand n-ary ops should return the operand")
+	}
+}
+
+func TestEvalBasic(t *testing.T) {
+	// f = (a ^ b) * !c + d
+	f := Or(And(Xor(Var(0), Var(1)), Not(Var(2))), Var(3))
+	cases := []struct {
+		in   []bool
+		want bool
+	}{
+		{[]bool{false, false, false, false}, false},
+		{[]bool{true, false, false, false}, true},
+		{[]bool{true, true, false, false}, false},
+		{[]bool{true, false, true, false}, false},
+		{[]bool{false, false, true, true}, true},
+		{[]bool{true, true, true, true}, true},
+	}
+	for _, c := range cases {
+		if got := f.Eval(c.in); got != c.want {
+			t.Errorf("Eval(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEvalWordsMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := Or(And(Xor(Var(0), Var(1)), Not(Var(2))), And(Var(3), Var(4)))
+	n := 5
+	in := make([]uint64, n)
+	for i := range in {
+		in[i] = rng.Uint64()
+	}
+	words := f.EvalWords(in)
+	for bit := 0; bit < 64; bit++ {
+		assign := make([]bool, n)
+		for i := 0; i < n; i++ {
+			assign[i] = in[i]>>uint(bit)&1 == 1
+		}
+		want := f.Eval(assign)
+		got := words>>uint(bit)&1 == 1
+		if got != want {
+			t.Fatalf("bit %d: EvalWords = %v, Eval = %v", bit, got, want)
+		}
+	}
+}
+
+func TestMaxVar(t *testing.T) {
+	if got := Const(true).MaxVar(); got != -1 {
+		t.Errorf("constant MaxVar = %d, want -1", got)
+	}
+	f := And(Var(1), Or(Var(5), Not(Var(2))))
+	if got := f.MaxVar(); got != 5 {
+		t.Errorf("MaxVar = %d, want 5", got)
+	}
+	if got := f.NumVars(); got != 6 {
+		t.Errorf("NumVars = %d, want 6", got)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	exprs := []*Expr{
+		Var(0),
+		Not(Var(1)),
+		And(Var(0), Var(1), Var(2)),
+		Or(And(Var(0), Not(Var(1))), Var(2)),
+		Xor(Var(0), Var(1)),
+		And(Or(Var(0), Var(1)), Xor(Var(2), Not(Var(3)))),
+	}
+	vars := []string{"a", "b", "c", "d"}
+	for _, e := range exprs {
+		s := e.String()
+		back, err := ParseExpr(s, vars)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", s, err)
+		}
+		n := e.NumVars()
+		if n == 0 {
+			n = 1
+		}
+		if !TTFromExpr(e, n).Equal(TTFromExpr(back, n)) {
+			t.Errorf("round trip of %q changed function", s)
+		}
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	vars := []string{"a", "b"}
+	bad := []string{"", "a+", "(a", "a)b", "a&b", "z", "!(", "a++b"}
+	for _, s := range bad {
+		if _, err := ParseExpr(s, vars); err == nil {
+			t.Errorf("ParseExpr(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseExprForms(t *testing.T) {
+	vars := []string{"a", "b", "c"}
+	// All these spellings denote a AND (NOT b) OR c.
+	same := []string{"a*!b+c", "a !b + c", "a*b'+c", "(a*!b)+c"}
+	want := TTFromExpr(MustParseExpr(same[0], vars), 3)
+	for _, s := range same[1:] {
+		got := TTFromExpr(MustParseExpr(s, vars), 3)
+		if !got.Equal(want) {
+			t.Errorf("%q parsed to %v, want %v", s, got, want)
+		}
+	}
+	if e := MustParseExpr("CONST1", vars); e.Op != OpConst1 {
+		t.Errorf("CONST1 parsed to %v", e)
+	}
+	if e := MustParseExpr("CONST0", vars); e.Op != OpConst0 {
+		t.Errorf("CONST0 parsed to %v", e)
+	}
+	xor := MustParseExpr("a^b^c", vars)
+	wantXor := TTFromExpr(Xor(Var(0), Var(1), Var(2)), 3)
+	if !TTFromExpr(xor, 3).Equal(wantXor) {
+		t.Errorf("3-way xor mis-parsed")
+	}
+}
+
+func TestCollectVarNames(t *testing.T) {
+	got := CollectVarNames("!a*(b+c)*a + CONST1*d_2")
+	want := []string{"a", "b", "c", "d_2"}
+	if len(got) != len(want) {
+		t.Fatalf("CollectVarNames = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CollectVarNames = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: De Morgan holds for EvalWords on random inputs.
+func TestDeMorganProperty(t *testing.T) {
+	f := func(x, y uint64) bool {
+		in := []uint64{x, y}
+		lhs := Not(And(Var(0), Var(1))).EvalWords(in)
+		rhs := Or(Not(Var(0)), Not(Var(1))).EvalWords(in)
+		return lhs == rhs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: XOR is addition mod 2 over words.
+func TestXorProperty(t *testing.T) {
+	f := func(x, y, z uint64) bool {
+		in := []uint64{x, y, z}
+		return Xor(Var(0), Var(1), Var(2)).EvalWords(in) == x^y^z
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatWithNames(t *testing.T) {
+	e := Or(And(Var(0), Not(Var(1))), Var(2))
+	got := FormatWithNames(e, []string{"x", "y", "z"})
+	back, err := ParseExpr(got, []string{"x", "y", "z"})
+	if err != nil {
+		t.Fatalf("reparse %q: %v", got, err)
+	}
+	if !TTFromExpr(e, 3).Equal(TTFromExpr(back, 3)) {
+		t.Errorf("FormatWithNames round trip changed function: %q", got)
+	}
+}
+
+func TestVarName(t *testing.T) {
+	if VarName(0) != "a" || VarName(25) != "z" || VarName(26) != "v26" {
+		t.Errorf("VarName mapping broken: %q %q %q", VarName(0), VarName(25), VarName(26))
+	}
+}

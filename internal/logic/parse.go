@@ -1,0 +1,262 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseExpr parses a genlib-style Boolean expression over the named
+// variables in vars; the returned expression references variables by their
+// index in vars. Supported syntax:
+//
+//	expr   := term ('+' term)*
+//	term   := xfact ('^' xfact)*            exclusive-or binds tighter than +
+//	xfact  := factor (('*' | juxtaposition) factor)*
+//	factor := '!' factor | name '\'' * | '(' expr ')' | CONST0 | CONST1 | name
+//
+// The postfix apostrophe (a') and prefix bang (!a) both negate. Whitespace
+// separates juxtaposed factors (implicit AND), as in "a b + c".
+func ParseExpr(s string, vars []string) (*Expr, error) {
+	p := &exprParser{src: s, vars: vars}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("logic: trailing input %q in expression %q", p.src[p.pos:], s)
+	}
+	return e, nil
+}
+
+type exprParser struct {
+	src  string
+	pos  int
+	vars []string
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *exprParser) parseOr() (*Expr, error) {
+	var terms []*Expr
+	for {
+		t, err := p.parseXor()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+		if p.peek() != '+' {
+			break
+		}
+		p.pos++
+	}
+	return Or(terms...), nil
+}
+
+func (p *exprParser) parseXor() (*Expr, error) {
+	var terms []*Expr
+	for {
+		t, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+		if p.peek() != '^' {
+			break
+		}
+		p.pos++
+	}
+	return Xor(terms...), nil
+}
+
+func (p *exprParser) parseAnd() (*Expr, error) {
+	var facts []*Expr
+	for {
+		f, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		facts = append(facts, f)
+		c := p.peek()
+		if c == '*' {
+			p.pos++
+			continue
+		}
+		// Juxtaposition: another factor starts right here.
+		if c == '!' || c == '(' || isNameByte(c) {
+			continue
+		}
+		break
+	}
+	return And(facts...), nil
+}
+
+func (p *exprParser) parseFactor() (*Expr, error) {
+	switch c := p.peek(); {
+	case c == 0:
+		return nil, fmt.Errorf("logic: unexpected end of expression %q", p.src)
+	case c == '!':
+		p.pos++
+		f, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return Not(f), nil
+	case c == '(':
+		p.pos++
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("logic: missing ')' in expression %q", p.src)
+		}
+		p.pos++
+		return p.postfix(e), nil
+	case isNameByte(c):
+		start := p.pos
+		for p.pos < len(p.src) && isNameByte(p.src[p.pos]) {
+			p.pos++
+		}
+		name := p.src[start:p.pos]
+		var e *Expr
+		switch name {
+		case "CONST0", "0":
+			e = Const(false)
+		case "CONST1", "1":
+			e = Const(true)
+		default:
+			idx := -1
+			for i, v := range p.vars {
+				if v == name {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return nil, fmt.Errorf("logic: unknown variable %q in expression %q", name, p.src)
+			}
+			e = Var(idx)
+		}
+		return p.postfix(e), nil
+	default:
+		return nil, fmt.Errorf("logic: unexpected character %q in expression %q", c, p.src)
+	}
+}
+
+// postfix consumes any trailing apostrophes (postfix negation).
+func (p *exprParser) postfix(e *Expr) *Expr {
+	for p.pos < len(p.src) && p.src[p.pos] == '\'' {
+		p.pos++
+		e = Not(e)
+	}
+	return e
+}
+
+func isNameByte(c byte) bool {
+	return c == '_' || c == '[' || c == ']' || c == '.' ||
+		(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// CollectVarNames extracts the distinct identifiers of a genlib expression in
+// order of first appearance, skipping the constants. It is used when the
+// variable set is not known up front (genlib GATE lines name pins implicitly
+// through the expression, with PIN lines following).
+func CollectVarNames(s string) []string {
+	var names []string
+	seen := make(map[string]bool)
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if !isNameByte(c) {
+			i++
+			continue
+		}
+		start := i
+		for i < len(s) && isNameByte(s[i]) {
+			i++
+		}
+		name := s[start:i]
+		if name == "CONST0" || name == "CONST1" || name == "0" || name == "1" {
+			continue
+		}
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// MustParseExpr is ParseExpr but panics on error; intended for package-level
+// tables of known-good cell functions.
+func MustParseExpr(s string, vars []string) *Expr {
+	e, err := ParseExpr(s, vars)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// FormatWithNames renders e using the provided variable names instead of the
+// default a, b, c, ...
+func FormatWithNames(e *Expr, vars []string) string {
+	var render func(e *Expr, parent int, b *strings.Builder)
+	render = func(e *Expr, parent int, b *strings.Builder) {
+		var prec int
+		switch e.Op {
+		case OpOr:
+			prec = 1
+		case OpXor:
+			prec = 2
+		case OpAnd:
+			prec = 3
+		default:
+			prec = 4
+		}
+		paren := prec < parent
+		if paren {
+			b.WriteByte('(')
+		}
+		switch e.Op {
+		case OpConst0:
+			b.WriteByte('0')
+		case OpConst1:
+			b.WriteByte('1')
+		case OpVar:
+			if e.Var < len(vars) {
+				b.WriteString(vars[e.Var])
+			} else {
+				b.WriteString(VarName(e.Var))
+			}
+		case OpNot:
+			b.WriteByte('!')
+			render(e.Children[0], 4, b)
+		case OpAnd, OpOr, OpXor:
+			for i, c := range e.Children {
+				if i > 0 {
+					b.WriteString(e.Op.String())
+				}
+				render(c, prec, b)
+			}
+		}
+		if paren {
+			b.WriteByte(')')
+		}
+	}
+	var b strings.Builder
+	render(e, 0, &b)
+	return b.String()
+}

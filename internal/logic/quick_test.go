@@ -1,0 +1,87 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: cube merge, when it succeeds, produces a cube that covers both
+// operands and nothing outside their union.
+func TestCubeMergeCoversProperty(t *testing.T) {
+	f := func(mask, val, flip uint64) bool {
+		c := Cube{Mask: mask, Val: val & mask}
+		// Build a distance-1 partner by flipping one constrained bit.
+		bit := uint64(0)
+		for b := uint(0); b < 64; b++ {
+			if mask>>b&1 == 1 {
+				bit = 1 << b
+				break
+			}
+		}
+		if bit == 0 {
+			return true // unconstrained cube; nothing to merge
+		}
+		d := Cube{Mask: mask, Val: (val & mask) ^ bit}
+		m, ok := c.Merge(d)
+		if !ok {
+			return false // distance-1 same-support cubes must merge
+		}
+		// The merge covers both, and every assignment satisfying the merge
+		// satisfies c or d.
+		if !m.Contains(c) || !m.Contains(d) {
+			return false
+		}
+		probe := flip
+		if m.Eval(probe) && !c.Eval(probe) && !d.Eval(probe) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Contains is a partial order (reflexive + transitive on
+// randomly nested cubes).
+func TestCubeContainsOrderProperty(t *testing.T) {
+	f := func(mask1, val, extra1, extra2 uint64) bool {
+		a := Cube{Mask: mask1, Val: val & mask1}
+		bMask := mask1 | extra1
+		b := Cube{Mask: bMask, Val: (val & mask1) | (extra1 &^ mask1 & val)}
+		cMask := bMask | extra2
+		c := Cube{Mask: cMask, Val: b.Val | (extra2 &^ bMask & val)}
+		return a.Contains(a) && a.Contains(b) && b.Contains(c) && a.Contains(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TT Cofactor commutes across distinct variables.
+func TestCofactorCommutesProperty(t *testing.T) {
+	f := func(bits uint64, vi, vj uint8, pi, pj bool) bool {
+		i, j := int(vi%6), int(vj%6)
+		if i == j {
+			return true
+		}
+		tt := TT{N: 6, Bits: bits}
+		a := tt.Cofactor(i, pi).Cofactor(j, pj)
+		b := tt.Cofactor(j, pj).Cofactor(i, pi)
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: double complement is the identity on truth tables.
+func TestTTDoubleComplementProperty(t *testing.T) {
+	f := func(bits uint64, n uint8) bool {
+		tt := TT{N: int(n % 7), Bits: bits & ttMask(int(n%7))}
+		return tt.Not().Not().Equal(tt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+package netlist
+
+import (
+	"testing"
+
+	"powder/internal/cellib"
+)
+
+func TestReplaceCellInPackage(t *testing.T) {
+	lib := cellib.Lib2()
+	nl := New("rc", lib)
+	a, _ := nl.AddInput("a")
+	b, _ := nl.AddInput("b")
+	g, _ := nl.AddGate("g", lib.Cell("and2"), []NodeID{a, b})
+	if err := nl.AddOutput("g", g); err != nil {
+		t.Fatal(err)
+	}
+	v := nl.Version()
+	if err := nl.ReplaceCell(g, lib.Cell("and2x2")); err != nil {
+		t.Fatal(err)
+	}
+	if nl.Node(g).Cell().Name != "and2x2" {
+		t.Errorf("cell not replaced")
+	}
+	if nl.Version() == v {
+		t.Errorf("version must bump on cell replacement")
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// No-op replacement must not bump.
+	v = nl.Version()
+	if err := nl.ReplaceCell(g, lib.Cell("and2x2")); err != nil {
+		t.Fatal(err)
+	}
+	if nl.Version() != v {
+		t.Errorf("no-op replacement bumped version")
+	}
+	// Error paths.
+	if err := nl.ReplaceCell(g, nil); err == nil {
+		t.Errorf("nil cell must fail")
+	}
+	if err := nl.ReplaceCell(g, lib.Cell("xor2")); err == nil {
+		t.Errorf("different function must fail")
+	}
+	if err := nl.ReplaceCell(g, lib.Cell("inv")); err == nil {
+		t.Errorf("different pin count must fail")
+	}
+	if err := nl.ReplaceCell(a, lib.Cell("and2")); err == nil {
+		t.Errorf("input node must fail")
+	}
+	foreign, _ := cellib.NewCell("foreign", 1,
+		[]cellib.Pin{{Name: "a", Cap: 1}, {Name: "b", Cap: 1}}, "O",
+		lib.Cell("and2").Function, 1, 0.1, 0)
+	if err := nl.ReplaceCell(g, foreign); err == nil {
+		t.Errorf("foreign cell must fail")
+	}
+}
+
+func TestNodePanicsOutOfRange(t *testing.T) {
+	lib := cellib.Lib2()
+	nl := New("p", lib)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Node on out-of-range ID should panic")
+		}
+	}()
+	nl.Node(NodeID(3))
+}
+
+func TestBranchCapAndLoads(t *testing.T) {
+	lib := cellib.Lib2()
+	nl := New("bc", lib)
+	a, _ := nl.AddInput("a")
+	g, _ := nl.AddGate("g", lib.Cell("inv"), []NodeID{a})
+	x, _ := nl.AddGate("x", lib.Cell("xor2"), []NodeID{g, a})
+	if err := nl.AddOutput("x", x); err != nil {
+		t.Fatal(err)
+	}
+	// Branch into xor pin: 2.0 cap; PO branch: POLoad.
+	if got := nl.BranchCap(Branch{Gate: x, Pin: 0}); got != 2.0 {
+		t.Errorf("xor pin cap = %v", got)
+	}
+	if got := nl.BranchCap(Branch{Gate: InvalidNode, Pin: 0}); got != nl.POLoad {
+		t.Errorf("PO branch cap = %v", got)
+	}
+	if nl.Node(g).NumFanouts() != 1 {
+		t.Errorf("NumFanouts wrong")
+	}
+	if !nl.Node(a).IsInput() || nl.Node(g).IsInput() {
+		t.Errorf("IsInput wrong")
+	}
+	if nl.NumNodes() != 3 {
+		t.Errorf("NumNodes = %d", nl.NumNodes())
+	}
+}
+
+func TestMarkTFOMatchesTFO(t *testing.T) {
+	lib := cellib.Lib2()
+	nl := New("mt", lib)
+	a, _ := nl.AddInput("a")
+	b, _ := nl.AddInput("b")
+	g1, _ := nl.AddGate("g1", lib.Cell("and2"), []NodeID{a, b})
+	g2, _ := nl.AddGate("g2", lib.Cell("inv"), []NodeID{g1})
+	g3, _ := nl.AddGate("g3", lib.Cell("or2"), []NodeID{g2, b})
+	if err := nl.AddOutput("g3", g3); err != nil {
+		t.Fatal(err)
+	}
+	want := nl.TFO(a)
+	mark := make([]bool, nl.NumNodes())
+	touched := nl.MarkTFO(a, mark)
+	if len(touched) != len(want) {
+		t.Fatalf("MarkTFO touched %d, TFO has %d", len(touched), len(want))
+	}
+	for id := range want {
+		if !mark[id] {
+			t.Errorf("node %d missing from mask", id)
+		}
+	}
+	for _, id := range touched {
+		mark[id] = false
+	}
+	for _, v := range mark {
+		if v {
+			t.Errorf("mask not fully cleared by touched list")
+		}
+	}
+}
+
+func TestReachesSelfAndRepeated(t *testing.T) {
+	lib := cellib.Lib2()
+	nl := New("r", lib)
+	a, _ := nl.AddInput("a")
+	g, _ := nl.AddGate("g", lib.Cell("inv"), []NodeID{a})
+	if err := nl.AddOutput("g", g); err != nil {
+		t.Fatal(err)
+	}
+	if !nl.Reaches(a, a) {
+		t.Errorf("self-reach must be true")
+	}
+	// Repeated queries exercise the epoch-stamped scratch reuse.
+	for i := 0; i < 100; i++ {
+		if !nl.Reaches(a, g) || nl.Reaches(g, a) {
+			t.Fatalf("Reaches inconsistent on iteration %d", i)
+		}
+	}
+}

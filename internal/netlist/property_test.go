@@ -1,0 +1,119 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"powder/internal/cellib"
+)
+
+// TestRandomEditSequencesKeepInvariants applies long random sequences of
+// every mutating operation and checks Validate after each step; the
+// netlist's cross-referenced fanin/fanout bookkeeping must survive any
+// legal interleaving.
+func TestRandomEditSequencesKeepInvariants(t *testing.T) {
+	lib := cellib.Lib2()
+	cells := []string{"inv", "nand2", "nor2", "and2", "or2", "xor2", "aoi21", "mux2", "buf"}
+	for trial := 0; trial < 12; trial++ {
+		rng := rand.New(rand.NewSource(int64(7000 + trial)))
+		nl := New("fuzz", lib)
+		var pool []NodeID
+		for i := 0; i < 5; i++ {
+			id, err := nl.AddInput(string(rune('a' + i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool = append(pool, id)
+		}
+		livePool := func() []NodeID {
+			var out []NodeID
+			for _, id := range pool {
+				if !nl.Node(id).Dead() {
+					out = append(out, id)
+				}
+			}
+			return out
+		}
+		for step := 0; step < 120; step++ {
+			live := livePool()
+			switch rng.Intn(6) {
+			case 0, 1: // add a gate
+				cell := lib.Cell(cells[rng.Intn(len(cells))])
+				fanins := make([]NodeID, cell.NumPins())
+				for p := range fanins {
+					fanins[p] = live[rng.Intn(len(live))]
+				}
+				id, err := nl.AddGate("", cell, fanins)
+				if err != nil {
+					t.Fatalf("trial %d step %d: AddGate: %v", trial, step, err)
+				}
+				pool = append(pool, id)
+			case 2: // add an output on a random node
+				if len(nl.Outputs()) < 6 {
+					d := live[rng.Intn(len(live))]
+					name := "o" + string(rune('0'+len(nl.Outputs())))
+					if err := nl.AddOutput(name, d); err != nil {
+						t.Fatalf("trial %d step %d: AddOutput: %v", trial, step, err)
+					}
+				}
+			case 3: // rewire a random pin (cycle attempts may fail, that's fine)
+				g := live[rng.Intn(len(live))]
+				n := nl.Node(g)
+				if n.Kind() == KindGate && len(n.Fanins()) > 0 {
+					pin := rng.Intn(len(n.Fanins()))
+					nd := live[rng.Intn(len(live))]
+					_ = nl.ReplaceFanin(g, pin, nd) // error allowed (cycles)
+				}
+			case 4: // redirect a random output
+				if len(nl.Outputs()) > 0 {
+					po := rng.Intn(len(nl.Outputs()))
+					nd := live[rng.Intn(len(live))]
+					if err := nl.RedirectOutput(po, nd); err != nil {
+						t.Fatalf("trial %d step %d: RedirectOutput: %v", trial, step, err)
+					}
+				}
+			case 5: // sweep dead logic
+				nl.SweepDead()
+			}
+			if err := nl.Validate(); err != nil {
+				t.Fatalf("trial %d step %d: invariants broken: %v", trial, step, err)
+			}
+		}
+		// Final sanity: topological order covers exactly the live nodes.
+		order := nl.TopoOrder()
+		liveCount := 0
+		nl.LiveNodes(func(*Node) { liveCount++ })
+		if len(order) != liveCount {
+			t.Fatalf("trial %d: topo order %d nodes, %d live", trial, len(order), liveCount)
+		}
+	}
+}
+
+// TestCloneEqualsOriginalAfterEdits: edits applied identically to original
+// and clone produce identical statistics.
+func TestCloneEqualsOriginalAfterEdits(t *testing.T) {
+	lib := cellib.Lib2()
+	rng := rand.New(rand.NewSource(11))
+	nl := New("c", lib)
+	a, _ := nl.AddInput("a")
+	b, _ := nl.AddInput("b")
+	g1, _ := nl.AddGate("g1", lib.Cell("nand2"), []NodeID{a, b})
+	g2, _ := nl.AddGate("g2", lib.Cell("inv"), []NodeID{g1})
+	g3, _ := nl.AddGate("g3", lib.Cell("or2"), []NodeID{g2, a})
+	if err := nl.AddOutput("o", g3); err != nil {
+		t.Fatal(err)
+	}
+	cp := nl.Clone()
+	for i := 0; i < 20; i++ {
+		pin := rng.Intn(2)
+		src := []NodeID{a, b, g1, g2}[rng.Intn(4)]
+		e1 := nl.ReplaceFanin(g3, pin, src)
+		e2 := cp.ReplaceFanin(g3, pin, src)
+		if (e1 == nil) != (e2 == nil) {
+			t.Fatalf("edit %d diverged: %v vs %v", i, e1, e2)
+		}
+	}
+	if nl.Area() != cp.Area() || nl.GateCount() != cp.GateCount() {
+		t.Errorf("clone diverged from original under identical edits")
+	}
+}

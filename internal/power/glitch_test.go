@@ -1,0 +1,144 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"powder/internal/cellib"
+	"powder/internal/netlist"
+)
+
+// invChain builds a pure inverter chain, which can never glitch.
+func invChain(t *testing.T, k int) *netlist.Netlist {
+	t.Helper()
+	lib := cellib.Lib2()
+	nl := netlist.New("chain", lib)
+	in, err := nl.AddInput("in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := in
+	for i := 0; i < k; i++ {
+		g, err := nl.AddGate("", lib.Cell("inv"), []netlist.NodeID{prev})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev = g
+	}
+	if err := nl.AddOutput("out", prev); err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestGlitchFreeChain(t *testing.T) {
+	nl := invChain(t, 5)
+	rep := GlitchEstimate(nl, 200, 1, nil)
+	if math.Abs(rep.Timed-rep.ZeroDelay) > 1e-9 {
+		t.Errorf("an inverter chain cannot glitch: timed %v vs zero-delay %v",
+			rep.Timed, rep.ZeroDelay)
+	}
+	if rep.GlitchFraction() > 1e-9 {
+		t.Errorf("glitch fraction should be 0, got %v", rep.GlitchFraction())
+	}
+	// Every timed transition count must equal the zero-delay count.
+	for id := range rep.Transitions {
+		if rep.Transitions[id] != rep.ZeroTransitions[id] {
+			t.Fatalf("node %d: %d timed vs %d zero-delay transitions",
+				id, rep.Transitions[id], rep.ZeroTransitions[id])
+		}
+	}
+}
+
+// unbalancedXor builds x = a XOR chain(a): the classic glitch generator —
+// both XOR inputs change on every a-transition, at different times.
+func unbalancedXor(t *testing.T, chainLen int) *netlist.Netlist {
+	t.Helper()
+	lib := cellib.Lib2()
+	nl := netlist.New("hazard", lib)
+	a, err := nl.AddInput("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := a
+	for i := 0; i < chainLen; i++ {
+		g, err := nl.AddGate("", lib.Cell("inv"), []netlist.NodeID{prev})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev = g
+	}
+	x, err := nl.AddGate("x", lib.Cell("xor2"), []netlist.NodeID{a, prev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.AddOutput("x", x); err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestGlitchDetectedOnUnbalancedPaths(t *testing.T) {
+	// Even chain length: x = a ^ a = 0 statically, but every input flip
+	// produces a glitch pulse on x in the timed waveform.
+	nl := unbalancedXor(t, 2)
+	rep := GlitchEstimate(nl, 400, 1, nil)
+	if rep.Timed <= rep.ZeroDelay {
+		t.Fatalf("unbalanced XOR must glitch: timed %v, zero-delay %v",
+			rep.Timed, rep.ZeroDelay)
+	}
+	if rep.GlitchFraction() <= 0 {
+		t.Errorf("glitch fraction should be positive")
+	}
+	x := nl.FindNode("x")
+	if rep.ZeroTransitions[x] != 0 {
+		t.Errorf("x is constant, zero-delay transitions must be 0, got %d", rep.ZeroTransitions[x])
+	}
+	if rep.Transitions[x] == 0 {
+		t.Errorf("x must glitch in the timed waveform")
+	}
+}
+
+func TestTimedNeverBelowZeroDelay(t *testing.T) {
+	// Per signal, the timed waveform makes at least the zero-delay number
+	// of transitions (it must at minimum reach the new steady state).
+	nl := unbalancedXor(t, 3)
+	rep := GlitchEstimate(nl, 300, 9, nil)
+	for id := range rep.Transitions {
+		if rep.Transitions[id] < rep.ZeroTransitions[id] {
+			t.Fatalf("node %d: timed %d < zero-delay %d transitions",
+				id, rep.Transitions[id], rep.ZeroTransitions[id])
+		}
+	}
+	if rep.Timed < rep.ZeroDelay-1e-9 {
+		t.Errorf("total timed power below zero-delay power")
+	}
+}
+
+func TestGlitchZeroDelayMatchesModel(t *testing.T) {
+	// The zero-delay side of the glitch report approximates the Model's
+	// sum C*E (both count one transition per pair when the steady state
+	// changes); with many pairs they converge.
+	lib := cellib.Lib2()
+	nl := netlist.New("m", lib)
+	a, _ := nl.AddInput("a")
+	b, _ := nl.AddInput("b")
+	g, _ := nl.AddGate("g", lib.Cell("and2"), []netlist.NodeID{a, b})
+	if err := nl.AddOutput("g", g); err != nil {
+		t.Fatal(err)
+	}
+	rep := GlitchEstimate(nl, 8000, 5, nil)
+	m := Estimate(nl, Options{})
+	if math.Abs(rep.ZeroDelay-m.Total()) > 0.12*m.Total() {
+		t.Errorf("zero-delay glitch reference %v too far from model %v", rep.ZeroDelay, m.Total())
+	}
+}
+
+func TestGlitchDeterministic(t *testing.T) {
+	nl := unbalancedXor(t, 2)
+	r1 := GlitchEstimate(nl, 100, 42, nil)
+	r2 := GlitchEstimate(nl, 100, 42, nil)
+	if r1.Timed != r2.Timed || r1.ZeroDelay != r2.ZeroDelay {
+		t.Errorf("same seed must give identical glitch estimates")
+	}
+}

@@ -1,0 +1,50 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: transition probabilities are bounded by [0, 0.5] for any
+// signal probability in [0, 1], maximized at p = 0.5.
+func TestTransitionProbBoundsProperty(t *testing.T) {
+	f := func(x float64) bool {
+		p := math.Abs(x)
+		p -= math.Floor(p) // fold into [0,1)
+		e := TransitionProbOf(p)
+		return e >= 0 && e <= 0.5+1e-12 && e <= TransitionProbOf(0.5)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: E(p) == E(1-p) (a signal and its complement toggle alike).
+func TestTransitionProbSymmetryProperty(t *testing.T) {
+	f := func(x float64) bool {
+		p := math.Abs(x)
+		p -= math.Floor(p)
+		return math.Abs(TransitionProbOf(p)-TransitionProbOf(1-p)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Scale is linear in the activity sum.
+func TestScaleLinearityProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.Abs(a) > 1e100 || math.Abs(b) > 1e100 {
+			return true // avoid float overflow artifacts; activities are small
+		}
+		lhs := Scale(a+b, 3.3, 1e6)
+		rhs := Scale(a, 3.3, 1e6) + Scale(b, 3.3, 1e6)
+		diff := math.Abs(lhs - rhs)
+		scale := math.Max(1, math.Max(math.Abs(lhs), math.Abs(rhs)))
+		return diff/scale < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

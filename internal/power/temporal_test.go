@@ -1,0 +1,98 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"powder/internal/cellib"
+	"powder/internal/netlist"
+)
+
+// xorPair builds x = a ^ b.
+func xorPair(t *testing.T) (*netlist.Netlist, netlist.NodeID) {
+	t.Helper()
+	lib := cellib.Lib2()
+	nl := netlist.New("xp", lib)
+	a, _ := nl.AddInput("a")
+	b, _ := nl.AddInput("b")
+	x, err := nl.AddGate("x", lib.Cell("xor2"), []netlist.NodeID{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.AddOutput("x", x); err != nil {
+		t.Fatal(err)
+	}
+	return nl, x
+}
+
+func TestTemporalMatchesIndependenceByDefault(t *testing.T) {
+	// With default toggle rates 2p(1-p), the measured E of a signal
+	// approaches the independence-model value.
+	nl, x := xorPair(t)
+	rep, err := TemporalEstimate(nl, 256, 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x = a^b with p=0.5 independent: E(x) = 0.5.
+	if math.Abs(rep.E[x]-0.5) > 0.03 {
+		t.Errorf("E(x) = %v, want about 0.5", rep.E[x])
+	}
+	m := Estimate(nl, Options{})
+	if math.Abs(rep.Total-m.Total()) > 0.08*m.Total() {
+		t.Errorf("temporal total %v too far from independence total %v", rep.Total, m.Total())
+	}
+}
+
+func TestTemporalCapturesCorrelation(t *testing.T) {
+	// Both inputs toggle on every cycle: the XOR output never toggles.
+	// The independence model would wrongly report E(x) = 0.5.
+	nl, x := xorPair(t)
+	rep, err := TemporalEstimate(nl, 128, 3, nil, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.E[x] != 0 {
+		t.Errorf("synchronously toggling XOR inputs: E(x) = %v, want 0", rep.E[x])
+	}
+	// The inputs themselves toggle with probability 1.
+	for _, in := range nl.Inputs() {
+		if rep.E[in] != 1 {
+			t.Errorf("E(input) = %v, want 1", rep.E[in])
+		}
+	}
+}
+
+func TestTemporalFrozenInputs(t *testing.T) {
+	// Toggle rate 0: nothing in the circuit switches.
+	nl, _ := xorPair(t)
+	rep, err := TemporalEstimate(nl, 64, 5, nil, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 0 {
+		t.Errorf("frozen inputs must give zero power, got %v", rep.Total)
+	}
+}
+
+func TestTemporalValidation(t *testing.T) {
+	nl, _ := xorPair(t)
+	if _, err := TemporalEstimate(nl, 8, 1, []float64{0.5}, nil); err == nil {
+		t.Errorf("wrong probs length should fail")
+	}
+	if _, err := TemporalEstimate(nl, 8, 1, nil, []float64{0.5}); err == nil {
+		t.Errorf("wrong toggles length should fail")
+	}
+}
+
+func TestTemporalBiasedProbabilities(t *testing.T) {
+	// p(a)=0.9 with stationary toggle 2*0.9*0.1=0.18: E(a) ~ 0.18.
+	nl, _ := xorPair(t)
+	rep, err := TemporalEstimate(nl, 512, 7, []float64{0.9, 0.5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := nl.Inputs()[0]
+	if math.Abs(rep.E[a]-0.18) > 0.02 {
+		t.Errorf("E(a) = %v, want about 0.18", rep.E[a])
+	}
+}

@@ -1,0 +1,183 @@
+package redundancy
+
+import (
+	"math/rand"
+	"testing"
+
+	"powder/internal/cellib"
+	"powder/internal/logic"
+	"powder/internal/netlist"
+	"powder/internal/sim"
+)
+
+func exhaustiveEqual(t *testing.T, x, y *netlist.Netlist) bool {
+	t.Helper()
+	n := len(x.Inputs())
+	words := (1<<uint(n) + 63) / 64
+	sx, sy := sim.New(x, words), sim.New(y, words)
+	if err := sx.SetInputsExhaustive(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sy.SetInputsExhaustive(); err != nil {
+		t.Fatal(err)
+	}
+	sx.Run()
+	sy.Run()
+	for i := range x.Outputs() {
+		vx := sx.Value(x.Outputs()[i].Driver)
+		vy := sy.Value(y.Outputs()[i].Driver)
+		for w := range vx {
+			if (vx[w]^vy[w])&sx.ValidMask(w) != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRemovesClassicAbsorption(t *testing.T) {
+	// y = a OR (a AND b): the AND is redundant.
+	lib := cellib.Lib2()
+	nl := netlist.New("abs", lib)
+	a, _ := nl.AddInput("a")
+	b, _ := nl.AddInput("b")
+	g, _ := nl.AddGate("g", lib.Cell("and2"), []netlist.NodeID{a, b})
+	y, _ := nl.AddGate("y", lib.Cell("or2"), []netlist.NodeID{a, g})
+	if err := nl.AddOutput("y", y); err != nil {
+		t.Fatal(err)
+	}
+	ref := nl.Clone()
+	res, err := Remove(nl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removed == 0 {
+		t.Fatalf("absorption not removed: %v", res)
+	}
+	if nl.GateCount() >= ref.GateCount() {
+		t.Errorf("gate count did not shrink: %d", nl.GateCount())
+	}
+	if !exhaustiveEqual(t, ref, nl) {
+		t.Fatalf("function changed")
+	}
+}
+
+func TestConstantFoldsThroughCircuit(t *testing.T) {
+	// z = (a AND !a) OR b == b; the constant must propagate and leave a
+	// plain wire to b.
+	lib := cellib.Lib2()
+	nl := netlist.New("const", lib)
+	a, _ := nl.AddInput("a")
+	b, _ := nl.AddInput("b")
+	na, _ := nl.AddGate("na", lib.Cell("inv"), []netlist.NodeID{a})
+	zero, _ := nl.AddGate("zero", lib.Cell("and2"), []netlist.NodeID{a, na})
+	z, _ := nl.AddGate("z", lib.Cell("or2"), []netlist.NodeID{zero, b})
+	if err := nl.AddOutput("z", z); err != nil {
+		t.Fatal(err)
+	}
+	ref := nl.Clone()
+	res, err := Remove(nl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removed == 0 {
+		t.Fatalf("constant logic not removed")
+	}
+	if !exhaustiveEqual(t, ref, nl) {
+		t.Fatalf("function changed")
+	}
+	// The output should now be driven by b directly (the whole cone died).
+	if nl.Outputs()[0].Driver != b {
+		t.Logf("driver is %d (gate count %d) — acceptable as long as smaller", nl.Outputs()[0].Driver, nl.GateCount())
+	}
+	if nl.GateCount() >= ref.GateCount() {
+		t.Errorf("gate count did not shrink")
+	}
+}
+
+func TestConstantOutputRealized(t *testing.T) {
+	// A primary output that is constant: y = a AND !a.
+	lib := cellib.Lib2()
+	nl := netlist.New("po0", lib)
+	a, _ := nl.AddInput("a")
+	na, _ := nl.AddGate("na", lib.Cell("inv"), []netlist.NodeID{a})
+	y, _ := nl.AddGate("y", lib.Cell("and2"), []netlist.NodeID{a, na})
+	if err := nl.AddOutput("y", y); err != nil {
+		t.Fatal(err)
+	}
+	ref := nl.Clone()
+	if _, err := Remove(nl, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !exhaustiveEqual(t, ref, nl) {
+		t.Fatalf("function changed")
+	}
+}
+
+func TestRemovePreservesRandomCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	lib := cellib.Lib2()
+	cells := []string{"inv", "nand2", "nor2", "and2", "or2", "xor2", "aoi21", "oai21"}
+	for trial := 0; trial < 10; trial++ {
+		nl := netlist.New("rand", lib)
+		var pool []netlist.NodeID
+		for i := 0; i < 6; i++ {
+			id, err := nl.AddInput(logic.VarName(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool = append(pool, id)
+		}
+		for i := 0; i < 16; i++ {
+			cell := lib.Cell(cells[rng.Intn(len(cells))])
+			fanins := make([]netlist.NodeID, cell.NumPins())
+			for p := range fanins {
+				fanins[p] = pool[rng.Intn(len(pool))]
+			}
+			id, err := nl.AddGate("", cell, fanins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool = append(pool, id)
+		}
+		for i := 0; i < 3; i++ {
+			if err := nl.AddOutput(logic.VarName(20+i), pool[len(pool)-1-i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nl.SweepDead()
+		ref := nl.Clone()
+		res, err := Remove(nl, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !exhaustiveEqual(t, ref, nl) {
+			t.Fatalf("trial %d: function changed after %d removals", trial, res.Removed)
+		}
+		if nl.GateCount() > ref.GateCount() {
+			t.Errorf("trial %d: redundancy removal grew the circuit", trial)
+		}
+	}
+}
+
+func TestRemoveIdempotent(t *testing.T) {
+	lib := cellib.Lib2()
+	nl := netlist.New("abs", lib)
+	a, _ := nl.AddInput("a")
+	b, _ := nl.AddInput("b")
+	g, _ := nl.AddGate("g", lib.Cell("and2"), []netlist.NodeID{a, b})
+	y, _ := nl.AddGate("y", lib.Cell("or2"), []netlist.NodeID{a, g})
+	if err := nl.AddOutput("y", y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Remove(nl, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	second, err := Remove(nl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Removed != 0 {
+		t.Errorf("second pass removed %d more", second.Removed)
+	}
+}

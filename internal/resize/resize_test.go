@@ -1,0 +1,126 @@
+package resize
+
+import (
+	"testing"
+
+	"powder/internal/cellib"
+	"powder/internal/netlist"
+	"powder/internal/sim"
+	"powder/internal/sta"
+)
+
+// oversized builds a circuit deliberately using x2 drive strengths where
+// the loads do not require them.
+func oversized(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	lib := cellib.Lib2()
+	nl := netlist.New("fat", lib)
+	a, _ := nl.AddInput("a")
+	b, _ := nl.AddInput("b")
+	c, _ := nl.AddInput("c")
+	g1, err := nl.AddGate("g1", lib.Cell("and2x2"), []netlist.NodeID{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := nl.AddGate("g2", lib.Cell("nand2x2"), []netlist.NodeID{g1, c})
+	g3, _ := nl.AddGate("g3", lib.Cell("invx4"), []netlist.NodeID{g2})
+	if err := nl.AddOutput("g3", g3); err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestDownsizingReducesPower(t *testing.T) {
+	nl := oversized(t)
+	before := nl.Area()
+	res, err := Optimize(nl, Options{DelayConstraint: 1e9}) // no timing pressure
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Swaps == 0 {
+		t.Fatalf("oversized gates should be downsized")
+	}
+	if res.FinalPower >= res.InitialPower {
+		t.Errorf("power did not drop: %v -> %v", res.InitialPower, res.FinalPower)
+	}
+	if nl.Area() >= before {
+		t.Errorf("area did not drop")
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Functions are untouched: all gates still compute the same TTs, so a
+	// quick simulation sanity check suffices.
+	s := sim.New(nl, 1)
+	if err := s.SetInputsExhaustive(); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	g3 := nl.FindNode("g3")
+	// g3 = !(!(a*b*... )) chain: just assert it is not constant.
+	v := s.Value(g3)[0] & s.ValidMask(0)
+	if v == 0 || v == s.ValidMask(0) {
+		t.Errorf("output became constant after resize")
+	}
+}
+
+func TestTightConstraintBlocksDownsizing(t *testing.T) {
+	nl := oversized(t)
+	// Constraint exactly at the current (fast, oversized) delay: swapping
+	// to weak cells would slow the circuit, so swaps must be limited.
+	d0 := sta.New(nl, 0).Delay()
+	res, err := Optimize(nl, Options{DelayConstraint: d0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalDelay > d0+1e-9 {
+		t.Fatalf("constraint violated: %v > %v", res.FinalDelay, d0)
+	}
+	// And a loose run must save at least as much power.
+	nl2 := oversized(t)
+	loose, err := Optimize(nl2, Options{DelayConstraint: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.FinalPower > res.FinalPower+1e-9 {
+		t.Errorf("loose constraint saved less power (%v) than tight (%v)",
+			loose.FinalPower, res.FinalPower)
+	}
+}
+
+func TestResizeIdempotent(t *testing.T) {
+	nl := oversized(t)
+	if _, err := Optimize(nl, Options{DelayConstraint: 1e9}); err != nil {
+		t.Fatal(err)
+	}
+	second, err := Optimize(nl, Options{DelayConstraint: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Swaps != 0 {
+		t.Errorf("second pass should find nothing, swapped %d", second.Swaps)
+	}
+}
+
+func TestReplaceCellValidation(t *testing.T) {
+	lib := cellib.Lib2()
+	nl := netlist.New("v", lib)
+	a, _ := nl.AddInput("a")
+	b, _ := nl.AddInput("b")
+	g, _ := nl.AddGate("g", lib.Cell("and2"), []netlist.NodeID{a, b})
+	if err := nl.AddOutput("g", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.ReplaceCell(g, lib.Cell("and2x2")); err != nil {
+		t.Fatalf("same-function swap rejected: %v", err)
+	}
+	if err := nl.ReplaceCell(g, lib.Cell("or2")); err == nil {
+		t.Errorf("different-function swap must be rejected")
+	}
+	if err := nl.ReplaceCell(g, lib.Cell("inv")); err == nil {
+		t.Errorf("different-pin-count swap must be rejected")
+	}
+	if err := nl.ReplaceCell(a, lib.Cell("and2")); err == nil {
+		t.Errorf("ReplaceCell on an input must be rejected")
+	}
+}

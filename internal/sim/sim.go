@@ -1,0 +1,312 @@
+// Package sim provides 64-way bit-parallel simulation of mapped netlists.
+// One Simulator holds a fixed set of sample input vectors (random with
+// per-input bias, or exhaustive for small input counts) and the resulting
+// value words for every signal. The same fixed vector set is used for the
+// whole optimization run, which makes incremental probability re-estimation
+// (paper Section 3.3, contribution PG_C) consistent with the global
+// estimate.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"powder/internal/netlist"
+)
+
+// Simulator simulates one netlist on a fixed set of sample vectors.
+type Simulator struct {
+	nl    *netlist.Netlist
+	words int
+	// values[id] holds the simulated stem words of node id; nil for dead
+	// or never-simulated nodes.
+	values  [][]uint64
+	topoPos []int
+	order   []netlist.NodeID
+	version int64
+	// nvec is the number of valid sample vectors; trailing bits beyond it
+	// are masked out of counts via ValidMask.
+	nvec int
+
+	// scratch state for PropagateDiff/WhatIf
+	scratch   [][]uint64
+	scratchID []int64
+	epoch     int64
+}
+
+// New creates a simulator with the given number of 64-bit words per signal
+// (words*64 sample vectors). Input values are all-zero until one of the
+// SetInputs methods is called; Run must be called before reading values.
+func New(nl *netlist.Netlist, words int) *Simulator {
+	if words <= 0 {
+		panic("sim: words must be positive")
+	}
+	s := &Simulator{nl: nl, words: words, nvec: words * 64}
+	s.refreshTopo()
+	s.values = make([][]uint64, nl.NumNodes())
+	for _, id := range s.order {
+		s.values[id] = make([]uint64, words)
+	}
+	s.scratch = make([][]uint64, nl.NumNodes())
+	s.scratchID = make([]int64, nl.NumNodes())
+	return s
+}
+
+// Words returns the number of 64-bit words per signal.
+func (s *Simulator) Words() int { return s.words }
+
+// NumVectors returns the number of valid sample vectors.
+func (s *Simulator) NumVectors() int { return s.nvec }
+
+// Netlist returns the simulated netlist.
+func (s *Simulator) Netlist() *netlist.Netlist { return s.nl }
+
+func (s *Simulator) refreshTopo() {
+	s.order = s.nl.TopoOrder()
+	if s.topoPos == nil || len(s.topoPos) < s.nl.NumNodes() {
+		s.topoPos = make([]int, s.nl.NumNodes())
+	}
+	for i, id := range s.order {
+		s.topoPos[id] = i
+	}
+	s.version = s.nl.Version()
+}
+
+// Resync must be called after the netlist was structurally modified; it
+// refreshes the topological order and fully resimulates. New nodes get
+// value storage; input words of existing inputs are preserved.
+func (s *Simulator) Resync() {
+	if int(s.nl.NumNodes()) > len(s.values) {
+		nv := make([][]uint64, s.nl.NumNodes())
+		copy(nv, s.values)
+		s.values = nv
+		ns := make([][]uint64, s.nl.NumNodes())
+		copy(ns, s.scratch)
+		s.scratch = ns
+		nid := make([]int64, s.nl.NumNodes())
+		copy(nid, s.scratchID)
+		s.scratchID = nid
+		tp := make([]int, s.nl.NumNodes())
+		copy(tp, s.topoPos)
+		s.topoPos = tp
+	}
+	s.refreshTopo()
+	for _, id := range s.order {
+		if s.values[id] == nil {
+			s.values[id] = make([]uint64, s.words)
+		}
+	}
+	s.Run()
+}
+
+// SetInputsRandom fills the input words with independent random bits.
+// probs gives the signal probability per primary input (in input order);
+// nil means 0.5 everywhere. The generator is deterministic in seed.
+func (s *Simulator) SetInputsRandom(seed int64, probs []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	ins := s.nl.Inputs()
+	if probs != nil && len(probs) != len(ins) {
+		panic(fmt.Sprintf("sim: %d probabilities for %d inputs", len(probs), len(ins)))
+	}
+	s.nvec = s.words * 64
+	for i, id := range ins {
+		p := 0.5
+		if probs != nil {
+			p = probs[i]
+		}
+		v := s.values[id]
+		for w := range v {
+			if p == 0.5 {
+				v[w] = rng.Uint64()
+				continue
+			}
+			var word uint64
+			for b := 0; b < 64; b++ {
+				if rng.Float64() < p {
+					word |= 1 << uint(b)
+				}
+			}
+			v[w] = word
+		}
+	}
+}
+
+// SetInputWord sets one 64-vector word of a primary input directly;
+// useful for driving specific test vectors.
+func (s *Simulator) SetInputWord(id netlist.NodeID, w int, bits uint64) {
+	n := s.nl.Node(id)
+	if n.Kind() != netlist.KindInput {
+		panic(fmt.Sprintf("sim: SetInputWord on non-input %s", n.Name()))
+	}
+	s.values[id][w] = bits
+}
+
+// SetInputsExhaustive enumerates all 2^n input minterms (n = number of
+// inputs); it requires n small enough that 2^n fits the simulator's words
+// and at least 1 word. With exhaustive inputs and uniform input
+// probabilities, downstream probability estimates are exact.
+func (s *Simulator) SetInputsExhaustive() error {
+	ins := s.nl.Inputs()
+	n := len(ins)
+	if n > 30 {
+		return fmt.Errorf("sim: %d inputs is too many for exhaustive simulation", n)
+	}
+	need := 1 << uint(n)
+	if need > s.words*64 {
+		return fmt.Errorf("sim: exhaustive simulation of %d inputs needs %d vectors, have %d",
+			n, need, s.words*64)
+	}
+	s.nvec = need
+	for i, id := range ins {
+		v := s.values[id]
+		for w := range v {
+			var word uint64
+			for b := 0; b < 64; b++ {
+				vec := w*64 + b
+				if vec < need && vec>>uint(i)&1 == 1 {
+					word |= 1 << uint(b)
+				}
+			}
+			v[w] = word
+		}
+	}
+	// Vectors beyond 'need' replicate vector 0 (all-zero inputs); ValidMask
+	// excludes them from all counts.
+	return nil
+}
+
+// ValidMask returns the mask of valid bits for word w (all bits except
+// possibly in the word holding the last exhaustive vector).
+func (s *Simulator) ValidMask(w int) uint64 {
+	lastWord := (s.nvec - 1) / 64
+	switch {
+	case w < lastWord:
+		return ^uint64(0)
+	case w == lastWord:
+		if s.nvec%64 == 0 {
+			return ^uint64(0)
+		}
+		return (uint64(1) << uint(s.nvec%64)) - 1
+	default:
+		return 0
+	}
+}
+
+// Run simulates the whole netlist in topological order.
+func (s *Simulator) Run() {
+	if s.version != s.nl.Version() {
+		s.refreshTopo()
+	}
+	var in [6][]uint64
+	for _, id := range s.order {
+		n := s.nl.Node(id)
+		if n.Kind() != netlist.KindGate {
+			continue
+		}
+		fanins := n.Fanins()
+		for pin, f := range fanins {
+			in[pin] = s.values[f]
+		}
+		s.evalGate(n, in[:len(fanins)], s.values[id])
+	}
+}
+
+// evalGate evaluates the gate's cell function word-wise from the given
+// fanin word slices into out.
+func (s *Simulator) evalGate(n *netlist.Node, in [][]uint64, out []uint64) {
+	expr := n.Cell().Function
+	var buf [6]uint64
+	args := buf[:len(in)]
+	for w := 0; w < s.words; w++ {
+		for p := range in {
+			args[p] = in[p][w]
+		}
+		out[w] = expr.EvalWords(args)
+	}
+}
+
+// Value returns the simulated stem words of node id. The slice is owned by
+// the simulator; callers must not mutate it.
+func (s *Simulator) Value(id netlist.NodeID) []uint64 {
+	v := s.values[id]
+	if v == nil {
+		panic(fmt.Sprintf("sim: node %d has no value (dead or stale simulator)", id))
+	}
+	return v
+}
+
+// Ones returns the number of valid sample vectors on which the signal is 1.
+func (s *Simulator) Ones(id netlist.NodeID) int {
+	v := s.Value(id)
+	n := 0
+	for w, word := range v {
+		n += popcount(word & s.ValidMask(w))
+	}
+	return n
+}
+
+// Probability returns the estimated signal probability of the node.
+func (s *Simulator) Probability(id netlist.NodeID) float64 {
+	return float64(s.Ones(id)) / float64(s.nvec)
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// ResimFrom recomputes the values of the given gates and everything in
+// their transitive fanout, in topological order. Call it after local
+// netlist edits when the rest of the circuit is unchanged and the netlist
+// version was not structurally invalidated (otherwise use Resync).
+func (s *Simulator) ResimFrom(roots ...netlist.NodeID) {
+	if s.version != s.nl.Version() {
+		s.refreshTopo()
+		s.version = s.nl.Version()
+	}
+	affected := s.collectTFO(roots)
+	var in [6][]uint64
+	for _, id := range affected {
+		n := s.nl.Node(id)
+		if n.Kind() != netlist.KindGate {
+			continue
+		}
+		if s.values[id] == nil {
+			s.values[id] = make([]uint64, s.words)
+		}
+		fanins := n.Fanins()
+		for pin, f := range fanins {
+			in[pin] = s.values[f]
+		}
+		s.evalGate(n, in[:len(fanins)], s.values[id])
+	}
+}
+
+// collectTFO returns roots plus their transitive fanout, sorted by
+// topological position.
+func (s *Simulator) collectTFO(roots []netlist.NodeID) []netlist.NodeID {
+	seen := make(map[netlist.NodeID]bool)
+	var out []netlist.NodeID
+	var walk func(id netlist.NodeID)
+	walk = func(id netlist.NodeID) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		out = append(out, id)
+		for _, b := range s.nl.Node(id).Fanouts() {
+			if !b.IsPO() {
+				walk(b.Gate)
+			}
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	sort.Slice(out, func(i, j int) bool { return s.topoPos[out[i]] < s.topoPos[out[j]] })
+	return out
+}

@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"powder/internal/netlist"
+)
+
+// Overlay holds the result of a hypothetical propagation: the values every
+// affected node would take if the root signal were replaced. An Overlay is
+// valid only until the next Hypothetical call on the same Simulator (the
+// scratch buffers are reused).
+type Overlay struct {
+	s     *Simulator
+	epoch int64
+	// Affected lists the root and its transitive fanout in topological
+	// order; these are the nodes whose Value may differ.
+	Affected []netlist.NodeID
+	// PODiff[w] has bit b set when sample vector w*64+b changes at least
+	// one primary output.
+	PODiff []uint64
+}
+
+// checkFresh panics if a newer Hypothetical call has recycled the scratch
+// buffers this overlay points into.
+func (o *Overlay) checkFresh() {
+	if o.s.epoch != o.epoch {
+		panic("sim: overlay used after a newer Hypothetical call")
+	}
+}
+
+// Value returns the node's hypothetical value words: the overlay value for
+// affected nodes and the base simulation value otherwise. The slice must
+// not be mutated.
+func (o *Overlay) Value(id netlist.NodeID) []uint64 {
+	o.checkFresh()
+	if o.s.scratchID[id] == o.epoch {
+		return o.s.scratch[id]
+	}
+	return o.s.Value(id)
+}
+
+// Changed reports whether the node's hypothetical value differs from its
+// base value on any valid vector.
+func (o *Overlay) Changed(id netlist.NodeID) bool {
+	o.checkFresh()
+	if o.s.scratchID[id] != o.epoch {
+		return false
+	}
+	base := o.s.Value(id)
+	alt := o.s.scratch[id]
+	for w := range alt {
+		if (alt[w]^base[w])&o.s.ValidMask(w) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// AnyPODiff reports whether any primary output changes on any valid vector.
+func (o *Overlay) AnyPODiff() bool {
+	for _, w := range o.PODiff {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Hypothetical computes the consequences of replacing the stem value of
+// root with alt: the transitive fanout is re-evaluated into scratch storage
+// (the base values stay untouched) and the primary-output difference mask
+// is collected. alt must have the simulator's word count.
+func (s *Simulator) Hypothetical(root netlist.NodeID, alt []uint64) *Overlay {
+	if len(alt) != s.words {
+		panic("sim: alt word count mismatch")
+	}
+	if s.version != s.nl.Version() {
+		s.refreshTopo()
+		s.version = s.nl.Version()
+	}
+	s.epoch++
+	affected := s.collectTFO([]netlist.NodeID{root})
+	ov := &Overlay{s: s, epoch: s.epoch, Affected: affected, PODiff: make([]uint64, s.words)}
+
+	s.setScratch(root, alt)
+	var in [6][]uint64
+	for _, id := range affected {
+		n := s.nl.Node(id)
+		if id != root {
+			fanins := n.Fanins()
+			for pin, f := range fanins {
+				if s.scratchID[f] == s.epoch {
+					in[pin] = s.scratch[f]
+				} else {
+					in[pin] = s.values[f]
+				}
+			}
+			dst := s.scratchFor(id)
+			s.evalGate(n, in[:len(fanins)], dst)
+		}
+		if s.nl.IsPODriver(id) {
+			base := s.values[id]
+			cur := s.scratch[id]
+			for w := 0; w < s.words; w++ {
+				ov.PODiff[w] |= (cur[w] ^ base[w]) & s.ValidMask(w)
+			}
+		}
+	}
+	return ov
+}
+
+// setScratch copies alt into root's scratch slot for the current epoch.
+func (s *Simulator) setScratch(root netlist.NodeID, alt []uint64) {
+	dst := s.scratchFor(root)
+	copy(dst, alt)
+}
+
+func (s *Simulator) scratchFor(id netlist.NodeID) []uint64 {
+	if s.scratch[id] == nil || len(s.scratch[id]) != s.words {
+		s.scratch[id] = make([]uint64, s.words)
+	}
+	s.scratchID[id] = s.epoch
+	return s.scratch[id]
+}
+
+// GateValueWithPin evaluates gate g's cell function with pin pin's words
+// replaced by words, writing into out (length Words). The other pins read
+// the base simulation values.
+func (s *Simulator) GateValueWithPin(g netlist.NodeID, pin int, words []uint64, out []uint64) {
+	n := s.nl.Node(g)
+	var in [6][]uint64
+	fanins := n.Fanins()
+	for p, f := range fanins {
+		if p == pin {
+			in[p] = words
+		} else {
+			in[p] = s.values[f]
+		}
+	}
+	s.evalGate(n, in[:len(fanins)], out)
+}
+
+// StemObservability returns the mask of sample vectors on which
+// complementing the stem signal of id changes at least one primary output.
+// This is the exact (per-sample) observability don't-care information the
+// candidate filter uses.
+func (s *Simulator) StemObservability(id netlist.NodeID) []uint64 {
+	base := s.Value(id)
+	alt := make([]uint64, s.words)
+	for w := range alt {
+		alt[w] = ^base[w]
+	}
+	ov := s.Hypothetical(id, alt)
+	out := make([]uint64, s.words)
+	copy(out, ov.PODiff)
+	return out
+}
+
+// BranchObservability returns the mask of sample vectors on which
+// complementing the branch signal feeding pin pin of gate g changes at
+// least one primary output.
+func (s *Simulator) BranchObservability(g netlist.NodeID, pin int) []uint64 {
+	n := s.nl.Node(g)
+	src := s.Value(n.Fanins()[pin])
+	flipped := make([]uint64, s.words)
+	for w := range flipped {
+		flipped[w] = ^src[w]
+	}
+	altG := make([]uint64, s.words)
+	s.GateValueWithPin(g, pin, flipped, altG)
+	ov := s.Hypothetical(g, altG)
+	out := make([]uint64, s.words)
+	copy(out, ov.PODiff)
+	return out
+}
+
+// POObservabilityAlways returns an all-ones mask; primary-output branches
+// are always observable.
+func (s *Simulator) POObservabilityAlways() []uint64 {
+	out := make([]uint64, s.words)
+	for w := range out {
+		out[w] = s.ValidMask(w)
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package synth
+
+import (
+	"fmt"
+
+	"powder/internal/cellib"
+	"powder/internal/logic"
+	"powder/internal/netlist"
+)
+
+// Design is a technology-independent circuit description: named outputs as
+// expressions over named primary inputs (variable i of every expression is
+// Inputs[i]).
+type Design struct {
+	Name    string
+	Inputs  []string
+	Outputs []Output
+}
+
+// Output is one named output function.
+type Output struct {
+	Name string
+	Expr *logic.Expr
+}
+
+// NewDesign starts a design with the given input names.
+func NewDesign(name string, inputs ...string) *Design {
+	return &Design{Name: name, Inputs: inputs}
+}
+
+// AddOutput appends an output function.
+func (d *Design) AddOutput(name string, e *logic.Expr) *Design {
+	d.Outputs = append(d.Outputs, Output{Name: name, Expr: e})
+	return d
+}
+
+// Var returns the expression for input i (convenience).
+func (d *Design) Var(i int) *logic.Expr { return logic.Var(i) }
+
+// Options configures Compile.
+type Options struct {
+	// Mode selects the mapping objective (default CostPower, matching the
+	// paper's POSE-produced initial circuits).
+	Mode CostMode
+	// Seed drives the probability estimation of the power-aware mapper.
+	Seed int64
+}
+
+// Compile runs the full synthesis flow on the design: decomposition into a
+// simplified 2-input network, cut-based technology mapping, and netlist
+// emission. The resulting netlist is the kind of "initial circuit" the
+// paper's Table 1 starts from.
+func Compile(d *Design, lib *cellib.Library, opts Options) (*netlist.Netlist, error) {
+	if err := lib.Validate(); err != nil {
+		return nil, err
+	}
+	if len(d.Outputs) == 0 {
+		return nil, fmt.Errorf("synth: design %s has no outputs", d.Name)
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+
+	// Technology-independent phase.
+	g := newGraph(len(d.Inputs))
+	roots := make([]int32, len(d.Outputs))
+	for i, out := range d.Outputs {
+		if out.Expr.MaxVar() >= len(d.Inputs) {
+			return nil, fmt.Errorf("synth: output %s references input %d beyond %d",
+				out.Name, out.Expr.MaxVar(), len(d.Inputs))
+		}
+		roots[i] = g.fromExpr(out.Expr)
+	}
+
+	// Mapping phase.
+	m := &mapper{g: g, lib: lib, mode: opts.Mode}
+	m.computeRefs(roots)
+	if opts.Mode == CostPower {
+		m.computeProbs(opts.Seed)
+	}
+	m.enumerate()
+	if err := m.cover(); err != nil {
+		return nil, err
+	}
+
+	// Emission.
+	nl := netlist.New(d.Name, lib)
+	inputIDs := make([]netlist.NodeID, len(d.Inputs))
+	for i, name := range d.Inputs {
+		id, err := nl.AddInput(name)
+		if err != nil {
+			return nil, err
+		}
+		inputIDs[i] = id
+	}
+	mapped, err := m.emit(nl, inputIDs, roots)
+	if err != nil {
+		return nil, err
+	}
+	for i, out := range d.Outputs {
+		if err := nl.AddOutput(out.Name, mapped[roots[i]]); err != nil {
+			return nil, err
+		}
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: mapped netlist invalid: %v", err)
+	}
+	return nl, nil
+}
+
+// GraphStats reports the technology-independent network size of a design,
+// for diagnostics and tests.
+func GraphStats(d *Design) (nodes int, err error) {
+	g := newGraph(len(d.Inputs))
+	for _, out := range d.Outputs {
+		if out.Expr.MaxVar() >= len(d.Inputs) {
+			return 0, fmt.Errorf("synth: output %s references input %d beyond %d",
+				out.Name, out.Expr.MaxVar(), len(d.Inputs))
+		}
+		g.fromExpr(out.Expr)
+	}
+	return len(g.ops), nil
+}

@@ -1,0 +1,271 @@
+// Package synth is the synthesis substrate that produces the *initial*
+// mapped circuits POWDER optimizes, standing in for the SIS/POSE flow the
+// paper obtained its benchmarks from (see DESIGN.md). It provides
+//
+//   - technology-independent optimization: expressions are compiled into a
+//     hash-consed graph of 2-input AND/OR/XOR and NOT nodes with constant
+//     folding, common-subexpression sharing and local Boolean
+//     simplification, and
+//   - technology mapping: cut enumeration over the graph, matched against
+//     the cell library by truth table, covered by dynamic programming under
+//     an area or switching-capacitance (low-power) cost.
+package synth
+
+import (
+	"fmt"
+
+	"powder/internal/logic"
+)
+
+// gop is the node kind of the technology-independent graph.
+type gop byte
+
+const (
+	gConst0 gop = iota
+	gVar
+	gNot
+	gAnd
+	gOr
+	gXor
+)
+
+// graph is a hash-consed DAG of simple logic nodes. Node 0 is constant 0.
+type graph struct {
+	ops  []gop
+	a, b []int32 // fanins (NOT uses a only; VAR stores the input index in a)
+	hash map[gkey]int32
+	nIn  int
+}
+
+type gkey struct {
+	op   gop
+	a, b int32
+}
+
+func newGraph(nIn int) *graph {
+	g := &graph{hash: make(map[gkey]int32), nIn: nIn}
+	g.ops = append(g.ops, gConst0)
+	g.a = append(g.a, 0)
+	g.b = append(g.b, 0)
+	for i := 0; i < nIn; i++ {
+		g.ops = append(g.ops, gVar)
+		g.a = append(g.a, int32(i))
+		g.b = append(g.b, 0)
+	}
+	return g
+}
+
+func (g *graph) konst(v bool) int32 {
+	if v {
+		return g.mkNot(0)
+	}
+	return 0
+}
+
+func (g *graph) varNode(i int) int32 { return int32(1 + i) }
+
+func (g *graph) lookup(k gkey) (int32, bool) {
+	id, ok := g.hash[k]
+	return id, ok
+}
+
+func (g *graph) insert(k gkey) int32 {
+	id := int32(len(g.ops))
+	g.ops = append(g.ops, k.op)
+	g.a = append(g.a, k.a)
+	g.b = append(g.b, k.b)
+	g.hash[k] = id
+	return id
+}
+
+// isNotOf reports whether x == NOT y structurally.
+func (g *graph) isNotOf(x, y int32) bool {
+	return (g.ops[x] == gNot && g.a[x] == y) || (g.ops[y] == gNot && g.a[y] == x)
+}
+
+func (g *graph) mkNot(x int32) int32 {
+	if g.ops[x] == gNot {
+		return g.a[x]
+	}
+	k := gkey{op: gNot, a: x}
+	if id, ok := g.lookup(k); ok {
+		return id
+	}
+	return g.insert(k)
+}
+
+// isConst1 reports whether the node is the constant-true node NOT(0).
+func (g *graph) isConst1(x int32) bool { return g.ops[x] == gNot && g.a[x] == 0 }
+
+func (g *graph) mkAnd(x, y int32) int32 {
+	if x > y {
+		x, y = y, x
+	}
+	switch {
+	case x == 0:
+		return 0
+	case g.isConst1(x):
+		return y
+	case g.isConst1(y):
+		return x
+	case x == y:
+		return x
+	case g.isNotOf(x, y):
+		return 0
+	}
+	k := gkey{op: gAnd, a: x, b: y}
+	if id, ok := g.lookup(k); ok {
+		return id
+	}
+	return g.insert(k)
+}
+
+func (g *graph) mkOr(x, y int32) int32 {
+	if x > y {
+		x, y = y, x
+	}
+	one := g.mkNot(0)
+	switch {
+	case x == 0:
+		return y
+	case x == one || y == one:
+		return one
+	case x == y:
+		return x
+	case g.isNotOf(x, y):
+		return one
+	}
+	k := gkey{op: gOr, a: x, b: y}
+	if id, ok := g.lookup(k); ok {
+		return id
+	}
+	return g.insert(k)
+}
+
+func (g *graph) mkXor(x, y int32) int32 {
+	if x > y {
+		x, y = y, x
+	}
+	one := g.mkNot(0)
+	switch {
+	case x == y:
+		return 0
+	case x == 0:
+		return y
+	case x == one:
+		return g.mkNot(y)
+	case y == one:
+		return g.mkNot(x)
+	case g.isNotOf(x, y):
+		return one
+	}
+	// Canonical polarity: fold a NOT on either input into a NOT on the
+	// output so shared XORs hash together.
+	if g.ops[x] == gNot {
+		return g.mkNot(g.mkXor(g.a[x], y))
+	}
+	if g.ops[y] == gNot {
+		return g.mkNot(g.mkXor(x, g.a[y]))
+	}
+	k := gkey{op: gXor, a: x, b: y}
+	if id, ok := g.lookup(k); ok {
+		return id
+	}
+	return g.insert(k)
+}
+
+// fromExpr compiles an expression over primary-input variables into the
+// graph, splitting n-ary operators into balanced binary trees (the
+// technology decomposition step).
+func (g *graph) fromExpr(e *logic.Expr) int32 {
+	switch e.Op {
+	case logic.OpConst0:
+		return 0
+	case logic.OpConst1:
+		return g.konst(true)
+	case logic.OpVar:
+		if e.Var >= g.nIn {
+			panic(fmt.Sprintf("synth: expression references input %d beyond %d", e.Var, g.nIn))
+		}
+		return g.varNode(e.Var)
+	case logic.OpNot:
+		return g.mkNot(g.fromExpr(e.Children[0]))
+	case logic.OpAnd, logic.OpOr, logic.OpXor:
+		ids := make([]int32, len(e.Children))
+		for i, c := range e.Children {
+			ids[i] = g.fromExpr(c)
+		}
+		return g.balance(e.Op, ids)
+	}
+	panic("synth: bad expression op")
+}
+
+// balance reduces a list of operands with a balanced binary tree.
+func (g *graph) balance(op logic.Op, ids []int32) int32 {
+	for len(ids) > 1 {
+		var next []int32
+		for i := 0; i+1 < len(ids); i += 2 {
+			switch op {
+			case logic.OpAnd:
+				next = append(next, g.mkAnd(ids[i], ids[i+1]))
+			case logic.OpOr:
+				next = append(next, g.mkOr(ids[i], ids[i+1]))
+			default:
+				next = append(next, g.mkXor(ids[i], ids[i+1]))
+			}
+		}
+		if len(ids)%2 == 1 {
+			next = append(next, ids[len(ids)-1])
+		}
+		ids = next
+	}
+	return ids[0]
+}
+
+// evalWords evaluates every graph node bit-parallel given one word per
+// input; used for the mapper's switching-probability estimates.
+func (g *graph) evalWords(inWords [][]uint64, words int) [][]uint64 {
+	vals := make([][]uint64, len(g.ops))
+	vals[0] = make([]uint64, words) // const 0
+	for id := 1; id < len(g.ops); id++ {
+		v := make([]uint64, words)
+		switch g.ops[id] {
+		case gVar:
+			copy(v, inWords[g.a[id]])
+		case gNot:
+			src := vals[g.a[id]]
+			for w := range v {
+				v[w] = ^src[w]
+			}
+		case gAnd:
+			x, y := vals[g.a[id]], vals[g.b[id]]
+			for w := range v {
+				v[w] = x[w] & y[w]
+			}
+		case gOr:
+			x, y := vals[g.a[id]], vals[g.b[id]]
+			for w := range v {
+				v[w] = x[w] | y[w]
+			}
+		case gXor:
+			x, y := vals[g.a[id]], vals[g.b[id]]
+			for w := range v {
+				v[w] = x[w] ^ y[w]
+			}
+		}
+		vals[id] = v
+	}
+	return vals
+}
+
+// fanins returns the fanin ids of a node (0, 1 or 2 of them).
+func (g *graph) fanins(id int32) []int32 {
+	switch g.ops[id] {
+	case gConst0, gVar:
+		return nil
+	case gNot:
+		return []int32{g.a[id]}
+	default:
+		return []int32{g.a[id], g.b[id]}
+	}
+}

@@ -1,0 +1,259 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"powder/internal/cellib"
+	"powder/internal/logic"
+	"powder/internal/netlist"
+	"powder/internal/sim"
+)
+
+func TestGraphSimplification(t *testing.T) {
+	g := newGraph(3)
+	a, b := g.varNode(0), g.varNode(1)
+	if g.mkAnd(a, 0) != 0 {
+		t.Errorf("a*0 must be 0")
+	}
+	one := g.konst(true)
+	if g.mkAnd(a, one) != a {
+		t.Errorf("a*1 must be a")
+	}
+	if g.mkAnd(a, a) != a {
+		t.Errorf("a*a must be a")
+	}
+	if g.mkAnd(a, g.mkNot(a)) != 0 {
+		t.Errorf("a*!a must be 0")
+	}
+	if g.mkOr(a, g.mkNot(a)) != one {
+		t.Errorf("a+!a must be 1")
+	}
+	if g.mkXor(a, a) != 0 {
+		t.Errorf("a^a must be 0")
+	}
+	if g.mkXor(a, g.mkNot(a)) != one {
+		t.Errorf("a^!a must be 1")
+	}
+	if g.mkNot(g.mkNot(a)) != a {
+		t.Errorf("!!a must be a")
+	}
+	// Hash consing: same operands, same node.
+	x1 := g.mkAnd(a, b)
+	x2 := g.mkAnd(b, a)
+	if x1 != x2 {
+		t.Errorf("AND must be hash-consed commutatively")
+	}
+}
+
+func TestCompilePreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	lib := cellib.Lib2()
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(4)
+		inputs := make([]string, n)
+		for i := range inputs {
+			inputs[i] = logic.VarName(i)
+		}
+		d := NewDesign("t", inputs...)
+		nOut := 1 + rng.Intn(3)
+		exprs := make([]*logic.Expr, nOut)
+		for i := 0; i < nOut; i++ {
+			exprs[i] = randomExpr(rng, n, 5)
+			d.AddOutput(logic.VarName(20+i), exprs[i])
+		}
+		for _, mode := range []CostMode{CostArea, CostPower} {
+			nl, err := Compile(d, lib, Options{Mode: mode})
+			if err != nil {
+				t.Fatalf("trial %d mode %d: %v", trial, mode, err)
+			}
+			checkAgainstExprs(t, nl, exprs, n)
+		}
+	}
+}
+
+// checkAgainstExprs exhaustively verifies the mapped netlist against the
+// source expressions.
+func checkAgainstExprs(t *testing.T, nl *netlist.Netlist, exprs []*logic.Expr, n int) {
+	t.Helper()
+	words := (1<<uint(n) + 63) / 64
+	s := sim.New(nl, words)
+	if err := s.SetInputsExhaustive(); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	for i, e := range exprs {
+		driver := nl.Outputs()[i].Driver
+		got := s.Value(driver)
+		for m := 0; m < 1<<uint(n); m++ {
+			in := make([]bool, n)
+			for v := 0; v < n; v++ {
+				in[v] = m>>uint(v)&1 == 1
+			}
+			want := e.Eval(in)
+			bit := got[m/64]>>uint(m%64)&1 == 1
+			if bit != want {
+				t.Fatalf("output %d wrong at minterm %d: got %v want %v", i, m, bit, want)
+			}
+		}
+	}
+}
+
+func randomExpr(rng *rand.Rand, n, depth int) *logic.Expr {
+	if depth == 0 || rng.Intn(4) == 0 {
+		v := logic.Var(rng.Intn(n))
+		if rng.Intn(2) == 0 {
+			return logic.Not(v)
+		}
+		return v
+	}
+	k := 2 + rng.Intn(2)
+	args := make([]*logic.Expr, k)
+	for i := range args {
+		args[i] = randomExpr(rng, n, depth-1)
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return logic.And(args...)
+	case 1:
+		return logic.Or(args...)
+	case 2:
+		return logic.Xor(args[0], args[1])
+	default:
+		return logic.Not(logic.And(args...))
+	}
+}
+
+func TestCompileConstantOutputs(t *testing.T) {
+	lib := cellib.Lib2()
+	d := NewDesign("c", "a", "b")
+	d.AddOutput("zero", logic.And(logic.Var(0), logic.Not(logic.Var(0))))
+	d.AddOutput("one", logic.Or(logic.Var(1), logic.Not(logic.Var(1))))
+	nl, err := Compile(d, lib, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(nl, 1)
+	if err := s.SetInputsExhaustive(); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	zero := s.Value(nl.Outputs()[0].Driver)
+	one := s.Value(nl.Outputs()[1].Driver)
+	if zero[0]&s.ValidMask(0) != 0 {
+		t.Errorf("zero output not constant 0")
+	}
+	if one[0]&s.ValidMask(0) != s.ValidMask(0) {
+		t.Errorf("one output not constant 1")
+	}
+}
+
+func TestCompileUsesComplexCells(t *testing.T) {
+	// !(a*b + c) should map to a single aoi21, not three gates, under area
+	// cost.
+	lib := cellib.Lib2()
+	d := NewDesign("aoi", "a", "b", "c")
+	d.AddOutput("y", logic.Not(logic.Or(logic.And(logic.Var(0), logic.Var(1)), logic.Var(2))))
+	nl, err := Compile(d, lib, Options{Mode: CostArea})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.GateCount() != 1 {
+		t.Errorf("expected single-gate cover, got %d gates", nl.GateCount())
+	}
+	var cellName string
+	nl.LiveNodes(func(n *netlist.Node) {
+		if n.Kind() == netlist.KindGate {
+			cellName = n.Cell().Name
+		}
+	})
+	if cellName != "aoi21" {
+		t.Errorf("expected aoi21, got %s", cellName)
+	}
+}
+
+func TestCompileSharesLogic(t *testing.T) {
+	// Two outputs sharing a subterm must share gates (hash-consing).
+	lib := cellib.Lib2()
+	shared := logic.And(logic.Var(0), logic.Var(1))
+	d := NewDesign("share", "a", "b", "c")
+	d.AddOutput("y1", logic.Or(shared, logic.Var(2)))
+	d.AddOutput("y2", logic.Xor(shared, logic.Var(2)))
+	nl, err := Compile(d, lib, Options{Mode: CostArea})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without sharing this needs 4+ gates; with sharing at most 3.
+	if nl.GateCount() > 3 {
+		t.Errorf("shared subterm not reused: %d gates", nl.GateCount())
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	lib := cellib.Lib2()
+	d := NewDesign("bad", "a")
+	if _, err := Compile(d, lib, Options{}); err == nil {
+		t.Errorf("no outputs should fail")
+	}
+	d.AddOutput("y", logic.Var(3)) // references input 3, only 1 input
+	if _, err := Compile(d, lib, Options{}); err == nil {
+		t.Errorf("out-of-range input should fail")
+	}
+}
+
+func TestPowerModeTendsToLowerSwitchedCap(t *testing.T) {
+	// On a batch of random designs, the power-aware mapper should on
+	// average produce no more switched capacitance than the area mapper.
+	rng := rand.New(rand.NewSource(1234))
+	lib := cellib.Lib2()
+	sumArea, sumPower := 0.0, 0.0
+	for trial := 0; trial < 10; trial++ {
+		n := 5
+		inputs := make([]string, n)
+		for i := range inputs {
+			inputs[i] = logic.VarName(i)
+		}
+		d := NewDesign("t", inputs...)
+		for i := 0; i < 3; i++ {
+			d.AddOutput(logic.VarName(20+i), randomExpr(rng, n, 5))
+		}
+		nlA, err := Compile(d, lib, Options{Mode: CostArea})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nlP, err := Compile(d, lib, Options{Mode: CostPower})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumArea += switchedCap(t, nlA)
+		sumPower += switchedCap(t, nlP)
+	}
+	if sumPower > sumArea*1.1 {
+		t.Errorf("power-aware mapping produced more switched cap: %.3f vs %.3f", sumPower, sumArea)
+	}
+}
+
+func switchedCap(t *testing.T, nl *netlist.Netlist) float64 {
+	t.Helper()
+	s := sim.New(nl, 32)
+	s.SetInputsRandom(1, nil)
+	s.Run()
+	total := 0.0
+	nl.LiveNodes(func(n *netlist.Node) {
+		p := s.Probability(n.ID())
+		total += nl.Load(n.ID()) * 2 * p * (1 - p)
+	})
+	return total
+}
+
+func TestGraphStats(t *testing.T) {
+	d := NewDesign("s", "a", "b")
+	d.AddOutput("y", logic.And(logic.Var(0), logic.Var(1)))
+	n, err := GraphStats(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 4 { // const0, a, b, and
+		t.Errorf("GraphStats = %d", n)
+	}
+}

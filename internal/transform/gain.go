@@ -1,0 +1,190 @@
+package transform
+
+import (
+	"powder/internal/logic"
+	"powder/internal/netlist"
+	"powder/internal/power"
+)
+
+// Analyzer computes the power-gain contributions of candidate
+// substitutions against one netlist + power model (paper Section 3.3).
+type Analyzer struct {
+	nl *netlist.Netlist
+	pm *power.Model
+}
+
+// NewAnalyzer wraps a netlist and its power model.
+func NewAnalyzer(nl *netlist.Netlist, pm *power.Model) *Analyzer {
+	return &Analyzer{nl: nl, pm: pm}
+}
+
+// AnalyzeAB fills s.GainAB (= PG_A + PG_B) and s.AreaDelta. Neither
+// requires any reestimation, exactly as the paper's pre-selection exploits.
+func (an *Analyzer) AnalyzeAB(s *Substitution) {
+	nl, pm := an.nl, an.pm
+	moved := s.movedCap(nl)
+	detached := s.detachedBranches(nl)
+
+	// PG_A: the dominated region that dies, plus load relief on its
+	// boundary (Eq. 3). The substituting signal(s) pick up the moved load
+	// and survive, so they are excluded from the dead cone.
+	keep := []netlist.NodeID{s.Src.B}
+	if s.Src.IsThree() {
+		keep = append(keep, s.Src.C)
+	}
+	if s.Src.InvertB && s.Inv == InvReuse {
+		keep = append(keep, s.InvNode)
+	}
+	cone := nl.DeadConeIfDetached(s.A, detached, keep...)
+	coneSet := make(map[netlist.NodeID]bool, len(cone))
+	for _, id := range cone {
+		coneSet[id] = true
+	}
+	pgA := 0.0
+	areaDelta := 0.0
+	if coneSet[s.A] {
+		for _, id := range cone {
+			pgA += nl.Load(id) * pm.TransitionProb(id)
+			areaDelta -= nl.Node(id).Cell().Area
+		}
+		// Cross branches: capacitance inside the cone driven from outside.
+		// Walk the cone's fanin pins (O(cone)) rather than every node.
+		for _, id := range cone {
+			n := nl.Node(id)
+			for pin, f := range n.Fanins() {
+				if !coneSet[f] {
+					pgA += n.Cell().Pins[pin].Cap * pm.TransitionProb(f)
+				}
+			}
+		}
+	} else {
+		// Nothing dies: only the detached branch load leaves stem A.
+		pgA = moved * pm.TransitionProb(s.A)
+	}
+
+	// PG_B: the penalty of driving the moved load from the source (Eq. 4),
+	// including any newly inserted inverter or gate.
+	eB := pm.TransitionProb(s.Src.B)
+	pgB := 0.0
+	switch {
+	case s.Src.IsThree():
+		eH := an.sourceTransitionProb(s)
+		eC := pm.TransitionProb(s.Src.C)
+		pgB = -(s.NewCell.Pins[0].Cap*eB + s.NewCell.Pins[1].Cap*eC + moved*eH)
+		areaDelta += s.NewCell.Area
+	case s.Src.InvertB && s.Inv == InvAdd:
+		inv := nl.Lib.Inverter()
+		pgB = -(inv.Pins[0].Cap*eB + moved*eB)
+		areaDelta += inv.Area
+	case s.Src.InvertB && s.Inv == InvReuse:
+		pgB = -moved * pm.TransitionProb(s.InvNode)
+	default:
+		pgB = -moved * eB
+	}
+
+	s.GainAB = pgA + pgB
+	s.AreaDelta = areaDelta
+}
+
+// sourceTransitionProb estimates E of the substituting signal, including
+// the output of a hypothetical new gate.
+func (an *Analyzer) sourceTransitionProb(s *Substitution) float64 {
+	if !s.Src.IsThree() {
+		return an.pm.TransitionProb(s.Src.B)
+	}
+	sm := an.pm.Sim()
+	bw := sm.Value(s.Src.B)
+	cw := sm.Value(s.Src.C)
+	ones := 0
+	for w := range bw {
+		ones += popcount(eval2TT(s.Src.Gate, bw[w], cw[w]) & sm.ValidMask(w))
+	}
+	p := float64(ones) / float64(sm.NumVectors())
+	return power.TransitionProbOf(p)
+}
+
+// AnalyzeC fills s.GainC (= PG_C, Eq. 5) by hypothetically propagating the
+// substitution through the transitive fanout and re-deriving transition
+// probabilities there. This is the expensive reestimation step the paper
+// reserves for pre-selected candidates.
+func (an *Analyzer) AnalyzeC(s *Substitution) {
+	nl, pm := an.nl, an.pm
+	sm := pm.Sim()
+
+	srcWords := an.sourceWords(s)
+	var root netlist.NodeID
+	var alt []uint64
+	if s.IsBranchSub() {
+		alt = make([]uint64, sm.Words())
+		sm.GateValueWithPin(s.G, s.Pin, srcWords, alt)
+		root = s.G
+	} else {
+		root = s.A
+		alt = srcWords
+	}
+	ov := sm.Hypothetical(root, alt)
+
+	pgC := 0.0
+	for _, id := range ov.Affected {
+		if !s.IsBranchSub() && id == s.A {
+			// The substituted stem itself disappears; PG_A accounted for it.
+			continue
+		}
+		words := ov.Value(id)
+		ones := 0
+		for w := range words {
+			ones += popcount(words[w] & sm.ValidMask(w))
+		}
+		eNew := power.TransitionProbOf(float64(ones) / float64(sm.NumVectors()))
+		pgC += nl.Load(id) * (pm.TransitionProb(id) - eNew)
+	}
+	s.GainC = pgC
+}
+
+// sourceWords returns the simulated value words of the substituting signal.
+func (an *Analyzer) sourceWords(s *Substitution) []uint64 {
+	sm := an.pm.Sim()
+	bw := sm.Value(s.Src.B)
+	out := make([]uint64, len(bw))
+	if s.Src.IsThree() {
+		cw := sm.Value(s.Src.C)
+		for w := range bw {
+			out[w] = eval2TT(s.Src.Gate, bw[w], cw[w])
+		}
+		return out
+	}
+	if s.Src.InvertB {
+		for w := range bw {
+			out[w] = ^bw[w]
+		}
+		return out
+	}
+	copy(out, bw)
+	return out
+}
+
+// eval2TT evaluates a 2-variable truth table bit-parallel.
+func eval2TT(tt logic.TT, b, c uint64) uint64 {
+	var out uint64
+	if tt.Eval(0) {
+		out |= ^b & ^c
+	}
+	if tt.Eval(1) {
+		out |= b & ^c
+	}
+	if tt.Eval(2) {
+		out |= ^b & c
+	}
+	if tt.Eval(3) {
+		out |= b & c
+	}
+	return out
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

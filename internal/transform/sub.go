@@ -1,0 +1,217 @@
+// Package transform implements the paper's structural netlist
+// transformations (Section 3): the permissible signal substitutions
+// OS2/IS2 (replace a stem or branch signal by an existing signal, possibly
+// inverted) and OS3/IS3 (replace it by the output of a newly inserted
+// two-input library gate), together with
+//
+//   - candidate generation from bit-parallel simulation signatures and
+//     observability don't-care masks (the fault-simulation-based technique
+//     of the paper's references [2,5]),
+//   - the power-gain analysis PG = PG_A + PG_B + PG_C of Section 3.3,
+//   - the delay feasibility check of Section 3.4, and
+//   - application of a substitution to the netlist, including dominated-
+//     region pruning and inverter reuse/materialization.
+package transform
+
+import (
+	"fmt"
+
+	"powder/internal/atpg"
+	"powder/internal/cellib"
+	"powder/internal/netlist"
+)
+
+// Kind is the substitution class of the paper's Definitions 1 and 2.
+type Kind int
+
+const (
+	// OS2 substitutes a stem signal by an existing signal.
+	OS2 Kind = iota
+	// IS2 substitutes a single branch signal by an existing signal.
+	IS2
+	// OS3 substitutes a stem signal by a new 2-input gate.
+	OS3
+	// IS3 substitutes a branch signal by a new 2-input gate.
+	IS3
+)
+
+func (k Kind) String() string {
+	switch k {
+	case OS2:
+		return "OS2"
+	case IS2:
+		return "IS2"
+	case OS3:
+		return "OS3"
+	case IS3:
+		return "IS3"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// InvPlan describes how an inverted substituting signal is realized.
+type InvPlan int
+
+const (
+	// InvNone: the source is used as-is.
+	InvNone InvPlan = iota
+	// InvReuse: an existing inverter gate already computes the inverted
+	// signal; its output is used.
+	InvReuse
+	// InvAdd: a new inverter cell must be inserted.
+	InvAdd
+)
+
+// Substitution is one candidate transformation.
+type Substitution struct {
+	Kind Kind
+	// A is the substituted stem signal (for IS2/IS3 the current driver of
+	// the branch).
+	A netlist.NodeID
+	// G/Pin identify the branch for IS2/IS3; G is InvalidNode for OS2/OS3.
+	G   netlist.NodeID
+	Pin int
+	// Src is the substituting signal specification (shared with the ATPG
+	// checker).
+	Src atpg.Source
+	// NewCell is the library cell realizing Src.Gate for OS3/IS3.
+	NewCell *cellib.Cell
+	// Inv describes inverter realization when Src.InvertB is set on a
+	// 2-signal substitution; InvNode is the reused inverter for InvReuse.
+	Inv     InvPlan
+	InvNode netlist.NodeID
+
+	// GainAB caches PG_A + PG_B (no reestimation needed).
+	GainAB float64
+	// GainC caches PG_C (set by AnalyzeC).
+	GainC float64
+	// AreaDelta is the area change if applied (negative = smaller).
+	AreaDelta float64
+}
+
+// IsBranchSub reports whether the substitution rewires a single branch.
+func (s *Substitution) IsBranchSub() bool { return s.Kind == IS2 || s.Kind == IS3 }
+
+// Gain returns the total estimated power gain PG_A + PG_B + PG_C.
+func (s *Substitution) Gain() float64 { return s.GainAB + s.GainC }
+
+// String renders the substitution compactly for logs and tests.
+func (s *Substitution) String() string {
+	target := fmt.Sprintf("stem %d", s.A)
+	if s.IsBranchSub() {
+		target = fmt.Sprintf("branch %d->%d.%d", s.A, s.G, s.Pin)
+	}
+	src := fmt.Sprintf("%d", s.Src.B)
+	if s.Src.InvertB {
+		src = "!" + src
+	}
+	if s.Src.IsThree() {
+		src = fmt.Sprintf("%s(%s,%d)", s.NewCell.Name, src, s.Src.C)
+	}
+	return fmt.Sprintf("%s %s <- %s (gainAB=%.4f gainC=%.4f)", s.Kind, target, src, s.GainAB, s.GainC)
+}
+
+// detachedBranches returns the branches the substitution detaches from
+// stem A.
+func (s *Substitution) detachedBranches(nl *netlist.Netlist) []netlist.Branch {
+	if s.IsBranchSub() {
+		return []netlist.Branch{{Gate: s.G, Pin: s.Pin}}
+	}
+	return append([]netlist.Branch(nil), nl.Node(s.A).Fanouts()...)
+}
+
+// movedCap returns the capacitance moved from A to the substituting signal.
+func (s *Substitution) movedCap(nl *netlist.Netlist) float64 {
+	c := 0.0
+	for _, b := range s.detachedBranches(nl) {
+		c += nl.BranchCap(b)
+	}
+	return c
+}
+
+// ApplyResult records what Apply changed.
+type ApplyResult struct {
+	// Source is the node now driving the rewired branches (b itself, an
+	// inverter output, or the new gate).
+	Source netlist.NodeID
+	// Added lists nodes inserted (new gate and/or new inverter).
+	Added []netlist.NodeID
+	// Removed lists gates pruned by the dead-cone sweep.
+	Removed []netlist.NodeID
+}
+
+// Apply performs the substitution on the netlist: it materializes the
+// substituting signal (reusing or inserting an inverter, inserting the new
+// 2-input gate for the 3-signal forms), rewires the detached branches, and
+// sweeps the dominated region. The caller is responsible for having
+// verified permissibility and timing beforehand; Apply only revalidates
+// structure (cycle-freedom) through the netlist editing primitives.
+func Apply(nl *netlist.Netlist, s *Substitution) (*ApplyResult, error) {
+	res := &ApplyResult{}
+
+	// Materialize the source signal.
+	src := s.Src.B
+	if s.Src.IsThree() {
+		if s.NewCell == nil {
+			return nil, fmt.Errorf("transform: 3-substitution without a cell")
+		}
+		if s.Src.InvertB || s.Src.InvertC {
+			return nil, fmt.Errorf("transform: inverted inputs on 3-substitutions are not generated")
+		}
+		g, err := nl.AddGate("", s.NewCell, []netlist.NodeID{s.Src.B, s.Src.C})
+		if err != nil {
+			return nil, err
+		}
+		src = g
+		res.Added = append(res.Added, g)
+	} else if s.Src.InvertB {
+		switch s.Inv {
+		case InvReuse:
+			src = s.InvNode
+		case InvAdd:
+			inv := nl.Lib.Inverter()
+			if inv == nil {
+				return nil, fmt.Errorf("transform: library has no inverter")
+			}
+			g, err := nl.AddGate("", inv, []netlist.NodeID{s.Src.B})
+			if err != nil {
+				return nil, err
+			}
+			src = g
+			res.Added = append(res.Added, g)
+		default:
+			return nil, fmt.Errorf("transform: inverted source without an inverter plan")
+		}
+	}
+	res.Source = src
+
+	// Rewire.
+	for _, b := range s.detachedBranches(nl) {
+		if b.IsPO() {
+			if err := nl.RedirectOutput(b.Pin, src); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := nl.ReplaceFanin(b.Gate, b.Pin, src); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res.Removed = nl.SweepDead()
+	return res, nil
+}
+
+// FindInverter returns an existing live inverter gate driven by b, or
+// InvalidNode.
+func FindInverter(nl *netlist.Netlist, b netlist.NodeID) netlist.NodeID {
+	for _, br := range nl.Node(b).Fanouts() {
+		if br.IsPO() {
+			continue
+		}
+		g := nl.Node(br.Gate)
+		if g.Cell().IsInverter() {
+			return br.Gate
+		}
+	}
+	return netlist.InvalidNode
+}

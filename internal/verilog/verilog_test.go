@@ -1,0 +1,166 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"powder/internal/cellib"
+	"powder/internal/circuits"
+	"powder/internal/logic"
+	"powder/internal/netlist"
+	"powder/internal/synth"
+)
+
+func fig2(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	lib := cellib.Lib2()
+	nl := netlist.New("fig2", lib)
+	a, _ := nl.AddInput("a")
+	b, _ := nl.AddInput("b")
+	c, _ := nl.AddInput("c")
+	e, _ := nl.AddGate("e", lib.Cell("and2"), []netlist.NodeID{a, b})
+	d, _ := nl.AddGate("d", lib.Cell("xor2"), []netlist.NodeID{a, c})
+	f, _ := nl.AddGate("f", lib.Cell("and2"), []netlist.NodeID{d, b})
+	if err := nl.AddOutput("f", f); err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.AddOutput("e", e); err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestWriteBasicStructure(t *testing.T) {
+	nl := fig2(t)
+	var b strings.Builder
+	if err := Write(&b, nl, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"module fig2(a, b, c, f, e);",
+		"input a;", "input b;", "input c;",
+		"output f;", "output e;",
+		"wire d;",
+		"xor2", "and2",
+		".O(f)", ".O(e)", ".O(d)",
+		"endmodule",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Without primitives, cell modules are not defined here.
+	if strings.Contains(out, "assign O =") {
+		t.Errorf("primitives emitted without being requested")
+	}
+}
+
+func TestWriteWithPrimitives(t *testing.T) {
+	nl := fig2(t)
+	var b strings.Builder
+	if err := Write(&b, nl, Options{EmitPrimitives: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"module and2(a, b, O);",
+		"assign O = (a & b);",
+		"module xor2(a, b, O);",
+		"assign O = (a ^ b);",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("primitives missing %q:\n%s", want, out)
+		}
+	}
+	// Each used cell defined exactly once.
+	if strings.Count(out, "module and2(") != 1 {
+		t.Errorf("and2 primitive duplicated")
+	}
+}
+
+func TestWriteOutputFedByInput(t *testing.T) {
+	lib := cellib.Lib2()
+	nl := netlist.New("wire", lib)
+	a, _ := nl.AddInput("a")
+	g, _ := nl.AddGate("g", lib.Cell("inv"), []netlist.NodeID{a})
+	if err := nl.AddOutput("g", g); err != nil {
+		t.Fatal(err)
+	}
+	// Second output aliased directly to the input.
+	if err := nl.AddOutput("alias", a); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Write(&b, nl, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "assign alias = a;") {
+		t.Errorf("input-fed output needs an assign:\n%s", b.String())
+	}
+}
+
+func TestSanitizeAndKeywords(t *testing.T) {
+	if sanitize("") != "_" {
+		t.Errorf("empty name")
+	}
+	if sanitize("9sym") != "_9sym" {
+		t.Errorf("leading digit: %q", sanitize("9sym"))
+	}
+	if sanitize("a.b[3]") != "a_b_3_" {
+		t.Errorf("punctuation: %q", sanitize("a.b[3]"))
+	}
+	if sanitize("output") != "output_" {
+		t.Errorf("keyword: %q", sanitize("output"))
+	}
+}
+
+func TestBufKeywordCell(t *testing.T) {
+	// The library's "buf" cell collides with the Verilog keyword and must
+	// be renamed consistently in instance and primitive.
+	lib := cellib.Lib2()
+	nl := netlist.New("b", lib)
+	a, _ := nl.AddInput("a")
+	g, _ := nl.AddGate("g", lib.Cell("buf"), []netlist.NodeID{a})
+	if err := nl.AddOutput("g", g); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Write(&b, nl, Options{EmitPrimitives: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "buf_ u0") || !strings.Contains(out, "module buf_(") {
+		t.Errorf("keyword cell not renamed consistently:\n%s", out)
+	}
+}
+
+func TestWriteWholeBenchmarkSuite(t *testing.T) {
+	lib := cellib.Lib2()
+	for _, spec := range circuits.All() {
+		nl, err := synth.Compile(spec.Build(), lib, synth.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := Write(&b, nl, Options{EmitPrimitives: true}); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		out := b.String()
+		// Structural sanity: balanced module/endmodule, one instance per
+		// gate.
+		if strings.Count(out, "module ") != strings.Count(out, "endmodule") {
+			t.Fatalf("%s: unbalanced modules", spec.Name)
+		}
+		if got := strings.Count(out, "  wire "); got > nl.GateCount() {
+			t.Fatalf("%s: more wires than gates", spec.Name)
+		}
+	}
+}
+
+func TestVerilogExprConstants(t *testing.T) {
+	got := verilogExpr(logic.Or(logic.Const(true), logic.Not(logic.Var(0))), []string{"x"})
+	if !strings.Contains(got, "1'b1") || !strings.Contains(got, "~(x)") {
+		t.Errorf("verilogExpr = %q", got)
+	}
+}
