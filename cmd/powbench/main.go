@@ -6,7 +6,14 @@
 //	powbench -all         everything
 //
 // -circuits restricts the run to a comma-separated subset; -csv writes the
-// Table 1 rows to a file for plotting.
+// Table 1 rows to a file for plotting; -json writes the machine-readable
+// run report (Table 1 rows plus per-phase timings, checker effort, and
+// reject-reason counts) used to track the performance trajectory across
+// changes (the BENCH_*.json format).
+//
+// Observability: -trace-json streams every core.Optimize run's structured
+// events as JSON Lines, -metrics prints the aggregated metrics registry to
+// stderr, and -cpuprofile/-memprofile write pprof profiles.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 
 	"powder/internal/circuits"
 	"powder/internal/expt"
+	"powder/internal/obs"
 )
 
 func main() {
@@ -29,9 +37,15 @@ func main() {
 		list     = flag.Bool("list", false, "list the benchmark circuits and exit")
 		subset   = flag.String("circuits", "", "comma-separated circuit subset (default: the paper's sets)")
 		csvPath  = flag.String("csv", "", "write Table 1 rows as CSV to this file")
+		jsonPath = flag.String("json", "", "write the JSON run report (Table 1 rows + per-phase timings) to this file")
 		quiet    = flag.Bool("quiet", false, "suppress per-circuit progress")
 		mapArea  = flag.Bool("map-area", false, "use area-cost initial mapping instead of power-aware")
 		preOpt   = flag.Bool("preopt", false, "pre-optimize initial circuits with redundancy removal (POSE-grade starting points)")
+
+		traceJSON  = flag.String("trace-json", "", "write structured run events as JSON Lines to this file")
+		metrics    = flag.Bool("metrics", false, "collect a metrics registry over all runs and print it to stderr")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 
@@ -41,12 +55,39 @@ func main() {
 		}
 		return
 	}
+	if *jsonPath != "" && !(*table1 || *table2 || *all) {
+		// The run report is assembled from the Table 1 suite.
+		*table1 = true
+	}
 	if !*table1 && !*table2 && !*fig6 && !*baseline && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	opts := expt.RunOptions{MapArea: *mapArea, PreOptimize: *preOpt}
+	if *cpuProfile != "" {
+		stopProf, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		defer stopProf()
+	}
+
+	var sinks []obs.Sink
+	if *traceJSON != "" {
+		f, err := os.Create(*traceJSON)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		sinks = append(sinks, obs.NewJSONLSink(f))
+	}
+	var reg *obs.Registry
+	if *metrics || *traceJSON != "" || *jsonPath != "" {
+		reg = obs.NewRegistry()
+	}
+	observer := obs.New(obs.Multi(sinks...), reg)
+
+	opts := expt.RunOptions{MapArea: *mapArea, PreOptimize: *preOpt, Obs: observer}
 	if !*quiet {
 		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
@@ -59,8 +100,7 @@ func main() {
 		for _, name := range strings.Split(*subset, ",") {
 			s, err := circuits.ByName(strings.TrimSpace(name))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "powbench:", err)
-				os.Exit(1)
+				fail(err)
 			}
 			out = append(out, s)
 		}
@@ -70,8 +110,7 @@ func main() {
 	if *table1 || *table2 || *all {
 		suite, err := expt.RunSuite(pick(circuits.All()), opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "powbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		if *table1 || *all {
 			expt.RenderTable1(os.Stdout, suite)
@@ -84,20 +123,38 @@ func main() {
 		if *csvPath != "" {
 			f, err := os.Create(*csvPath)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "powbench:", err)
-				os.Exit(1)
+				fail(err)
 			}
 			expt.RenderCSV(f, suite)
 			f.Close()
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+		}
+		if *jsonPath != "" {
+			var snap *obs.Snapshot
+			if reg != nil {
+				s := reg.Snapshot()
+				snap = &s
+			}
+			report := expt.BuildReport(suite, expt.ReportOptions{
+				MapArea: *mapArea, PreOptimize: *preOpt,
+			}, snap)
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fail(err)
+			}
+			if err := expt.WriteReportJSON(f, report); err != nil {
+				f.Close()
+				fail(err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 		}
 	}
 
 	if *baseline || *all {
 		rows, err := expt.RunBaseline(pick(circuits.All()), opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "powbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		expt.RenderBaseline(os.Stdout, rows)
 		fmt.Println()
@@ -106,9 +163,29 @@ func main() {
 	if *fig6 || *all {
 		points, err := expt.RunTradeoff(pick(circuits.Fig6Subset()), nil, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "powbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		expt.RenderTradeoff(os.Stdout, points)
 	}
+
+	if reg != nil {
+		snap := reg.Snapshot()
+		observer.Emit("metrics", obs.Fields{
+			"counters":   snap.Counters,
+			"histograms": snap.Histograms,
+		})
+		if *metrics {
+			snap.WriteText(os.Stderr)
+		}
+	}
+	if *memProfile != "" {
+		if err := obs.WriteHeapProfile(*memProfile); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "powbench:", err)
+	os.Exit(1)
 }

@@ -9,11 +9,18 @@
 // The circuit is read as mapped BLIF against the library (default: the
 // built-in lib2-style library), or generated from the built-in benchmark
 // suite with -circuit. The optimized netlist is written as mapped BLIF.
+//
+// Observability: -trace-json streams structured JSONL run events
+// (harvest, check, apply, reject, metrics), -metrics prints the metrics
+// registry and phase breakdown to stderr, and -cpuprofile/-memprofile
+// write pprof profiles. The report goes to stdout; traces and progress go
+// to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"powder/internal/atpg"
@@ -22,6 +29,7 @@ import (
 	"powder/internal/circuits"
 	"powder/internal/core"
 	"powder/internal/netlist"
+	"powder/internal/obs"
 	"powder/internal/power"
 	"powder/internal/resize"
 	"powder/internal/synth"
@@ -29,41 +37,103 @@ import (
 	"powder/internal/verilog"
 )
 
-func main() {
-	var (
-		inPath   = flag.String("in", "", "input mapped BLIF file")
-		circuit  = flag.String("circuit", "", "use a built-in benchmark circuit instead of -in")
-		libPath  = flag.String("lib", "", "genlib library file (default: built-in lib2)")
-		outPath  = flag.String("out", "", "write the optimized netlist as BLIF")
-		vlogPath = flag.String("verilog", "", "write the optimized netlist as structural Verilog (with primitives)")
-		delayFac = flag.Float64("delay-factor", 0, "delay constraint as a factor of the initial delay (1.0 = keep delay; 0 = unconstrained)")
-		delayAbs = flag.Float64("delay", 0, "absolute delay constraint in library time units (0 = unconstrained)")
-		repeat   = flag.Int("repeat", 10, "substitutions per candidate harvest")
-		preK     = flag.Int("preselect", 12, "candidates reestimated per selection")
-		words    = flag.Int("words", 64, "64-bit sample words for probability estimation")
-		seed     = flag.Int64("seed", 1, "random-vector seed")
-		budget   = flag.Int64("budget", 0, "ATPG/SAT conflict budget per check (0 = default)")
-		maxSubs  = flag.Int("max-subs", 0, "stop after this many substitutions (0 = unlimited)")
-		noInv    = flag.Bool("no-inverted", false, "disable inverted-source substitutions")
-		doResize = flag.Bool("resize", false, "run the gate re-sizing pass after POWDER")
-		doVerify = flag.Bool("verify", false, "independently re-verify the optimized circuit against the original (SAT equivalence check)")
-		verbose  = flag.Bool("v", false, "trace every performed substitution")
-	)
-	flag.Parse()
+// config carries every command-line option of one powder invocation.
+type config struct {
+	inPath   string
+	circuit  string
+	libPath  string
+	outPath  string
+	vlogPath string
 
-	if err := run(*inPath, *circuit, *libPath, *outPath, *vlogPath, *delayFac, *delayAbs,
-		*repeat, *preK, *words, *seed, *budget, *maxSubs, !*noInv, *doResize, *doVerify, *verbose); err != nil {
+	delayFactor float64
+	delayAbs    float64
+	repeat      int
+	preselect   int
+	words       int
+	seed        int64
+	budget      int64
+	maxSubs     int
+	inverted    bool
+	resize      bool
+	verify      bool
+	verbose     bool
+
+	traceJSON  string
+	metrics    bool
+	cpuProfile string
+	memProfile string
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.inPath, "in", "", "input mapped BLIF file")
+	flag.StringVar(&cfg.circuit, "circuit", "", "use a built-in benchmark circuit instead of -in")
+	flag.StringVar(&cfg.libPath, "lib", "", "genlib library file (default: built-in lib2)")
+	flag.StringVar(&cfg.outPath, "out", "", "write the optimized netlist as BLIF")
+	flag.StringVar(&cfg.vlogPath, "verilog", "", "write the optimized netlist as structural Verilog (with primitives)")
+	flag.Float64Var(&cfg.delayFactor, "delay-factor", 0, "delay constraint as a factor of the initial delay (1.0 = keep delay; 0 = unconstrained)")
+	flag.Float64Var(&cfg.delayAbs, "delay", 0, "absolute delay constraint in library time units (0 = unconstrained)")
+	flag.IntVar(&cfg.repeat, "repeat", 10, "substitutions per candidate harvest")
+	flag.IntVar(&cfg.preselect, "preselect", 12, "candidates reestimated per selection")
+	flag.IntVar(&cfg.words, "words", 64, "64-bit sample words for probability estimation")
+	flag.Int64Var(&cfg.seed, "seed", 1, "random-vector seed")
+	flag.Int64Var(&cfg.budget, "budget", 0, "ATPG/SAT conflict budget per check (0 = default)")
+	flag.IntVar(&cfg.maxSubs, "max-subs", 0, "stop after this many substitutions (0 = unlimited)")
+	noInv := flag.Bool("no-inverted", false, "disable inverted-source substitutions")
+	flag.BoolVar(&cfg.resize, "resize", false, "run the gate re-sizing pass after POWDER")
+	flag.BoolVar(&cfg.verify, "verify", false, "independently re-verify the optimized circuit against the original (SAT equivalence check)")
+	flag.BoolVar(&cfg.verbose, "v", false, "trace every performed substitution to stderr")
+	flag.StringVar(&cfg.traceJSON, "trace-json", "", "write structured run events as JSON Lines to this file")
+	flag.BoolVar(&cfg.metrics, "metrics", false, "collect a metrics registry and print it to stderr")
+	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	flag.StringVar(&cfg.memProfile, "memprofile", "", "write a pprof heap profile to this file")
+	flag.Parse()
+	cfg.inverted = !*noInv
+
+	if err := run(cfg, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "powder:", err)
 		os.Exit(1)
 	}
 }
 
-func run(inPath, circuit, libPath, outPath, vlogPath string, delayFac, delayAbs float64,
-	repeat, preK, words int, seed, budget int64, maxSubs int, inverted, doResize, doVerify, verbose bool) error {
+// buildObserver assembles the observer of one run from the trace/metrics
+// flags; close releases the trace file. The returned observer is nil when
+// observability is off.
+func buildObserver(cfg config, stderr io.Writer) (o *obs.Observer, reg *obs.Registry, cleanup func(), err error) {
+	var sinks []obs.Sink
+	cleanup = func() {}
+	if cfg.traceJSON != "" {
+		f, err := os.Create(cfg.traceJSON)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		sinks = append(sinks, obs.NewJSONLSink(f))
+		cleanup = func() { f.Close() }
+	}
+	if cfg.verbose {
+		// Substitution traces go to stderr so stdout stays a clean report.
+		sinks = append(sinks, obs.NewLineSink(func(s string) {
+			fmt.Fprintln(stderr, s)
+		}, "apply", "reject"))
+	}
+	if cfg.metrics || cfg.traceJSON != "" {
+		reg = obs.NewRegistry()
+	}
+	return obs.New(obs.Multi(sinks...), reg), reg, cleanup, nil
+}
+
+func run(cfg config, stdout, stderr io.Writer) error {
+	if cfg.cpuProfile != "" {
+		stopProf, err := obs.StartCPUProfile(cfg.cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer stopProf()
+	}
 
 	lib := cellib.Lib2()
-	if libPath != "" {
-		f, err := os.Open(libPath)
+	if cfg.libPath != "" {
+		f, err := os.Open(cfg.libPath)
 		if err != nil {
 			return err
 		}
@@ -76,10 +146,10 @@ func run(inPath, circuit, libPath, outPath, vlogPath string, delayFac, delayAbs 
 
 	var nl *netlist.Netlist
 	switch {
-	case inPath != "" && circuit != "":
+	case cfg.inPath != "" && cfg.circuit != "":
 		return fmt.Errorf("use either -in or -circuit, not both")
-	case inPath != "":
-		f, err := os.Open(inPath)
+	case cfg.inPath != "":
+		f, err := os.Open(cfg.inPath)
 		if err != nil {
 			return err
 		}
@@ -88,8 +158,8 @@ func run(inPath, circuit, libPath, outPath, vlogPath string, delayFac, delayAbs 
 		if err != nil {
 			return err
 		}
-	case circuit != "":
-		spec, err := circuits.ByName(circuit)
+	case cfg.circuit != "":
+		spec, err := circuits.ByName(cfg.circuit)
 		if err != nil {
 			return fmt.Errorf("%v (known: %v)", err, circuits.Names())
 		}
@@ -101,22 +171,26 @@ func run(inPath, circuit, libPath, outPath, vlogPath string, delayFac, delayAbs 
 		return fmt.Errorf("need -in FILE or -circuit NAME (see -h)")
 	}
 
-	opts := core.Options{
-		DelayConstraint:  delayAbs,
-		DelayFactor:      delayFac,
-		Repeat:           repeat,
-		PreselectK:       preK,
-		MaxSubstitutions: maxSubs,
-		CheckBudget:      budget,
-		Power:            power.Options{Words: words, Seed: seed},
-		Transform:        transform.Config{AllowInverted: inverted},
+	observer, reg, closeTrace, err := buildObserver(cfg, stderr)
+	if err != nil {
+		return err
 	}
-	if verbose {
-		opts.Trace = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	defer closeTrace()
+
+	opts := core.Options{
+		DelayConstraint:  cfg.delayAbs,
+		DelayFactor:      cfg.delayFactor,
+		Repeat:           cfg.repeat,
+		PreselectK:       cfg.preselect,
+		MaxSubstitutions: cfg.maxSubs,
+		CheckBudget:      cfg.budget,
+		Power:            power.Options{Words: cfg.words, Seed: cfg.seed},
+		Transform:        transform.Config{AllowInverted: cfg.inverted},
+		Obs:              observer,
 	}
 
 	var original *netlist.Netlist
-	if doVerify {
+	if cfg.verify {
 		original = nl.Clone()
 	}
 
@@ -125,53 +199,71 @@ func run(inPath, circuit, libPath, outPath, vlogPath string, delayFac, delayAbs 
 		return err
 	}
 
-	fmt.Printf("circuit: %s\n", nl.Name)
-	fmt.Printf("  power: %10.3f -> %10.3f  (%.1f%% reduction)\n",
-		res.Initial.Power, res.Final.Power, res.PowerReductionPct())
-	fmt.Printf("  area:  %10.0f -> %10.0f  (%+.1f%%)\n",
-		res.Initial.Area, res.Final.Area, res.AreaChangePct())
-	fmt.Printf("  delay: %10.2f -> %10.2f", res.InitialDelay, res.FinalDelay)
-	if res.Constraint > 0 {
-		fmt.Printf("  (constraint %.2f)", res.Constraint)
+	// The final metrics block: phase breakdown plus the registry snapshot,
+	// emitted as the last JSONL event and/or printed to stderr.
+	if reg != nil {
+		snap := reg.Snapshot()
+		observer.Emit("metrics", obs.Fields{
+			"phases":          res.Phases.Map(),
+			"phase_seconds":   res.Phases.Seconds(),
+			"runtime_seconds": res.Runtime.Seconds(),
+			"rejects":         res.Rejects,
+			"counters":        snap.Counters,
+			"histograms":      snap.Histograms,
+		})
+		if cfg.metrics {
+			fmt.Fprintf(stderr, "phases: %s\n", res.Phases)
+			snap.WriteText(stderr)
+		}
 	}
-	fmt.Println()
-	fmt.Printf("  gates: %10d -> %10d\n", res.Initial.Gates, res.Final.Gates)
-	fmt.Printf("  substitutions: %d (OS2 %d, IS2 %d, OS3 %d, IS3 %d) in %s\n",
+
+	fmt.Fprintf(stdout, "circuit: %s\n", nl.Name)
+	fmt.Fprintf(stdout, "  power: %10.3f -> %10.3f  (%.1f%% reduction)\n",
+		res.Initial.Power, res.Final.Power, res.PowerReductionPct())
+	fmt.Fprintf(stdout, "  area:  %10.0f -> %10.0f  (%+.1f%%)\n",
+		res.Initial.Area, res.Final.Area, res.AreaChangePct())
+	fmt.Fprintf(stdout, "  delay: %10.2f -> %10.2f", res.InitialDelay, res.FinalDelay)
+	if res.Constraint > 0 {
+		fmt.Fprintf(stdout, "  (constraint %.2f)", res.Constraint)
+	}
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "  gates: %10d -> %10d\n", res.Initial.Gates, res.Final.Gates)
+	fmt.Fprintf(stdout, "  substitutions: %d (OS2 %d, IS2 %d, OS3 %d, IS3 %d) in %s\n",
 		res.Applied,
 		res.ByClass[transform.OS2].Count, res.ByClass[transform.IS2].Count,
 		res.ByClass[transform.OS3].Count, res.ByClass[transform.IS3].Count,
 		res.Runtime.Round(1e6))
-	fmt.Printf("  permissibility checks: %s\n", res.CheckStats)
+	fmt.Fprintf(stdout, "  permissibility checks: %s\n", res.CheckStats)
 
-	if doResize {
+	if cfg.resize {
 		rr, err := resize.Optimize(nl, resize.Options{
 			DelayConstraint: res.Constraint,
-			Power:           power.Options{Words: words, Seed: seed},
+			Power:           power.Options{Words: cfg.words, Seed: cfg.seed},
 		})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  %s\n", rr)
+		fmt.Fprintf(stdout, "  %s\n", rr)
 	}
 
-	if doVerify {
+	if cfg.verify {
 		eq, err := atpg.Equivalent(original, nl, 0)
 		if err != nil {
 			return err
 		}
 		switch eq.Verdict {
 		case atpg.Permissible:
-			fmt.Println("  verify: optimized circuit proven equivalent to the original")
+			fmt.Fprintln(stdout, "  verify: optimized circuit proven equivalent to the original")
 		case atpg.NotPermissible:
 			return fmt.Errorf("VERIFICATION FAILED: output %q differs on %v",
 				eq.DifferingOutput, eq.Counterexample)
 		default:
-			fmt.Println("  verify: inconclusive (budget exhausted)")
+			fmt.Fprintln(stdout, "  verify: inconclusive (budget exhausted)")
 		}
 	}
 
-	if outPath != "" {
-		f, err := os.Create(outPath)
+	if cfg.outPath != "" {
+		f, err := os.Create(cfg.outPath)
 		if err != nil {
 			return err
 		}
@@ -179,10 +271,10 @@ func run(inPath, circuit, libPath, outPath, vlogPath string, delayFac, delayAbs 
 		if err := blif.Write(f, nl); err != nil {
 			return err
 		}
-		fmt.Printf("  wrote %s\n", outPath)
+		fmt.Fprintf(stdout, "  wrote %s\n", cfg.outPath)
 	}
-	if vlogPath != "" {
-		f, err := os.Create(vlogPath)
+	if cfg.vlogPath != "" {
+		f, err := os.Create(cfg.vlogPath)
 		if err != nil {
 			return err
 		}
@@ -190,7 +282,13 @@ func run(inPath, circuit, libPath, outPath, vlogPath string, delayFac, delayAbs 
 		if err := verilog.Write(f, nl, verilog.Options{EmitPrimitives: true}); err != nil {
 			return err
 		}
-		fmt.Printf("  wrote %s\n", vlogPath)
+		fmt.Fprintf(stdout, "  wrote %s\n", cfg.vlogPath)
+	}
+
+	if cfg.memProfile != "" {
+		if err := obs.WriteHeapProfile(cfg.memProfile); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,21 +1,32 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
-	"testing"
-
 	"strings"
+	"testing"
 
 	"powder/internal/blif"
 	"powder/internal/cellib"
 )
 
+// runQuiet runs with discarded output streams.
+func runQuiet(t *testing.T, cfg config) error {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	return run(cfg, &stdout, &stderr)
+}
+
 func TestRunBuiltinCircuitEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "opt.blif")
-	err := run("", "t481", "", out, "", 1.0, 0, 10, 12, 16, 1, 0, 0, true, false, true, false)
-	if err != nil {
+	cfg := config{
+		circuit: "t481", outPath: out, delayFactor: 1.0,
+		repeat: 10, preselect: 12, words: 16, seed: 1, inverted: true, verify: true,
+	}
+	if err := runQuiet(t, cfg); err != nil {
 		t.Fatal(err)
 	}
 	// The written netlist must parse back against the default library.
@@ -55,28 +66,46 @@ GATE nand2 16 O=!(a*b);  PIN * INV 1.0 999 0.5 0.12 0.5 0.12
 	if err := os.WriteFile(blifPath, []byte(blifSrc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(blifPath, "", libPath, "", "", 0, 0, 10, 12, 8, 1, 0, 0, true, false, false, false); err != nil {
+	cfg := config{
+		inPath: blifPath, libPath: libPath,
+		repeat: 10, preselect: 12, words: 8, seed: 1, inverted: true,
+	}
+	if err := runQuiet(t, cfg); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunArgumentValidation(t *testing.T) {
-	if err := run("", "", "", "", "", 0, 0, 10, 12, 8, 1, 0, 0, true, false, false, false); err == nil {
+	base := config{repeat: 10, preselect: 12, words: 8, seed: 1, inverted: true}
+
+	cfg := base
+	if err := runQuiet(t, cfg); err == nil {
 		t.Errorf("no input should fail")
 	}
-	if err := run("x.blif", "t481", "", "", "", 0, 0, 10, 12, 8, 1, 0, 0, true, false, false, false); err == nil {
+	cfg = base
+	cfg.inPath, cfg.circuit = "x.blif", "t481"
+	if err := runQuiet(t, cfg); err == nil {
 		t.Errorf("both -in and -circuit should fail")
 	}
-	if err := run("", "nonexistent-circuit", "", "", "", 0, 0, 10, 12, 8, 1, 0, 0, true, false, false, false); err == nil {
+	cfg = base
+	cfg.circuit = "nonexistent-circuit"
+	if err := runQuiet(t, cfg); err == nil {
 		t.Errorf("unknown circuit should fail")
 	}
-	if err := run("/nonexistent/path.blif", "", "", "", "", 0, 0, 10, 12, 8, 1, 0, 0, true, false, false, false); err == nil {
+	cfg = base
+	cfg.inPath = "/nonexistent/path.blif"
+	if err := runQuiet(t, cfg); err == nil {
 		t.Errorf("missing input file should fail")
 	}
 }
 
 func TestRunWithResizeAndVerify(t *testing.T) {
-	if err := run("", "clip", "", "", "", 1.0, 0, 10, 12, 16, 1, 0, 0, true, true, true, false); err != nil {
+	cfg := config{
+		circuit: "clip", delayFactor: 1.0,
+		repeat: 10, preselect: 12, words: 16, seed: 1,
+		inverted: true, resize: true, verify: true,
+	}
+	if err := runQuiet(t, cfg); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -84,7 +113,11 @@ func TestRunWithResizeAndVerify(t *testing.T) {
 func TestRunVerilogOutput(t *testing.T) {
 	dir := t.TempDir()
 	v := filepath.Join(dir, "opt.v")
-	if err := run("", "clip", "", "", v, 0, 0, 10, 12, 16, 1, 0, 0, true, false, false, false); err != nil {
+	cfg := config{
+		circuit: "clip", vlogPath: v,
+		repeat: 10, preselect: 12, words: 16, seed: 1, inverted: true,
+	}
+	if err := runQuiet(t, cfg); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(v)
@@ -93,5 +126,119 @@ func TestRunVerilogOutput(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "module clip(") || !strings.Contains(string(data), "endmodule") {
 		t.Errorf("verilog output malformed")
+	}
+}
+
+// TestVerboseTracesGoToStderr pins the stream contract: -v substitution
+// traces are stderr-only, stdout stays a clean report.
+func TestVerboseTracesGoToStderr(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	cfg := config{
+		circuit: "t481", repeat: 10, preselect: 12, words: 16, seed: 1,
+		inverted: true, verbose: true,
+	}
+	if err := run(cfg, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(stdout.String(), "apply ") {
+		t.Errorf("stdout contains substitution traces:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "circuit: t481") {
+		t.Errorf("stdout lost the report:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "apply ") {
+		t.Errorf("stderr has no substitution traces:\n%s", stderr.String())
+	}
+}
+
+// TestTraceJSONAndMetrics pins the acceptance contract of the
+// observability flags: the JSONL trace holds harvest, check, apply, and
+// reject events (with reason codes) plus a final metrics block whose
+// phase durations account for the run time.
+func TestTraceJSONAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	var stdout, stderr bytes.Buffer
+	cfg := config{
+		circuit: "9sym", repeat: 10, preselect: 12, words: 16, seed: 1,
+		inverted: true, traceJSON: tracePath, metrics: true,
+	}
+	if err := run(cfg, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	events := map[string]int{}
+	var metricsRec map[string]any
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		name, _ := rec["event"].(string)
+		events[name]++
+		switch name {
+		case "reject":
+			if reason, _ := rec["reason"].(string); reason == "" {
+				t.Errorf("reject event without reason code: %v", rec)
+			}
+		case "metrics":
+			metricsRec = rec
+		}
+	}
+	for _, want := range []string{"harvest", "check", "apply", "reject", "metrics"} {
+		if events[want] == 0 {
+			t.Errorf("trace has no %q events (got %v)", want, events)
+		}
+	}
+	if metricsRec == nil {
+		t.Fatalf("no final metrics block")
+	}
+	phases, ok := metricsRec["phases"].(map[string]any)
+	if !ok || len(phases) == 0 {
+		t.Fatalf("metrics block has no phases: %v", metricsRec)
+	}
+	sum := 0.0
+	for _, v := range phases {
+		sum += v.(float64)
+	}
+	runtime := metricsRec["runtime_seconds"].(float64)
+	if sum < 0.9*runtime || sum > 1.1*runtime {
+		t.Errorf("phase durations sum to %.4fs, want within 10%% of runtime %.4fs", sum, runtime)
+	}
+
+	// -metrics prints the registry to stderr, not stdout.
+	if !strings.Contains(stderr.String(), "phases:") {
+		t.Errorf("stderr missing metrics block:\n%s", stderr.String())
+	}
+	if strings.Contains(stdout.String(), "phases:") {
+		t.Errorf("stdout polluted by metrics block")
+	}
+}
+
+// TestProfilesWritten exercises the pprof hooks end to end.
+func TestProfilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	cfg := config{
+		circuit: "t481", repeat: 10, preselect: 12, words: 16, seed: 1,
+		inverted: true, cpuProfile: cpu, memProfile: mem,
+	}
+	if err := runQuiet(t, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
 	}
 }

@@ -2,9 +2,11 @@ package atpg
 
 import (
 	"fmt"
+	"time"
 
 	"powder/internal/logic"
 	"powder/internal/netlist"
+	"powder/internal/obs"
 	"powder/internal/sat"
 )
 
@@ -74,12 +76,16 @@ func flipInput(tt logic.TT, i int) logic.TT {
 	return out
 }
 
-// CheckStats counts checker outcomes.
+// CheckStats counts checker outcomes and the SAT effort they consumed.
 type CheckStats struct {
 	Checks      int
 	Permissible int
 	Refuted     int
 	Aborted     int
+	// Conflicts and Decisions sum the SAT solver work over all checks
+	// (structural verdicts that never reach the solver contribute zero).
+	Conflicts int64
+	Decisions int64
 }
 
 // Checker proves or refutes candidate substitutions on one netlist. It is
@@ -90,6 +96,9 @@ type Checker struct {
 	// Budget is the conflict budget per check; exceeded means Aborted.
 	Budget int64
 	Stats  CheckStats
+	// Obs, when non-nil, receives one "check" event per proof (verdict,
+	// conflicts, decisions, budget consumption) and per-check metrics.
+	Obs *obs.Observer
 
 	// cex holds the distinguishing primary-input assignment of the last
 	// NotPermissible verdict, in input order.
@@ -108,7 +117,7 @@ func (c *Checker) Counterexample() []bool { return c.cex }
 // CheckBranch decides whether rewiring pin pin of gate g to the source is
 // permissible (the IS2/IS3 forms).
 func (c *Checker) CheckBranch(g netlist.NodeID, pin int, src Source) Verdict {
-	return c.check([]netlist.Branch{{Gate: g, Pin: pin}}, src)
+	return c.check("branch", []netlist.Branch{{Gate: g, Pin: pin}}, src)
 }
 
 // CheckStem decides whether substituting every fanout of stem a (including
@@ -117,17 +126,59 @@ func (c *Checker) CheckBranch(g netlist.NodeID, pin int, src Source) Verdict {
 func (c *Checker) CheckStem(a netlist.NodeID, src Source) Verdict {
 	n := c.nl.Node(a)
 	branches := append([]netlist.Branch(nil), n.Fanouts()...)
-	return c.check(branches, src)
+	return c.check("stem", branches, src)
 }
 
-// check builds the substitution miter and decides it.
+// check runs one proof with outcome accounting: statistics, per-check
+// metrics, and a structured "check" event when an observer is attached.
+func (c *Checker) check(kind string, changed []netlist.Branch, src Source) Verdict {
+	c.Stats.Checks++
+	start := time.Now()
+	v, conflicts, decisions := c.decide(changed, src)
+	switch v {
+	case Permissible:
+		c.Stats.Permissible++
+	case NotPermissible:
+		c.Stats.Refuted++
+	default:
+		c.Stats.Aborted++
+	}
+	c.Stats.Conflicts += conflicts
+	c.Stats.Decisions += decisions
+
+	if m := c.Obs.Metrics(); m != nil {
+		m.Counter("atpg.checks").Inc()
+		m.Counter("atpg.verdict." + v.String()).Inc()
+		m.Counter("atpg.conflicts").Add(conflicts)
+		m.Counter("atpg.decisions").Add(decisions)
+		m.Histogram("atpg.check.seconds").ObserveSince(start)
+	}
+	if c.Obs.Tracing() {
+		f := obs.Fields{
+			"kind":      kind,
+			"verdict":   v.String(),
+			"branches":  len(changed),
+			"conflicts": conflicts,
+			"decisions": decisions,
+			"seconds":   time.Since(start).Seconds(),
+		}
+		if c.Budget > 0 {
+			f["budget"] = c.Budget
+			f["budget_used_pct"] = 100 * float64(conflicts) / float64(c.Budget)
+		}
+		c.Obs.Emit("check", f)
+	}
+	return v
+}
+
+// decide builds the substitution miter and decides it, returning the SAT
+// effort spent (zero for structural verdicts that never reach the solver).
 //
 // The miter shares the unchanged part of the circuit: the original cone is
 // encoded once; every gate in the transitive fanout of a rewired pin is
 // duplicated with the rewired pins reading the source signal. The check
 // asks whether any primary output can differ; UNSAT proves permissibility.
-func (c *Checker) check(changed []netlist.Branch, src Source) Verdict {
-	c.Stats.Checks++
+func (c *Checker) decide(changed []netlist.Branch, src Source) (verdict Verdict, conflicts, decisions int64) {
 	nl := c.nl
 
 	changedPin := make(map[netlist.Branch]bool, len(changed))
@@ -154,8 +205,7 @@ func (c *Checker) check(changed []netlist.Branch, src Source) Verdict {
 	// cycle in the rewired circuit; such candidates are structural
 	// mistakes, never permissible rewirings.
 	if dup[src.B] || (src.IsThree() && dup[src.C]) {
-		c.Stats.Refuted++
-		return NotPermissible
+		return NotPermissible, 0, 0
 	}
 
 	s := sat.New()
@@ -214,35 +264,34 @@ func (c *Checker) check(changed []netlist.Branch, src Source) Verdict {
 	}
 	if len(diffs) == 0 {
 		// No primary output can observe the change.
-		c.Stats.Permissible++
-		return Permissible
+		return Permissible, 0, 0
 	}
 	if !s.AddClause(diffs...) {
-		c.Stats.Permissible++
-		return Permissible
+		return Permissible, 0, 0
 	}
 
 	switch s.Solve() {
 	case sat.Unsat:
-		c.Stats.Permissible++
-		return Permissible
+		return Permissible, s.Conflicts, s.Decisions
 	case sat.Sat:
-		c.Stats.Refuted++
 		c.cex = make([]bool, len(nl.Inputs()))
 		for i, in := range nl.Inputs() {
 			if v := b.varOf[in]; v >= 0 {
 				c.cex[i] = s.Value(v)
 			}
 		}
-		return NotPermissible
+		return NotPermissible, s.Conflicts, s.Decisions
 	default:
-		c.Stats.Aborted++
-		return Aborted
+		return Aborted, s.Conflicts, s.Decisions
 	}
 }
 
 // String renders the stats.
 func (st CheckStats) String() string {
-	return fmt.Sprintf("checks=%d permissible=%d refuted=%d aborted=%d",
+	s := fmt.Sprintf("checks=%d permissible=%d refuted=%d aborted=%d",
 		st.Checks, st.Permissible, st.Refuted, st.Aborted)
+	if st.Conflicts > 0 || st.Decisions > 0 {
+		s += fmt.Sprintf(" conflicts=%d decisions=%d", st.Conflicts, st.Decisions)
+	}
+	return s
 }

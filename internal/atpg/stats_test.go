@@ -1,0 +1,24 @@
+package atpg
+
+import "testing"
+
+func TestCheckStatsString(t *testing.T) {
+	st := CheckStats{Checks: 10, Permissible: 6, Refuted: 3, Aborted: 1}
+	want := "checks=10 permissible=6 refuted=3 aborted=1"
+	if got := st.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+
+	// Solver-effort fields are appended only when populated, so the
+	// pre-existing format stays stable for effort-free stats.
+	st.Conflicts, st.Decisions = 42, 137
+	want += " conflicts=42 decisions=137"
+	if got := st.String(); got != want {
+		t.Errorf("String() with effort = %q, want %q", got, want)
+	}
+
+	var zero CheckStats
+	if got := zero.String(); got != "checks=0 permissible=0 refuted=0 aborted=0" {
+		t.Errorf("zero String() = %q", got)
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"powder/internal/atpg"
 	"powder/internal/netlist"
+	"powder/internal/obs"
 	"powder/internal/power"
 	"powder/internal/sta"
 	"powder/internal/transform"
@@ -65,8 +66,30 @@ type Options struct {
 	Power power.Options
 	// Transform configures candidate generation.
 	Transform transform.Config
+	// Obs, when non-nil, receives structured run events (harvest, check,
+	// apply, reject with reason codes) and per-phase metrics. A nil
+	// observer disables all event construction at near-zero cost.
+	Obs *obs.Observer
 	// Trace, when non-nil, receives one line per performed substitution.
+	// Deprecated compatibility adapter: it is wired onto the event sink;
+	// prefer Obs for structured events.
 	Trace func(string)
+}
+
+// observer returns the effective observer: Obs, plus the legacy Trace
+// callback adapted as a sink that renders apply events in the historical
+// "apply <substitution>" line format.
+func (o *Options) observer() *obs.Observer {
+	eff := o.Obs
+	if o.Trace != nil {
+		tr := o.Trace
+		eff = obs.Tee(eff, obs.New(obs.SinkFunc(func(e obs.Event) {
+			if e.Name == "apply" {
+				tr(fmt.Sprintf("apply %v", e.Fields["sub"]))
+			}
+		}), nil))
+	}
+	return eff
 }
 
 func (o *Options) normalize() {
@@ -89,6 +112,28 @@ type ClassStats struct {
 	AreaDelta float64
 }
 
+// Reject reason codes recorded in Result.Rejects and emitted on "reject"
+// events.
+const (
+	// RejectStale marks candidates invalidated by an earlier substitution
+	// (nodes removed or rewired, or a cycle would form).
+	RejectStale = "stale"
+	// RejectLowGain marks the selection stopping because the best
+	// remaining candidate's gain fell below MinGain.
+	RejectLowGain = "low-gain"
+	// RejectDelay marks candidates that would violate the delay
+	// constraint.
+	RejectDelay = "delay"
+	// RejectRefuted marks candidates the exact ATPG check disproved.
+	RejectRefuted = "refuted"
+	// RejectAborted marks candidates whose proof exhausted the budget
+	// (treated as not permissible, per the paper).
+	RejectAborted = "aborted"
+	// RejectApplyConflict marks candidates whose application failed due a
+	// structural conflict with an earlier substitution.
+	RejectApplyConflict = "apply-conflict"
+)
+
 // Result summarizes an optimization run.
 type Result struct {
 	Initial      power.Report
@@ -102,6 +147,12 @@ type Result struct {
 	ByClass      map[transform.Kind]*ClassStats
 	CheckStats   atpg.CheckStats
 	Runtime      time.Duration
+	// Phases is the wall-time breakdown of the run; its total accounts
+	// for nearly all of Runtime.
+	Phases obs.Phases
+	// Rejects counts discarded candidates by reason code (the Reject*
+	// constants).
+	Rejects map[string]int
 }
 
 // PowerReductionPct returns the percentage power reduction.
@@ -128,18 +179,34 @@ func (r *Result) String() string {
 }
 
 // Optimize runs POWDER on the netlist in place and returns the run summary.
+//
+// The run is observable end to end: Result.Phases breaks the wall time
+// into the pipeline phases (power-estimate, delay-analysis, harvest,
+// ab-analysis, preselect, pgc-reestimate, delay-check, atpg-check, apply,
+// power-resync, validate), Result.Rejects counts discarded candidates by
+// reason code, and Options.Obs streams structured events while the run
+// executes.
 func Optimize(nl *netlist.Netlist, opts Options) (*Result, error) {
 	opts.normalize()
+	o := opts.observer()
+	opts.Power.Obs = o
+	opts.Transform.Obs = o
+	ph := obs.NewPhaseSet()
 	start := time.Now()
 
+	stop := ph.Start("power-estimate")
 	pm := power.Estimate(nl, opts.Power)
 	res := &Result{
 		Initial: pm.Snapshot(),
 		ByClass: map[transform.Kind]*ClassStats{
 			transform.OS2: {}, transform.IS2: {}, transform.OS3: {}, transform.IS3: {},
 		},
+		Rejects: map[string]int{},
 	}
-	res.InitialDelay = sta.NewWithInputDrive(nl, 0, opts.InputDrive).Delay()
+	stop()
+	stop = ph.Start("delay-analysis")
+	res.InitialDelay = sta.NewObserved(nl, 0, opts.InputDrive, o).Delay()
+	stop()
 
 	constraint := opts.DelayConstraint
 	if opts.DelayFactor > 0 {
@@ -148,26 +215,46 @@ func Optimize(nl *netlist.Netlist, opts Options) (*Result, error) {
 	res.Constraint = constraint
 
 	checker := atpg.NewChecker(nl)
+	checker.Obs = o
 	if opts.CheckBudget > 0 {
 		checker.Budget = opts.CheckBudget
+	}
+
+	reject := func(reason string, s *transform.Substitution) {
+		res.Rejects[reason]++
+		o.Counter("core.rejects." + reason).Inc()
+		if o.Tracing() {
+			f := obs.Fields{"reason": reason}
+			if s != nil {
+				f["kind"] = s.Kind.String()
+				f["sub"] = s.String()
+			}
+			o.Emit("reject", f)
+		}
 	}
 
 	exhausted := false
 	for !exhausted {
 		an := transform.NewAnalyzer(nl, pm)
+		stop = ph.Start("harvest")
 		cands := transform.Generate(nl, pm, opts.Transform)
+		stop()
 		res.Harvests++
 		res.Candidates += len(cands)
 		if len(cands) == 0 {
 			break
 		}
+		stop = ph.Start("ab-analysis")
 		for _, s := range cands {
 			an.AnalyzeAB(s)
 		}
+		stop()
 
 		var timing *sta.Analysis
 		if constraint > 0 {
-			timing = sta.NewWithInputDrive(nl, constraint, opts.InputDrive)
+			stop = ph.Start("delay-analysis")
+			timing = sta.NewObserved(nl, constraint, opts.InputDrive, o)
+			stop()
 		}
 
 		progress := false
@@ -178,15 +265,22 @@ func Optimize(nl *netlist.Netlist, opts Options) (*Result, error) {
 			if opts.DisablePreselect || k > len(cands) {
 				k = len(cands)
 			}
+			stop = ph.Start("preselect")
 			partialSelectByGainAB(cands, k)
+			stop()
 			var best *transform.Substitution
 			bestIdx := -1
 			for i := 0; i < k; i++ {
 				s := cands[i]
-				if !candidateValid(nl, s) {
+				stop = ph.Start("preselect")
+				valid := candidateValid(nl, s)
+				stop()
+				if !valid {
 					continue
 				}
+				stop = ph.Start("pgc-reestimate")
 				an.AnalyzeC(s)
+				stop()
 				if best == nil || s.Gain() > best.Gain() {
 					best, bestIdx = s, i
 				}
@@ -196,26 +290,51 @@ func Optimize(nl *netlist.Netlist, opts Options) (*Result, error) {
 				// harvest (outer loop) may still find some after the
 				// structural changes, and the outer loop terminates once a
 				// whole harvest makes no progress.
+				if best != nil {
+					reject(RejectLowGain, best)
+				}
 				break
 			}
 			// Drop the candidate from the pool whatever happens next.
 			cands = append(cands[:bestIdx], cands[bestIdx+1:]...)
 
-			if timing != nil && !transform.DelayOK(nl, best, timing) {
-				continue // increases_delay -> discard, pick the next best
+			if timing != nil {
+				stop = ph.Start("delay-check")
+				ok := transform.DelayOK(nl, best, timing)
+				stop()
+				if !ok {
+					reject(RejectDelay, best)
+					continue // increases_delay -> discard, pick the next best
+				}
 			}
-			if verdict := checkCandidate(checker, best); verdict != atpg.Permissible {
+			stop = ph.Start("atpg-check")
+			verdict := checkCandidate(checker, best)
+			stop()
+			if verdict != atpg.Permissible {
+				if verdict == atpg.Aborted {
+					reject(RejectAborted, best)
+				} else {
+					reject(RejectRefuted, best)
+				}
 				continue
 			}
-			if _, err := transform.Apply(nl, best); err != nil {
+			stop = ph.Start("apply")
+			_, applyErr := transform.Apply(nl, best)
+			stop()
+			if applyErr != nil {
 				// Structural conflict with an earlier substitution in this
 				// harvest; treat like a failed check.
+				reject(RejectApplyConflict, best)
 				continue
 			}
+			stop = ph.Start("power-resync")
 			pm.Resync()
 			an = transform.NewAnalyzer(nl, pm)
+			stop()
 			if timing != nil {
-				timing = sta.NewWithInputDrive(nl, constraint, opts.InputDrive)
+				stop = ph.Start("delay-analysis")
+				timing = sta.NewObserved(nl, constraint, opts.InputDrive, o)
+				stop()
 			}
 			cs := res.ByClass[best.Kind]
 			cs.Count++
@@ -224,8 +343,16 @@ func Optimize(nl *netlist.Netlist, opts Options) (*Result, error) {
 			res.Applied++
 			progress = true
 			repeat--
-			if opts.Trace != nil {
-				opts.Trace(fmt.Sprintf("apply %v", best))
+			o.Counter("core.applied").Inc()
+			o.Histogram("core.apply.gain").Observe(best.Gain())
+			if o.Tracing() {
+				o.Emit("apply", obs.Fields{
+					"sub":        best.String(),
+					"kind":       best.Kind.String(),
+					"gain":       best.Gain(),
+					"area_delta": best.AreaDelta,
+					"applied":    res.Applied,
+				})
 			}
 			if opts.MaxSubstitutions > 0 && res.Applied >= opts.MaxSubstitutions {
 				exhausted = true
@@ -234,25 +361,49 @@ func Optimize(nl *netlist.Netlist, opts Options) (*Result, error) {
 			// Stale AB gains are refreshed for the surviving candidates;
 			// this keeps the pre-selection meaningful within the repeat
 			// window without a full re-harvest.
+			stop = ph.Start("ab-analysis")
 			kept := cands[:0]
 			for _, s := range cands {
 				if candidateValid(nl, s) {
 					an.AnalyzeAB(s)
 					kept = append(kept, s)
+				} else {
+					res.Rejects[RejectStale]++
+					o.Counter("core.rejects." + RejectStale).Inc()
 				}
 			}
 			cands = kept
+			stop()
 		}
 		if !progress {
 			break
 		}
 	}
 
+	stop = ph.Start("power-estimate")
 	res.Final = pm.Snapshot()
-	res.FinalDelay = sta.NewWithInputDrive(nl, 0, opts.InputDrive).Delay()
+	stop()
+	stop = ph.Start("delay-analysis")
+	res.FinalDelay = sta.NewObserved(nl, 0, opts.InputDrive, o).Delay()
+	stop()
 	res.CheckStats = checker.Stats
+	stop = ph.Start("validate")
+	err := nl.Validate()
+	stop()
 	res.Runtime = time.Since(start)
-	if err := nl.Validate(); err != nil {
+	res.Phases = ph.Snapshot()
+	if o.Tracing() {
+		o.Emit("optimize-done", obs.Fields{
+			"applied":         res.Applied,
+			"harvests":        res.Harvests,
+			"candidates":      res.Candidates,
+			"power_initial":   res.Initial.Power,
+			"power_final":     res.Final.Power,
+			"reduction_pct":   res.PowerReductionPct(),
+			"runtime_seconds": res.Runtime.Seconds(),
+		})
+	}
+	if err != nil {
 		return res, fmt.Errorf("core: netlist invalid after optimization: %v", err)
 	}
 	return res, nil

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"powder/internal/transform"
+)
+
+// TestPartialSelectByGainAB checks the selection property: after the call,
+// the front k elements are exactly the k largest GainAB values of the
+// whole slice (in descending order), and no element is lost.
+func TestPartialSelectByGainAB(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		k := rng.Intn(n + 1)
+		cands := make([]*transform.Substitution, n)
+		want := make([]float64, n)
+		for i := range cands {
+			// Duplicates included on purpose: ties must not drop elements.
+			g := float64(rng.Intn(10)) / 4
+			cands[i] = &transform.Substitution{GainAB: g}
+			want[i] = g
+		}
+
+		partialSelectByGainAB(cands, k)
+
+		got := make([]float64, n)
+		for i, s := range cands {
+			got[i] = s.GainAB
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(want)))
+		for i := 0; i < k; i++ {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d k=%d: position %d has gain %v, want %v (got %v)",
+					n, k, i, got[i], want[i], got)
+			}
+		}
+		// The tail still holds the remaining elements (multiset equality).
+		sort.Float64s(got)
+		wantAsc := append([]float64(nil), want...)
+		sort.Float64s(wantAsc)
+		for i := range got {
+			if got[i] != wantAsc[i] {
+				t.Fatalf("n=%d k=%d: elements lost: got %v want %v", n, k, got, wantAsc)
+			}
+		}
+	}
+}
+
+func TestPartialSelectByGainABEmpty(t *testing.T) {
+	partialSelectByGainAB(nil, 0) // must not panic
+	one := []*transform.Substitution{{GainAB: 1}}
+	partialSelectByGainAB(one, 1)
+	if one[0].GainAB != 1 {
+		t.Fatal("single-element slice mangled")
+	}
+}
+
+// TestResultPctZeroInitial pins the degenerate-circuit edge case: with a
+// zero initial power or area the percentages are 0, not NaN/Inf.
+func TestResultPctZeroInitial(t *testing.T) {
+	var r Result
+	if got := r.PowerReductionPct(); got != 0 {
+		t.Errorf("PowerReductionPct on zero initial = %v, want 0", got)
+	}
+	if got := r.AreaChangePct(); got != 0 {
+		t.Errorf("AreaChangePct on zero initial = %v, want 0", got)
+	}
+	r.Final.Power = 5
+	r.Final.Area = 100
+	if got := r.PowerReductionPct(); got != 0 {
+		t.Errorf("PowerReductionPct with final-only power = %v, want 0", got)
+	}
+	if got := r.AreaChangePct(); got != 0 {
+		t.Errorf("AreaChangePct with final-only area = %v, want 0", got)
+	}
+
+	r.Initial.Power, r.Final.Power = 10, 5
+	r.Initial.Area, r.Final.Area = 200, 100
+	if got := r.PowerReductionPct(); got != 50 {
+		t.Errorf("PowerReductionPct = %v, want 50", got)
+	}
+	if got := r.AreaChangePct(); got != -50 {
+		t.Errorf("AreaChangePct = %v, want -50", got)
+	}
+}

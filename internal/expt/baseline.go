@@ -64,10 +64,8 @@ func RunBaseline(specs []circuits.Spec, opts RunOptions) ([]BaselineRow, error) 
 			PowApplied: res.Applied,
 		}
 		rows = append(rows, row)
-		if opts.Progress != nil {
-			opts.Progress(fmt.Sprintf("%-10s redundancy-only %5.1f%%  POWDER %5.1f%%",
-				row.Circuit, row.RedPct, row.PowPct))
-		}
+		opts.progressf("%-10s redundancy-only %5.1f%%  POWDER %5.1f%%",
+			row.Circuit, row.RedPct, row.PowPct)
 	}
 	return rows, nil
 }

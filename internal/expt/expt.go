@@ -8,10 +8,12 @@ import (
 	"fmt"
 	"time"
 
+	"powder/internal/atpg"
 	"powder/internal/cellib"
 	"powder/internal/circuits"
 	"powder/internal/core"
 	"powder/internal/netlist"
+	"powder/internal/obs"
 	"powder/internal/redundancy"
 	"powder/internal/synth"
 	"powder/internal/transform"
@@ -36,10 +38,24 @@ type RunOptions struct {
 	// POWDER's gains shift from dominated-region removal (OS2) toward
 	// rewiring (IS2/OS3), as in the paper's Table 2.
 	PreOptimize bool
+	// Obs, when non-nil, receives experiment-level "progress" events and
+	// is threaded into every core.Optimize call (run events + metrics).
+	Obs *obs.Observer
 	// Progress, when non-nil, receives one line per circuit step.
+	// Deprecated compatibility adapter over the event sink; prefer Obs.
 	Progress func(string)
 
 	mapMode synth.CostMode
+}
+
+// progressf reports one experiment step through the observer and the
+// legacy Progress callback.
+func (o *RunOptions) progressf(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if o.Progress != nil {
+		o.Progress(msg)
+	}
+	o.Obs.Emit("progress", obs.Fields{"msg": msg})
 }
 
 func (o *RunOptions) normalize() {
@@ -48,6 +64,9 @@ func (o *RunOptions) normalize() {
 	}
 	if !o.DisableInverted {
 		o.Core.Transform.AllowInverted = true
+	}
+	if o.Obs != nil {
+		o.Core.Obs = obs.Tee(o.Core.Obs, o.Obs)
 	}
 	o.mapMode = synth.CostPower
 	if o.MapArea {
@@ -73,6 +92,37 @@ type Table1Row struct {
 	ConstrArea   float64
 	ConstrDelay  float64
 	CPUSeconds   float64
+
+	// Free and Constr hold the observability detail of the two runs
+	// (phase timings, check effort, reject reasons) for the JSON run
+	// report; the text tables ignore them.
+	Free   RunDetail
+	Constr RunDetail
+}
+
+// RunDetail is the per-run observability summary of one core.Optimize
+// call, serialized into the powbench JSON run report.
+type RunDetail struct {
+	Applied        int                `json:"applied"`
+	Harvests       int                `json:"harvests"`
+	Candidates     int                `json:"candidates"`
+	RuntimeSeconds float64            `json:"runtime_seconds"`
+	Phases         map[string]float64 `json:"phases,omitempty"`
+	Checks         atpg.CheckStats    `json:"checks"`
+	Rejects        map[string]int     `json:"rejects,omitempty"`
+}
+
+// detailOf extracts the observability summary of one run result.
+func detailOf(res *core.Result) RunDetail {
+	return RunDetail{
+		Applied:        res.Applied,
+		Harvests:       res.Harvests,
+		Candidates:     res.Candidates,
+		RuntimeSeconds: res.Runtime.Seconds(),
+		Phases:         res.Phases.Map(),
+		Checks:         res.CheckStats,
+		Rejects:        res.Rejects,
+	}
 }
 
 // Suite holds the results of the Table 1 + Table 2 experiment.
@@ -148,10 +198,8 @@ func RunSuite(specs []circuits.Spec, opts RunOptions) (*Suite, error) {
 		suite.SumConstrArea += row.ConstrArea
 		suite.SumInitDelay += row.InitDelay
 		suite.SumConstrDelay += row.ConstrDelay
-		if opts.Progress != nil {
-			opts.Progress(fmt.Sprintf("%-10s power %8.3f -> %8.3f (free %5.1f%%) / %8.3f (constr %5.1f%%)  %.1fs",
-				row.Circuit, row.InitPower, row.FreePower, row.FreeRedPct, row.ConstrPower, row.ConstrRedPct, row.CPUSeconds))
-		}
+		opts.progressf("%-10s power %8.3f -> %8.3f (free %5.1f%%) / %8.3f (constr %5.1f%%)  %.1fs",
+			row.Circuit, row.InitPower, row.FreePower, row.FreeRedPct, row.ConstrPower, row.ConstrRedPct, row.CPUSeconds)
 	}
 	return suite, nil
 }
@@ -198,6 +246,8 @@ func runOne(spec circuits.Spec, opts *RunOptions) (*Table1Row, map[transform.Kin
 		ConstrArea:   resC.Final.Area,
 		ConstrDelay:  resC.FinalDelay,
 		CPUSeconds:   cpu,
+		Free:         detailOf(resFree),
+		Constr:       detailOf(resC),
 	}
 	return row, resFree.ByClass, nil
 }
@@ -249,10 +299,8 @@ func RunTradeoff(specs []circuits.Spec, pcts []int, opts RunOptions) ([]Tradeoff
 			RelDelay:      sumD / sumInitD,
 		}
 		points = append(points, p)
-		if opts.Progress != nil {
-			opts.Progress(fmt.Sprintf("constraint +%3d%%: relative power %.3f, relative delay %.3f",
-				p.ConstraintPct, p.RelPower, p.RelDelay))
-		}
+		opts.progressf("constraint +%3d%%: relative power %.3f, relative delay %.3f",
+			p.ConstraintPct, p.RelPower, p.RelDelay)
 	}
 	return points, nil
 }

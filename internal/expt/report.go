@@ -1,0 +1,135 @@
+package expt
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"powder/internal/core"
+	"powder/internal/obs"
+	"powder/internal/transform"
+)
+
+// ReportSchema identifies the powbench JSON run-report format; bump on
+// incompatible changes so trajectory tooling can dispatch on it.
+const ReportSchema = "powder-bench/v1"
+
+// Report is the machine-readable powbench run report: the Table 1 rows
+// plus per-phase timings and checker effort per circuit, for tracking the
+// performance trajectory across changes (the BENCH_*.json format).
+type Report struct {
+	Schema      string `json:"schema"`
+	GeneratedAt string `json:"generated_at"`
+	// Options echoes the experiment configuration that produced the runs.
+	Options ReportOptions `json:"options"`
+
+	Circuits []CircuitReport `json:"circuits"`
+	Totals   ReportTotals    `json:"totals"`
+	// Class aggregates substitution-class contributions over the
+	// unconstrained runs (the paper's Table 2 data).
+	Class map[string]ClassReport `json:"class"`
+	// Metrics optionally carries the run's metrics-registry snapshot.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// ReportOptions echoes the experiment configuration.
+type ReportOptions struct {
+	MapArea     bool `json:"map_area"`
+	PreOptimize bool `json:"pre_optimize"`
+}
+
+// CircuitReport is one circuit's rows of the report.
+type CircuitReport struct {
+	Circuit string `json:"circuit"`
+	Gates   int    `json:"gates"`
+
+	InitPower float64 `json:"init_power"`
+	InitArea  float64 `json:"init_area"`
+	InitDelay float64 `json:"init_delay"`
+
+	FreePower  float64 `json:"free_power"`
+	FreeRedPct float64 `json:"free_red_pct"`
+	FreeArea   float64 `json:"free_area"`
+
+	ConstrPower  float64 `json:"constr_power"`
+	ConstrRedPct float64 `json:"constr_red_pct"`
+	ConstrArea   float64 `json:"constr_area"`
+	ConstrDelay  float64 `json:"constr_delay"`
+	CPUSeconds   float64 `json:"cpu_seconds"`
+
+	Free   RunDetail `json:"free"`
+	Constr RunDetail `json:"constr"`
+}
+
+// ReportTotals are the suite-level sums and percentages.
+type ReportTotals struct {
+	InitPower    float64 `json:"init_power"`
+	FreePower    float64 `json:"free_power"`
+	ConstrPower  float64 `json:"constr_power"`
+	FreeRedPct   float64 `json:"free_red_pct"`
+	ConstrRedPct float64 `json:"constr_red_pct"`
+	FreeAreaPct  float64 `json:"free_area_pct"`
+}
+
+// ClassReport is one substitution class's aggregate contribution.
+type ClassReport struct {
+	Count     int     `json:"count"`
+	PowerGain float64 `json:"power_gain"`
+	AreaDelta float64 `json:"area_delta"`
+}
+
+// BuildReport assembles the run report of a completed suite. The metrics
+// snapshot may be nil.
+func BuildReport(s *Suite, opts ReportOptions, metrics *obs.Snapshot) *Report {
+	r := &Report{
+		Schema:      ReportSchema,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Options:     opts,
+		Totals: ReportTotals{
+			InitPower:    s.SumInitPower,
+			FreePower:    s.SumFreePower,
+			ConstrPower:  s.SumConstrPower,
+			FreeRedPct:   s.FreeRedPct(),
+			ConstrRedPct: s.ConstrRedPct(),
+			FreeAreaPct:  s.FreeAreaPct(),
+		},
+		Class:   map[string]ClassReport{},
+		Metrics: metrics,
+	}
+	for _, row := range s.Rows {
+		r.Circuits = append(r.Circuits, CircuitReport{
+			Circuit:      row.Circuit,
+			Gates:        row.Gates,
+			InitPower:    row.InitPower,
+			InitArea:     row.InitArea,
+			InitDelay:    row.InitDelay,
+			FreePower:    row.FreePower,
+			FreeRedPct:   row.FreeRedPct,
+			FreeArea:     row.FreeArea,
+			ConstrPower:  row.ConstrPower,
+			ConstrRedPct: row.ConstrRedPct,
+			ConstrArea:   row.ConstrArea,
+			ConstrDelay:  row.ConstrDelay,
+			CPUSeconds:   row.CPUSeconds,
+			Free:         row.Free,
+			Constr:       row.Constr,
+		})
+	}
+	for _, k := range []transform.Kind{transform.OS2, transform.IS2, transform.OS3, transform.IS3} {
+		if cs := s.Class[k]; cs != nil {
+			r.Class[k.String()] = classReport(cs)
+		}
+	}
+	return r
+}
+
+func classReport(cs *core.ClassStats) ClassReport {
+	return ClassReport{Count: cs.Count, PowerGain: cs.PowerGain, AreaDelta: cs.AreaDelta}
+}
+
+// WriteReportJSON writes the report as indented JSON.
+func WriteReportJSON(w io.Writer, r *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilEverythingIsNoOp(t *testing.T) {
+	var o *Observer
+	if o.Tracing() {
+		t.Errorf("nil observer claims to trace")
+	}
+	o.Emit("x", Fields{"a": 1}) // must not panic
+	if o.Metrics() != nil {
+		t.Errorf("nil observer has metrics")
+	}
+	o.Counter("c").Inc()
+	o.Counter("c").Add(5)
+	if got := o.Counter("c").Value(); got != 0 {
+		t.Errorf("nil counter value = %d", got)
+	}
+	o.Histogram("h").Observe(1)
+	o.Histogram("h").ObserveSince(time.Now())
+	if o.Histogram("h").Count() != 0 || o.Histogram("h").Quantile(0.5) != 0 {
+		t.Errorf("nil histogram not empty")
+	}
+
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Histogram("h").Observe(1)
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Histograms) != 0 {
+		t.Errorf("nil registry snapshot not empty")
+	}
+
+	var p *PhaseSet
+	p.Add("x", time.Second)
+	p.Start("x")()
+	if p.Snapshot() != nil {
+		t.Errorf("nil phase set snapshot not nil")
+	}
+}
+
+func TestNewCollapsesToNil(t *testing.T) {
+	if New(nil, nil) != nil {
+		t.Errorf("New(nil, nil) should be nil so the fast path stays free")
+	}
+	if Tee(nil, nil) != nil {
+		t.Errorf("Tee(nil, nil) should be nil")
+	}
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Errorf("Multi of no live sinks should be nil")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("subs.applied")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("subs.applied").Value(); got != workers*perWorker {
+		t.Errorf("concurrent counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// Uniform observations 1ms..1000ms.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if mean := h.Mean(); mean < 0.49 || mean > 0.52 {
+		t.Errorf("mean = %v, want ~0.5005", mean)
+	}
+	if max := h.Max(); max != 1.0 {
+		t.Errorf("max = %v, want 1.0", max)
+	}
+	// Geometric buckets (growth 2^(1/4)) bound the estimate's relative
+	// error by ~19%; allow 20%.
+	checks := []struct{ q, want float64 }{{0.50, 0.5}, {0.90, 0.9}, {0.99, 0.99}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if got < c.want*0.8 || got > c.want*1.25 {
+			t.Errorf("q%v = %v, want within 20%% of %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0)
+	h.Observe(-5)
+	h.Observe(1e12) // beyond the last bucket: clamps, still counted
+	if h.Count() != 3 {
+		t.Errorf("count = %d, want 3", h.Count())
+	}
+	if q := h.Quantile(0.01); q > histMin {
+		t.Errorf("low quantile = %v, want <= %v", q, histMin)
+	}
+	if q := h.Quantile(1.0); q <= 0 {
+		t.Errorf("high quantile = %v", q)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 20000 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if sum := h.Sum(); sum < 19.9 || sum > 20.1 {
+		t.Errorf("sum = %v, want ~20", sum)
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	o := New(NewJSONLSink(&buf), nil)
+	if !o.Tracing() {
+		t.Fatalf("observer with sink must trace")
+	}
+	o.Emit("apply", Fields{"kind": "OS2", "gain": 0.25})
+	o.Emit("reject", Fields{"reason": "delay"})
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if rec["event"] != "apply" || rec["kind"] != "OS2" {
+		t.Errorf("bad apply record: %v", rec)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, rec["t"].(string)); err != nil {
+		t.Errorf("bad timestamp: %v", err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if rec["event"] != "reject" || rec["reason"] != "delay" {
+		t.Errorf("bad reject record: %v", rec)
+	}
+}
+
+func TestLineSinkFilterAndFormat(t *testing.T) {
+	var lines []string
+	s := NewLineSink(func(l string) { lines = append(lines, l) }, "apply")
+	s.Emit(Event{Name: "reject", Fields: Fields{"reason": "stale"}})
+	s.Emit(Event{Name: "apply", Fields: Fields{"msg": "OS2 n3<-n7", "gain": 0.5}})
+	if len(lines) != 1 {
+		t.Fatalf("filter passed %d lines, want 1", len(lines))
+	}
+	if lines[0] != "apply OS2 n3<-n7 gain=0.5" {
+		t.Errorf("line = %q", lines[0])
+	}
+
+	// Unfiltered sink sees everything.
+	var all []string
+	NewLineSink(func(l string) { all = append(all, l) }).Emit(Event{Name: "x"})
+	if len(all) != 1 || all[0] != "x" {
+		t.Errorf("unfiltered = %v", all)
+	}
+}
+
+func TestTeeAndMulti(t *testing.T) {
+	var a, b bytes.Buffer
+	reg := NewRegistry()
+	o := Tee(New(NewJSONLSink(&a), reg), New(NewJSONLSink(&b), nil))
+	o.Emit("ev", nil)
+	if a.Len() == 0 || b.Len() == 0 {
+		t.Errorf("tee did not fan out: a=%d b=%d", a.Len(), b.Len())
+	}
+	if o.Metrics() != reg {
+		t.Errorf("tee lost the registry")
+	}
+	if got := Tee(nil, o); got != o {
+		t.Errorf("Tee(nil, o) != o")
+	}
+}
+
+func TestPhaseSet(t *testing.T) {
+	p := NewPhaseSet()
+	p.Add("harvest", 100*time.Millisecond)
+	p.Add("check", 50*time.Millisecond)
+	p.Add("harvest", 100*time.Millisecond)
+	ps := p.Snapshot()
+	if len(ps) != 2 {
+		t.Fatalf("phases = %d, want 2", len(ps))
+	}
+	// First-seen order is stable.
+	if ps[0].Name != "harvest" || ps[1].Name != "check" {
+		t.Errorf("order = %v %v", ps[0].Name, ps[1].Name)
+	}
+	if ps[0].Count != 2 || ps[0].Seconds < 0.19 || ps[0].Seconds > 0.21 {
+		t.Errorf("harvest stat = %+v", ps[0])
+	}
+	if total := ps.Seconds(); total < 0.24 || total > 0.26 {
+		t.Errorf("total = %v", total)
+	}
+	if m := ps.Map(); m["check"] < 0.049 || m["check"] > 0.051 {
+		t.Errorf("map = %v", m)
+	}
+	if _, ok := ps.Get("check"); !ok {
+		t.Errorf("Get(check) missing")
+	}
+	if _, ok := ps.Get("nope"); ok {
+		t.Errorf("Get(nope) found")
+	}
+	if s := ps.String(); !strings.Contains(s, "harvest") || !strings.Contains(s, "%") {
+		t.Errorf("String() = %q", s)
+	}
+
+	stop := p.Start("timed")
+	time.Sleep(time.Millisecond)
+	stop()
+	if st, ok := p.Snapshot().Get("timed"); !ok || st.Seconds <= 0 {
+		t.Errorf("Start/stop did not record: %+v", st)
+	}
+}
+
+func TestRegistrySnapshotAndText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Histogram("h").Observe(0.5)
+	snap := r.Snapshot()
+	if snap.Counters["a"] != 3 {
+		t.Errorf("counters = %v", snap.Counters)
+	}
+	hs := snap.Histograms["h"]
+	if hs.Count != 1 || hs.Sum != 0.5 {
+		t.Errorf("histogram snapshot = %+v", hs)
+	}
+	var buf bytes.Buffer
+	snap.WriteText(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "count=1") {
+		t.Errorf("text = %q", out)
+	}
+	// Snapshot must be JSON-serializable for the metrics event.
+	if _, err := json.Marshal(snap); err != nil {
+		t.Errorf("snapshot not marshalable: %v", err)
+	}
+}
+
+// BenchmarkDisabledEmit measures the nil fast path: the per-event cost
+// with observability off must stay in the nanosecond range.
+func BenchmarkDisabledEmit(b *testing.B) {
+	var o *Observer
+	for i := 0; i < b.N; i++ {
+		if o.Tracing() {
+			o.Emit("apply", Fields{"i": i})
+		}
+		o.Counter("c").Inc()
+	}
+}

@@ -15,8 +15,10 @@ package power
 
 import (
 	"fmt"
+	"time"
 
 	"powder/internal/netlist"
+	"powder/internal/obs"
 	"powder/internal/sim"
 )
 
@@ -27,6 +29,8 @@ type Model struct {
 	// e caches the transition probability per node ID; NaN-free: dead or
 	// unknown nodes hold zero and are never summed.
 	e []float64
+	// o records estimate/refresh/resync metrics; nil disables.
+	o *obs.Observer
 }
 
 // New builds a power model over a simulator that has already been run.
@@ -35,6 +39,10 @@ func New(nl *netlist.Netlist, s *sim.Simulator) *Model {
 	m.Reestimate()
 	return m
 }
+
+// SetObserver attaches an observer recording model update metrics
+// ("power.refreshes", "power.resyncs", "power.resync.seconds").
+func (m *Model) SetObserver(o *obs.Observer) { m.o = o }
 
 // Sim returns the underlying simulator.
 func (m *Model) Sim() *sim.Simulator { return m.s }
@@ -84,6 +92,7 @@ func (m *Model) Total() float64 {
 // local netlist edit; for structural changes that added nodes, call
 // Resync instead.
 func (m *Model) Refresh(roots ...netlist.NodeID) {
+	m.o.Counter("power.refreshes").Inc()
 	m.s.ResimFrom(roots...)
 	seen := make(map[netlist.NodeID]bool)
 	var walk func(id netlist.NodeID)
@@ -107,8 +116,11 @@ func (m *Model) Refresh(roots ...netlist.NodeID) {
 // Resync rebuilds the simulator tables after nodes were added or removed,
 // then reestimates all probabilities.
 func (m *Model) Resync() {
+	start := time.Now()
 	m.s.Resync()
 	m.Reestimate()
+	m.o.Counter("power.resyncs").Inc()
+	m.o.Histogram("power.resync.seconds").ObserveSince(start)
 }
 
 // Scale converts a sum C*E value into the full Eq. 1 power for the given
@@ -148,6 +160,9 @@ type Options struct {
 	// InputProbs is nil), exhaustive vectors are used and the estimate is
 	// exact. Default 14.
 	ExhaustiveLimit int
+	// Obs, when non-nil, is attached to the model: Estimate records
+	// "power.estimate.seconds" and the model counts refreshes/resyncs.
+	Obs *obs.Observer
 }
 
 func (o *Options) fill() {
@@ -166,6 +181,7 @@ func (o *Options) fill() {
 // given options. It is the one-call entry point used by tools and tests.
 func Estimate(nl *netlist.Netlist, opts Options) *Model {
 	opts.fill()
+	start := time.Now()
 	words := opts.Words
 	exhaustive := opts.InputProbs == nil && len(nl.Inputs()) <= opts.ExhaustiveLimit
 	if exhaustive {
@@ -185,5 +201,9 @@ func Estimate(nl *netlist.Netlist, opts Options) *Model {
 		s.SetInputsRandom(opts.Seed, opts.InputProbs)
 	}
 	s.Run()
-	return New(nl, s)
+	m := New(nl, s)
+	m.SetObserver(opts.Obs)
+	opts.Obs.Counter("power.estimates").Inc()
+	opts.Obs.Histogram("power.estimate.seconds").ObserveSince(start)
+	return m
 }

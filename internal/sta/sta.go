@@ -12,8 +12,10 @@ package sta
 
 import (
 	"math"
+	"time"
 
 	"powder/internal/netlist"
+	"powder/internal/obs"
 )
 
 // Analysis holds the timing state of one netlist snapshot. It is immutable;
@@ -45,6 +47,18 @@ func New(nl *netlist.Netlist, constraint float64) *Analysis {
 func NewWithInputDrive(nl *netlist.Netlist, constraint, inputDrive float64) *Analysis {
 	a := &Analysis{nl: nl, constr: constraint, InputDrive: inputDrive}
 	a.compute()
+	return a
+}
+
+// NewObserved is NewWithInputDrive with rebuild metrics: every call counts
+// one "sta.rebuilds" and records "sta.rebuild.seconds". Timing rebuilds
+// after each applied substitution are a known hot spot; the metrics make
+// their cost visible per run.
+func NewObserved(nl *netlist.Netlist, constraint, inputDrive float64, o *obs.Observer) *Analysis {
+	start := time.Now()
+	a := NewWithInputDrive(nl, constraint, inputDrive)
+	o.Counter("sta.rebuilds").Inc()
+	o.Histogram("sta.rebuild.seconds").ObserveSince(start)
 	return a
 }
 

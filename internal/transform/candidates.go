@@ -2,11 +2,13 @@ package transform
 
 import (
 	"sort"
+	"time"
 
 	"powder/internal/atpg"
 	"powder/internal/cellib"
 	"powder/internal/logic"
 	"powder/internal/netlist"
+	"powder/internal/obs"
 	"powder/internal/power"
 )
 
@@ -23,6 +25,9 @@ type Config struct {
 	// MaxPerTarget caps how many candidates one substituted signal may
 	// contribute (default 48).
 	MaxPerTarget int
+	// Obs, when non-nil, receives one "harvest" event per Generate call
+	// (candidate counts by class) and harvest metrics.
+	Obs *obs.Observer
 }
 
 // Normalize fills defaults.
@@ -44,6 +49,7 @@ func (c *Config) Normalize() {
 // paper's Figure 5.
 func Generate(nl *netlist.Netlist, pm *power.Model, cfg Config) []*Substitution {
 	cfg.Normalize()
+	start := time.Now()
 	sm := pm.Sim()
 	g := &generator{nl: nl, pm: pm, cfg: cfg, words: sm.Words(), tfoMask: make([]bool, nl.NumNodes())}
 
@@ -104,7 +110,38 @@ func Generate(nl *netlist.Netlist, pm *power.Model, cfg Config) []*Substitution 
 			}
 		}
 	}
+	harvestObs(cfg.Obs, g.out, len(g.pool), start)
 	return g.out
+}
+
+// harvestObs reports one Generate call to the observer.
+func harvestObs(o *obs.Observer, cands []*Substitution, pool int, start time.Time) {
+	if o == nil {
+		return
+	}
+	byKind := map[Kind]int{}
+	for _, s := range cands {
+		byKind[s.Kind]++
+	}
+	if m := o.Metrics(); m != nil {
+		m.Counter("transform.harvests").Inc()
+		m.Counter("transform.candidates").Add(int64(len(cands)))
+		for k, n := range byKind {
+			m.Counter("transform.candidates." + k.String()).Add(int64(n))
+		}
+		m.Histogram("transform.harvest.seconds").ObserveSince(start)
+	}
+	if o.Tracing() {
+		o.Emit("harvest", obs.Fields{
+			"candidates": len(cands),
+			"pool":       pool,
+			"os2":        byKind[OS2],
+			"is2":        byKind[IS2],
+			"os3":        byKind[OS3],
+			"is3":        byKind[IS3],
+			"seconds":    time.Since(start).Seconds(),
+		})
+	}
 }
 
 type targetCtx struct {
