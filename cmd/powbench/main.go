@@ -41,6 +41,8 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress per-circuit progress")
 		mapArea  = flag.Bool("map-area", false, "use area-cost initial mapping instead of power-aware")
 		preOpt   = flag.Bool("preopt", false, "pre-optimize initial circuits with redundancy removal (POSE-grade starting points)")
+		timeout  = flag.Duration("timeout", 0, "per-circuit wall-clock budget; expired runs report their best result (0 = none)")
+		retries  = flag.Int("max-retries", 0, "per-circuit budget-escalation retries for aborted proofs (0 = no escalation)")
 
 		traceJSON  = flag.String("trace-json", "", "write structured run events as JSON Lines to this file")
 		metrics    = flag.Bool("metrics", false, "collect a metrics registry over all runs and print it to stderr")
@@ -88,6 +90,8 @@ func main() {
 	observer := obs.New(obs.Multi(sinks...), reg)
 
 	opts := expt.RunOptions{MapArea: *mapArea, PreOptimize: *preOpt, Obs: observer}
+	opts.Core.Timeout = *timeout
+	opts.Core.MaxRetries = *retries
 	if !*quiet {
 		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}

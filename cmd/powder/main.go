@@ -18,10 +18,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"time"
 
 	"powder/internal/atpg"
 	"powder/internal/blif"
@@ -53,6 +56,8 @@ type config struct {
 	seed        int64
 	budget      int64
 	maxSubs     int
+	maxRetries  int
+	timeout     time.Duration
 	inverted    bool
 	resize      bool
 	verify      bool
@@ -79,6 +84,8 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 1, "random-vector seed")
 	flag.Int64Var(&cfg.budget, "budget", 0, "ATPG/SAT conflict budget per check (0 = default)")
 	flag.IntVar(&cfg.maxSubs, "max-subs", 0, "stop after this many substitutions (0 = unlimited)")
+	flag.IntVar(&cfg.maxRetries, "max-retries", 0, "budget-escalation retries for aborted proofs across the run (0 = no escalation)")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "wall-clock budget, e.g. 30s; on expiry the best netlist so far is emitted (0 = none)")
 	noInv := flag.Bool("no-inverted", false, "disable inverted-source substitutions")
 	flag.BoolVar(&cfg.resize, "resize", false, "run the gate re-sizing pass after POWDER")
 	flag.BoolVar(&cfg.verify, "verify", false, "independently re-verify the optimized circuit against the original (SAT equivalence check)")
@@ -90,7 +97,12 @@ func main() {
 	flag.Parse()
 	cfg.inverted = !*noInv
 
-	if err := run(cfg, os.Stdout, os.Stderr); err != nil {
+	// Ctrl-C asks the engine to stop and emit the best netlist so far; a
+	// second Ctrl-C kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := run(ctx, cfg, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "powder:", err)
 		os.Exit(1)
 	}
@@ -122,7 +134,19 @@ func buildObserver(cfg config, stderr io.Writer) (o *obs.Observer, reg *obs.Regi
 	return obs.New(obs.Multi(sinks...), reg), reg, cleanup, nil
 }
 
-func run(cfg config, stdout, stderr io.Writer) error {
+func run(ctx context.Context, cfg config, stdout, stderr io.Writer) error {
+	if cfg.words <= 0 {
+		return fmt.Errorf("-words must be positive, got %d", cfg.words)
+	}
+	if cfg.repeat <= 0 {
+		return fmt.Errorf("-repeat must be positive, got %d", cfg.repeat)
+	}
+	if cfg.timeout < 0 {
+		return fmt.Errorf("-timeout must not be negative, got %v", cfg.timeout)
+	}
+	if cfg.maxRetries < 0 {
+		return fmt.Errorf("-max-retries must not be negative, got %d", cfg.maxRetries)
+	}
 	if cfg.cpuProfile != "" {
 		stopProf, err := obs.StartCPUProfile(cfg.cpuProfile)
 		if err != nil {
@@ -183,6 +207,8 @@ func run(cfg config, stdout, stderr io.Writer) error {
 		Repeat:           cfg.repeat,
 		PreselectK:       cfg.preselect,
 		MaxSubstitutions: cfg.maxSubs,
+		MaxRetries:       cfg.maxRetries,
+		Timeout:          cfg.timeout,
 		CheckBudget:      cfg.budget,
 		Power:            power.Options{Words: cfg.words, Seed: cfg.seed},
 		Transform:        transform.Config{AllowInverted: cfg.inverted},
@@ -194,7 +220,7 @@ func run(cfg config, stdout, stderr io.Writer) error {
 		original = nl.Clone()
 	}
 
-	res, err := core.Optimize(nl, opts)
+	res, err := core.OptimizeCtx(ctx, nl, opts)
 	if err != nil {
 		return err
 	}
@@ -234,6 +260,17 @@ func run(cfg config, stdout, stderr io.Writer) error {
 		res.ByClass[transform.OS3].Count, res.ByClass[transform.IS3].Count,
 		res.Runtime.Round(1e6))
 	fmt.Fprintf(stdout, "  permissibility checks: %s\n", res.CheckStats)
+	if res.Escalation.Retries > 0 {
+		fmt.Fprintf(stdout, "  budget escalations: %d retries (%d proven, %d refuted, %d exhausted)\n",
+			res.Escalation.Retries, res.Escalation.Permissible,
+			res.Escalation.Refuted, res.Escalation.Exhausted)
+	}
+	if rb := res.Rejects[core.RejectRollback]; rb > 0 {
+		fmt.Fprintf(stdout, "  rollbacks: %d\n", rb)
+	}
+	if res.StoppedEarly() {
+		fmt.Fprintf(stdout, "  stopped early: %s (the emitted netlist is the best verified result so far)\n", res.Stopped)
+	}
 
 	if cfg.resize {
 		rr, err := resize.Optimize(nl, resize.Options{

@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"powder/internal/blif"
 	"powder/internal/cellib"
@@ -16,7 +18,7 @@ import (
 func runQuiet(t *testing.T, cfg config) error {
 	t.Helper()
 	var stdout, stderr bytes.Buffer
-	return run(cfg, &stdout, &stderr)
+	return run(context.Background(), cfg, &stdout, &stderr)
 }
 
 func TestRunBuiltinCircuitEndToEnd(t *testing.T) {
@@ -97,6 +99,79 @@ func TestRunArgumentValidation(t *testing.T) {
 	if err := runQuiet(t, cfg); err == nil {
 		t.Errorf("missing input file should fail")
 	}
+	cfg = base
+	cfg.circuit, cfg.words = "t481", 0
+	if err := runQuiet(t, cfg); err == nil {
+		t.Errorf("words <= 0 should fail")
+	}
+	cfg = base
+	cfg.circuit, cfg.repeat = "t481", -1
+	if err := runQuiet(t, cfg); err == nil {
+		t.Errorf("negative repeat should fail")
+	}
+	cfg = base
+	cfg.circuit, cfg.timeout = "t481", -time.Second
+	if err := runQuiet(t, cfg); err == nil {
+		t.Errorf("negative timeout should fail")
+	}
+	cfg = base
+	cfg.circuit, cfg.maxRetries = "t481", -1
+	if err := runQuiet(t, cfg); err == nil {
+		t.Errorf("negative max-retries should fail")
+	}
+}
+
+// TestRunMalformedBLIF pins the CLI failure contract: broken input yields
+// a clear error (propagated to a non-zero exit in main), never a panic.
+func TestRunMalformedBLIF(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"truncated.blif": ".model t\n.inputs a b\n.outputs y\n.gate nand2B a=a b=b O=y\n",
+		"dup-model.blif": ".model t\n.model t2\n.inputs a\n.outputs y\n.end\n",
+		"unknown.blif":   ".model t\n.inputs a b\n.outputs y\n.gate bogus a=a b=b O=y\n.end\n",
+		"garbage.blif":   "\x00\x01\x02 not blif at all",
+	}
+	for name, src := range cases {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cfg := config{inPath: p, repeat: 10, preselect: 12, words: 8, seed: 1, inverted: true}
+		if err := runQuiet(t, cfg); err == nil {
+			t.Errorf("%s: malformed BLIF accepted", name)
+		}
+	}
+}
+
+// TestRunWithTimeout pins the deadline contract: a tiny -timeout run
+// still terminates promptly, reports the stop reason, and writes a valid
+// netlist.
+func TestRunWithTimeout(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "opt.blif")
+	var stdout, stderr bytes.Buffer
+	cfg := config{
+		circuit: "C880", outPath: out, timeout: 50 * time.Millisecond,
+		repeat: 10, preselect: 12, words: 16, seed: 1, inverted: true, verify: true,
+	}
+	start := time.Now()
+	if err := run(context.Background(), cfg, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("timeout run took %v, want prompt termination", elapsed)
+	}
+	if !strings.Contains(stdout.String(), "stopped early: deadline") {
+		t.Errorf("report missing stop reason:\n%s", stdout.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := blif.Read(f, cellib.Lib2()); err != nil {
+		t.Fatalf("output BLIF unreadable after timeout: %v", err)
+	}
 }
 
 func TestRunWithResizeAndVerify(t *testing.T) {
@@ -137,7 +212,7 @@ func TestVerboseTracesGoToStderr(t *testing.T) {
 		circuit: "t481", repeat: 10, preselect: 12, words: 16, seed: 1,
 		inverted: true, verbose: true,
 	}
-	if err := run(cfg, &stdout, &stderr); err != nil {
+	if err := run(context.Background(), cfg, &stdout, &stderr); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(stdout.String(), "apply ") {
@@ -163,7 +238,7 @@ func TestTraceJSONAndMetrics(t *testing.T) {
 		circuit: "9sym", repeat: 10, preselect: 12, words: 16, seed: 1,
 		inverted: true, traceJSON: tracePath, metrics: true,
 	}
-	if err := run(cfg, &stdout, &stderr); err != nil {
+	if err := run(context.Background(), cfg, &stdout, &stderr); err != nil {
 		t.Fatal(err)
 	}
 

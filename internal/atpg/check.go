@@ -1,6 +1,7 @@
 package atpg
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -99,6 +100,9 @@ type Checker struct {
 	// Obs, when non-nil, receives one "check" event per proof (verdict,
 	// conflicts, decisions, budget consumption) and per-check metrics.
 	Obs *obs.Observer
+	// Ctx, when non-nil, is polled inside the SAT search; a cancelled
+	// context makes the in-flight proof return Aborted promptly.
+	Ctx context.Context
 
 	// cex holds the distinguishing primary-input assignment of the last
 	// NotPermissible verdict, in input order.
@@ -210,6 +214,7 @@ func (c *Checker) decide(changed []netlist.Branch, src Source) (verdict Verdict,
 
 	s := sat.New()
 	s.SetBudget(c.Budget)
+	s.SetContext(c.Ctx)
 	b := newCNFBuilder(nl, s)
 
 	// Source variable.

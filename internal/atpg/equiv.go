@@ -1,6 +1,7 @@
 package atpg
 
 import (
+	"context"
 	"fmt"
 
 	"powder/internal/netlist"
@@ -22,6 +23,13 @@ type EquivResult struct {
 // uses. Inputs and outputs are matched by name; both circuits must expose
 // identical port sets. budget <= 0 uses a generous default.
 func Equivalent(x, y *netlist.Netlist, budget int64) (*EquivResult, error) {
+	return EquivalentCtx(context.Background(), x, y, budget)
+}
+
+// EquivalentCtx is Equivalent under a cancellation context: the SAT
+// search polls ctx and a cancelled context yields an Aborted verdict
+// promptly instead of running the proof to completion.
+func EquivalentCtx(ctx context.Context, x, y *netlist.Netlist, budget int64) (*EquivResult, error) {
 	// Port matching.
 	yIn := make(map[string]netlist.NodeID)
 	for _, id := range y.Inputs() {
@@ -70,6 +78,7 @@ func Equivalent(x, y *netlist.Netlist, budget int64) (*EquivResult, error) {
 		budget = 500000
 	}
 	s.SetBudget(budget)
+	s.SetContext(ctx)
 	bx := newCNFBuilder(x, s)
 	by := newCNFBuilder(y, s)
 

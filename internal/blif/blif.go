@@ -31,9 +31,15 @@ func Read(r io.Reader, lib *cellib.Library) (*netlist.Netlist, error) {
 
 	var (
 		modelName string
+		modelLine int
 		inputs    []string
 		outputs   []string
+		sawEnd    bool
 	)
+	// declAt maps every declared input/output signal name to its line, so
+	// duplicate declarations report both locations.
+	inputAt := make(map[string]int)
+	outputAt := make(map[string]int)
 	type gateLine struct {
 		cell    *cellib.Cell
 		output  string
@@ -44,7 +50,7 @@ func Read(r io.Reader, lib *cellib.Library) (*netlist.Netlist, error) {
 
 	lineNo := 0
 	var pending string // for '\' continuations
-	for sc.Scan() {
+	for !sawEnd && sc.Scan() {
 		lineNo++
 		line := sc.Text()
 		if i := strings.IndexByte(line, '#'); i >= 0 {
@@ -57,20 +63,36 @@ func Read(r io.Reader, lib *cellib.Library) (*netlist.Netlist, error) {
 		}
 		line = pending + line
 		pending = ""
-		if line == "" {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
 			continue
 		}
-		fields := strings.Fields(line)
 		switch fields[0] {
 		case ".model":
 			if len(fields) < 2 {
 				return nil, fmt.Errorf("blif line %d: .model needs a name", lineNo)
 			}
-			modelName = fields[1]
+			if modelName != "" {
+				return nil, fmt.Errorf("blif line %d: duplicate .model (first on line %d); only a single model per file is supported",
+					lineNo, modelLine)
+			}
+			modelName, modelLine = fields[1], lineNo
 		case ".inputs":
-			inputs = append(inputs, fields[1:]...)
+			for _, in := range fields[1:] {
+				if at, dup := inputAt[in]; dup {
+					return nil, fmt.Errorf("blif line %d: duplicate input %q (first declared on line %d)", lineNo, in, at)
+				}
+				inputAt[in] = lineNo
+				inputs = append(inputs, in)
+			}
 		case ".outputs":
-			outputs = append(outputs, fields[1:]...)
+			for _, out := range fields[1:] {
+				if at, dup := outputAt[out]; dup {
+					return nil, fmt.Errorf("blif line %d: duplicate output %q (first declared on line %d)", lineNo, out, at)
+				}
+				outputAt[out] = lineNo
+				outputs = append(outputs, out)
+			}
 		case ".gate":
 			if len(fields) < 3 {
 				return nil, fmt.Errorf("blif line %d: malformed .gate", lineNo)
@@ -112,7 +134,8 @@ func Read(r io.Reader, lib *cellib.Library) (*netlist.Netlist, error) {
 		case ".names":
 			return nil, fmt.Errorf("blif line %d: .names (unmapped logic) is not supported; map the circuit first", lineNo)
 		case ".end":
-			// Consume and ignore; anything after is ignored too (single model).
+			// Terminates the (single) model; anything after is ignored.
+			sawEnd = true
 		case ".latch":
 			return nil, fmt.Errorf("blif line %d: sequential elements are not supported", lineNo)
 		default:
@@ -120,7 +143,13 @@ func Read(r io.Reader, lib *cellib.Library) (*netlist.Netlist, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("blif line %d: %v", lineNo+1, err)
+	}
+	if pending != "" {
+		return nil, fmt.Errorf("blif line %d: line continuation at end of file (truncated file?)", lineNo)
+	}
+	if !sawEnd {
+		return nil, fmt.Errorf("blif line %d: missing .end (truncated file?)", lineNo)
 	}
 	if modelName == "" {
 		modelName = "model"
@@ -129,7 +158,7 @@ func Read(r io.Reader, lib *cellib.Library) (*netlist.Netlist, error) {
 	nl := netlist.New(modelName, lib)
 	for _, in := range inputs {
 		if _, err := nl.AddInput(in); err != nil {
-			return nil, fmt.Errorf("blif: %v", err)
+			return nil, fmt.Errorf("blif line %d: %v", inputAt[in], err)
 		}
 	}
 
@@ -183,10 +212,10 @@ func Read(r io.Reader, lib *cellib.Library) (*netlist.Netlist, error) {
 	for _, out := range outputs {
 		id := nl.FindNode(out)
 		if id == netlist.InvalidNode {
-			return nil, fmt.Errorf("blif: output %q is not driven", out)
+			return nil, fmt.Errorf("blif line %d: output %q is not driven", outputAt[out], out)
 		}
 		if err := nl.AddOutput(out, id); err != nil {
-			return nil, fmt.Errorf("blif: %v", err)
+			return nil, fmt.Errorf("blif line %d: %v", outputAt[out], err)
 		}
 	}
 	if err := nl.Validate(); err != nil {

@@ -94,11 +94,59 @@ func TestReadErrors(t *testing.T) {
 		"unknown keyword":  ".model m\n.frobnicate\n",
 		"cycle":            ".model m\n.inputs a\n.outputs y\n.gate and2 a=a b=z O=y\n.gate inv a=y O=z\n",
 		"two gate outputs": ".model m\n.inputs a\n.outputs y\n.gate inv a=a O=y O=z\n",
+		"duplicate model":  ".model m\n.model m2\n.inputs a\n.outputs y\n.gate inv a=a O=y\n.end\n",
+		"duplicate input":  ".model m\n.inputs a b a\n.outputs y\n.gate inv a=a O=y\n.end\n",
+		"duplicate output": ".model m\n.inputs a\n.outputs y y\n.gate inv a=a O=y\n.end\n",
+		"missing .end":     ".model m\n.inputs a\n.outputs y\n.gate inv a=a O=y\n",
+		"trailing cont":    ".model m\n.inputs a\n.outputs y\n.gate inv a=a O=y\n.end \\",
+		"empty file":       "",
 	}
 	for name, src := range cases {
 		if _, err := Read(strings.NewReader(src), lib); err == nil {
 			t.Errorf("%s: Read should fail", name)
 		}
+	}
+}
+
+// TestReadErrorLineNumbers pins the diagnostics contract: every parse
+// error names the offending line.
+func TestReadErrorLineNumbers(t *testing.T) {
+	lib := cellib.Lib2()
+	cases := map[string]struct {
+		src  string
+		want string
+	}{
+		"duplicate model":  {".model m\n.model m2\n", "line 2"},
+		"duplicate input":  {".model m\n.inputs a\n.inputs a\n", "line 3"},
+		"duplicate output": {".model m\n.inputs a\n.outputs y\n.outputs y\n", "line 4"},
+		"unknown cell":     {".model m\n.inputs a\n.outputs y\n.gate frob a=a O=y\n", "line 4"},
+		"undriven output":  {".model m\n.inputs a\n.outputs nope\n.gate inv a=a O=y\n.end\n", "line 3"},
+		"input collision":  {".model m\n.inputs a\n.outputs a\n.gate inv a=a O=a\n.end\n", "line 4"},
+		"truncated":        {".model m\n.inputs a\n.outputs y\n.gate inv a=a O=y\n", "line 4"},
+	}
+	for name, c := range cases {
+		_, err := Read(strings.NewReader(c.src), lib)
+		if err == nil {
+			t.Errorf("%s: Read should fail", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not name %s", name, err, c.want)
+		}
+	}
+}
+
+// TestReadStopsAtEnd pins that content after .end is ignored rather
+// than parsed (the reader handles exactly one model).
+func TestReadStopsAtEnd(t *testing.T) {
+	lib := cellib.Lib2()
+	src := fig2 + ".model second\n.bogus directive after end\n"
+	nl, err := Read(strings.NewReader(src), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Name != "fig2" {
+		t.Errorf("model name = %q, want fig2", nl.Name)
 	}
 }
 

@@ -1,0 +1,52 @@
+package blif
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"powder/internal/cellib"
+)
+
+// FuzzRead throws arbitrary input at the BLIF parser. The parser must
+// never panic; whenever it accepts an input, the resulting netlist must
+// validate and survive a Write/Read round trip.
+func FuzzRead(f *testing.F) {
+	f.Add(fig2)
+	f.Add(".model m\n.end\n")
+	f.Add(".model m\n.inputs a \\\n b\n.outputs y\n.gate and2 a=a \\\n b=b O=y\n.end\n")
+	f.Add(".model m\n.inputs a\n.outputs y\n.gate inv a=a O=y\n")
+	f.Add(".inputs a a\n.outputs y\n.end\n")
+	f.Add("# comment only\n")
+	seeds, err := filepath.Glob(filepath.Join("..", "..", "examples", "circuits", "*.blif"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range seeds {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+
+	lib := cellib.Lib2()
+	f.Fuzz(func(t *testing.T, src string) {
+		nl, err := Read(strings.NewReader(src), lib)
+		if err != nil {
+			return
+		}
+		if verr := nl.Validate(); verr != nil {
+			t.Fatalf("accepted netlist fails Validate: %v\ninput: %q", verr, src)
+		}
+		var buf bytes.Buffer
+		if werr := Write(&buf, nl); werr != nil {
+			t.Fatalf("accepted netlist fails Write: %v\ninput: %q", werr, src)
+		}
+		if _, rerr := Read(bytes.NewReader(buf.Bytes()), lib); rerr != nil {
+			t.Fatalf("round trip unreadable: %v\nwrote:\n%s\ninput: %q", rerr, buf.String(), src)
+		}
+	})
+}

@@ -19,10 +19,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"powder/internal/atpg"
+	"powder/internal/faultinject"
 	"powder/internal/netlist"
 	"powder/internal/obs"
 	"powder/internal/power"
@@ -58,6 +61,28 @@ type Options struct {
 	// CheckBudget is the conflict budget per permissibility proof
 	// (0 = checker default). Budget exhaustion rejects the candidate.
 	CheckBudget int64
+	// MaxRetries is the per-run quota of budget-escalation retries: when
+	// a proof aborts on budget exhaustion, the candidate is re-proved
+	// with a geometrically larger budget (×4 per step, at most 3 steps
+	// per candidate) until the quota runs out. 0 disables escalation and
+	// aborted candidates are rejected immediately, as in the paper.
+	MaxRetries int
+	// Timeout is the wall-clock budget of the whole run; when it
+	// expires the run stops cleanly — in-flight SAT proofs are
+	// interrupted, no substitution is left half-applied, and Result
+	// reports the best netlist found so far with Stopped set. 0 means
+	// no deadline (an externally cancelled context behaves the same).
+	Timeout time.Duration
+	// VerifyEvery refreshes the last-good safety-net snapshot after
+	// this many applied substitutions by proving the current netlist
+	// equivalent to the input (atpg.Equivalent). The snapshot is what a
+	// recovered panic restores. 0 uses the default of 25; negative
+	// disables periodic refresh (the input itself remains the
+	// safety-net snapshot).
+	VerifyEvery int
+	// Inject carries fault-injection hooks for robustness tests; nil
+	// (the production configuration) disables all injection.
+	Inject *faultinject.Hooks
 	// InputDrive is the drive resistance assumed for primary inputs in the
 	// timing model; extra load on an input then shifts its arrival time.
 	// Zero models ideal input drivers.
@@ -102,6 +127,9 @@ func (o *Options) normalize() {
 	if o.MinGain <= 0 {
 		o.MinGain = 1e-9
 	}
+	if o.VerifyEvery == 0 {
+		o.VerifyEvery = 25
+	}
 }
 
 // ClassStats aggregates the effect of one substitution class, feeding the
@@ -132,6 +160,53 @@ const (
 	// RejectApplyConflict marks candidates whose application failed due a
 	// structural conflict with an earlier substitution.
 	RejectApplyConflict = "apply-conflict"
+	// RejectRollback marks candidates whose application was undone by
+	// the transactional apply protocol: the post-apply re-validation
+	// (netlist invariants or primary-output signature re-simulation)
+	// detected damage and the edit was rolled back.
+	RejectRollback = "rollback"
+)
+
+// StopReason explains why an optimization run ended.
+type StopReason string
+
+const (
+	// StopCompleted is the normal termination: no further
+	// power-reducing substitution exists.
+	StopCompleted StopReason = "completed"
+	// StopMaxSubs means the MaxSubstitutions cap was reached.
+	StopMaxSubs StopReason = "max-substitutions"
+	// StopDeadline means the Timeout (or an ancestor context deadline)
+	// expired; the result holds the best netlist found so far.
+	StopDeadline StopReason = "deadline"
+	// StopCancelled means the caller's context was cancelled (e.g.
+	// Ctrl-C); the result holds the best netlist found so far.
+	StopCancelled StopReason = "cancelled"
+	// StopPanic means a panic in the optimization path was recovered
+	// and the netlist was restored to the last verified snapshot.
+	StopPanic StopReason = "panic"
+)
+
+// EscalationStats records the adaptive proof-budget activity of one
+// run: how often aborted proofs were retried with escalated budgets and
+// what the retries decided.
+type EscalationStats struct {
+	// Retries counts escalated re-proofs attempted.
+	Retries int `json:"retries"`
+	// Permissible counts candidates recovered to a permissible verdict.
+	Permissible int `json:"permissible"`
+	// Refuted counts candidates an escalated proof disproved.
+	Refuted int `json:"refuted"`
+	// Exhausted counts candidates still aborted when the per-candidate
+	// cap or the run quota ran out.
+	Exhausted int `json:"exhausted"`
+}
+
+// Budget-escalation policy: each retry multiplies the proof budget by
+// escalationFactor, at most escalationSteps times per candidate.
+const (
+	escalationFactor = 4
+	escalationSteps  = 3
 )
 
 // Result summarizes an optimization run.
@@ -153,6 +228,19 @@ type Result struct {
 	// Rejects counts discarded candidates by reason code (the Reject*
 	// constants).
 	Rejects map[string]int
+	// Stopped is why the run ended (StopCompleted for a full run).
+	Stopped StopReason
+	// Escalation summarizes the adaptive proof-budget retries.
+	Escalation EscalationStats
+	// SafetyRefreshes counts how often the last-good snapshot was
+	// re-proved equivalent to the input and refreshed.
+	SafetyRefreshes int
+}
+
+// StoppedEarly reports whether the run ended before exhausting the
+// candidate space (deadline, cancellation, or a recovered panic).
+func (r *Result) StoppedEarly() bool {
+	return r.Stopped == StopDeadline || r.Stopped == StopCancelled || r.Stopped == StopPanic
 }
 
 // PowerReductionPct returns the percentage power reduction.
@@ -179,14 +267,36 @@ func (r *Result) String() string {
 }
 
 // Optimize runs POWDER on the netlist in place and returns the run summary.
+// It is OptimizeCtx under a background context.
+func Optimize(nl *netlist.Netlist, opts Options) (*Result, error) {
+	return OptimizeCtx(context.Background(), nl, opts)
+}
+
+// OptimizeCtx runs POWDER on the netlist in place and returns the run
+// summary.
 //
 // The run is observable end to end: Result.Phases breaks the wall time
 // into the pipeline phases (power-estimate, delay-analysis, harvest,
 // ab-analysis, preselect, pgc-reestimate, delay-check, atpg-check, apply,
-// power-resync, validate), Result.Rejects counts discarded candidates by
-// reason code, and Options.Obs streams structured events while the run
-// executes.
-func Optimize(nl *netlist.Netlist, opts Options) (*Result, error) {
+// power-resync, safety-verify, validate), Result.Rejects counts discarded
+// candidates by reason code, and Options.Obs streams structured events
+// while the run executes.
+//
+// Robustness guarantees:
+//
+//   - Cancelling ctx (or exceeding Options.Timeout) stops the run at the
+//     next loop boundary — in-flight SAT proofs are interrupted within
+//     microseconds of search — and returns the best netlist found so
+//     far, never a half-applied state; Result.Stopped records the
+//     reason.
+//   - Every substitution is applied inside a netlist transaction and
+//     re-validated (structural invariants plus a primary-output
+//     signature re-simulation); damage rolls the transaction back and
+//     the run continues, counting a "rollback" reject.
+//   - A panic anywhere in the optimization path is recovered, the
+//     netlist is restored to the last snapshot proven equivalent to the
+//     input, and the panic is returned as an error.
+func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *Result, err error) {
 	opts.normalize()
 	o := opts.observer()
 	opts.Power.Obs = o
@@ -194,15 +304,44 @@ func Optimize(nl *netlist.Netlist, opts Options) (*Result, error) {
 	ph := obs.NewPhaseSet()
 	start := time.Now()
 
-	stop := ph.Start("power-estimate")
-	pm := power.Estimate(nl, opts.Power)
-	res := &Result{
-		Initial: pm.Snapshot(),
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+
+	res = &Result{
 		ByClass: map[transform.Kind]*ClassStats{
 			transform.OS2: {}, transform.IS2: {}, transform.OS3: {}, transform.IS3: {},
 		},
 		Rejects: map[string]int{},
+		Stopped: StopCompleted,
 	}
+
+	// Safety net: the input clone is trivially the last netlist known
+	// equivalent to the input; periodic verification moves it forward.
+	input := nl.Clone()
+	lastGood := input
+	defer func() {
+		if r := recover(); r != nil {
+			nl.RestoreFrom(lastGood)
+			res.Stopped = StopPanic
+			res.Runtime = time.Since(start)
+			res.Phases = ph.Snapshot()
+			// Best-effort final numbers for the restored netlist; a
+			// second panic here must not mask the restore.
+			func() {
+				defer func() { _ = recover() }()
+				res.Final = power.Estimate(nl, opts.Power).Snapshot()
+				res.FinalDelay = sta.NewObserved(nl, 0, opts.InputDrive, nil).Delay()
+			}()
+			err = fmt.Errorf("core: recovered panic in optimization: %v (netlist restored to last verified snapshot)", r)
+		}
+	}()
+
+	stop := ph.Start("power-estimate")
+	pm := power.Estimate(nl, opts.Power)
+	res.Initial = pm.Snapshot()
 	stop()
 	stop = ph.Start("delay-analysis")
 	res.InitialDelay = sta.NewObserved(nl, 0, opts.InputDrive, o).Delay()
@@ -216,8 +355,26 @@ func Optimize(nl *netlist.Netlist, opts Options) (*Result, error) {
 
 	checker := atpg.NewChecker(nl)
 	checker.Obs = o
+	checker.Ctx = ctx
 	if opts.CheckBudget > 0 {
 		checker.Budget = opts.CheckBudget
+	}
+
+	// stopRequested reports (and records) context expiry; every loop
+	// boundary consults it so cancellation never interrupts an edit.
+	stopRequested := func() bool {
+		if ctx.Err() == nil {
+			return false
+		}
+		if res.Stopped == StopCompleted {
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				res.Stopped = StopDeadline
+			} else {
+				res.Stopped = StopCancelled
+			}
+			o.Emit("stopped", obs.Fields{"reason": string(res.Stopped), "applied": res.Applied})
+		}
+		return true
 	}
 
 	reject := func(reason string, s *transform.Substitution) {
@@ -233,8 +390,12 @@ func Optimize(nl *netlist.Netlist, opts Options) (*Result, error) {
 		}
 	}
 
+	retriesLeft := opts.MaxRetries
+	hooks := opts.Inject
+	verifyErr := error(nil)
+
 	exhausted := false
-	for !exhausted {
+	for !exhausted && !stopRequested() {
 		an := transform.NewAnalyzer(nl, pm)
 		stop = ph.Start("harvest")
 		cands := transform.Generate(nl, pm, opts.Transform)
@@ -259,6 +420,10 @@ func Optimize(nl *netlist.Netlist, opts Options) (*Result, error) {
 
 		progress := false
 		for repeat := opts.Repeat; repeat > 0 && len(cands) > 0; {
+			if stopRequested() {
+				exhausted = true
+				break
+			}
 			// Pre-selection: the best PG_A+PG_B candidates (cheap), then
 			// PG_C reestimation only for those (paper Section 3.5).
 			k := opts.PreselectK
@@ -310,6 +475,12 @@ func Optimize(nl *netlist.Netlist, opts Options) (*Result, error) {
 			stop = ph.Start("atpg-check")
 			verdict := checkCandidate(checker, best)
 			stop()
+			if hooks != nil && hooks.ForceAbort != nil && hooks.ForceAbort(checker.Stats.Checks) {
+				verdict = atpg.Aborted
+			}
+			if verdict == atpg.Aborted && retriesLeft > 0 && ctx.Err() == nil {
+				verdict = escalate(ctx, checker, best, hooks, &retriesLeft, res, ph, o)
+			}
 			if verdict != atpg.Permissible {
 				if verdict == atpg.Aborted {
 					reject(RejectAborted, best)
@@ -318,19 +489,60 @@ func Optimize(nl *netlist.Netlist, opts Options) (*Result, error) {
 				}
 				continue
 			}
+
+			if hooks != nil && hooks.Panic != nil && hooks.Panic(res.Applied) {
+				panic(fmt.Sprintf("faultinject: injected panic after %d substitutions", res.Applied))
+			}
+
+			// Transactional apply: snapshot the primary-output signatures,
+			// apply inside an edit transaction, then re-validate the
+			// structural invariants and re-simulate the signatures. Any
+			// damage — a buggy transform, an injected corruption, a panic
+			// in the apply path — rolls the transaction back and the run
+			// continues with the next candidate.
+			preSig := poSignatures(pm, nl)
+			txn := nl.Begin()
 			stop = ph.Start("apply")
-			_, applyErr := transform.Apply(nl, best)
+			_, applyErr := transform.ApplySafe(nl, best)
 			stop()
+			reason := RejectApplyConflict
+			if applyErr == nil && hooks != nil && hooks.CorruptApply != nil {
+				if cerr := hooks.CorruptApply(nl, res.Applied); cerr != nil {
+					applyErr = cerr
+					reason = RejectRollback
+				}
+			}
+			if applyErr == nil {
+				stop = ph.Start("validate")
+				if verr := nl.Validate(); verr != nil {
+					applyErr = verr
+					reason = RejectRollback
+				}
+				stop()
+			}
+			if applyErr == nil {
+				stop = ph.Start("power-resync")
+				pm.Resync()
+				stop()
+				if !sameSignatures(preSig, poSignatures(pm, nl)) {
+					applyErr = fmt.Errorf("core: primary-output signatures changed after apply of %v", best)
+					reason = RejectRollback
+				}
+			}
 			if applyErr != nil {
-				// Structural conflict with an earlier substitution in this
-				// harvest; treat like a failed check.
-				reject(RejectApplyConflict, best)
+				txn.Rollback()
+				stop = ph.Start("power-resync")
+				pm.Resync()
+				an = transform.NewAnalyzer(nl, pm)
+				stop()
+				reject(reason, best)
+				if o.Tracing() {
+					o.Emit("rollback", obs.Fields{"sub": best.String(), "error": applyErr.Error()})
+				}
 				continue
 			}
-			stop = ph.Start("power-resync")
-			pm.Resync()
+			txn.Commit()
 			an = transform.NewAnalyzer(nl, pm)
-			stop()
 			if timing != nil {
 				stop = ph.Start("delay-analysis")
 				timing = sta.NewObserved(nl, constraint, opts.InputDrive, o)
@@ -355,8 +567,36 @@ func Optimize(nl *netlist.Netlist, opts Options) (*Result, error) {
 				})
 			}
 			if opts.MaxSubstitutions > 0 && res.Applied >= opts.MaxSubstitutions {
+				res.Stopped = StopMaxSubs
 				exhausted = true
 				break
+			}
+			// Safety-net refresh: periodically re-prove the current netlist
+			// equivalent to the input and advance the last-good snapshot.
+			// Runs after the substitution-cap check so a run that just hit
+			// its cap does not pay for a proof whose snapshot is never used.
+			if opts.VerifyEvery > 0 && res.Applied%opts.VerifyEvery == 0 && ctx.Err() == nil {
+				stop = ph.Start("safety-verify")
+				eq, eqErr := atpg.EquivalentCtx(ctx, input, nl, 0)
+				stop()
+				switch {
+				case eqErr == nil && eq.Verdict == atpg.Permissible:
+					lastGood = nl.Clone()
+					res.SafetyRefreshes++
+					o.Counter("core.safety.refresh").Inc()
+				case eqErr == nil && eq.Verdict == atpg.NotPermissible:
+					// Every substitution was individually proven, so this
+					// means a checker or apply bug slipped through all other
+					// nets. Restore the last verified state and stop.
+					nl.RestoreFrom(lastGood)
+					pm.Resync()
+					verifyErr = fmt.Errorf("core: periodic verification refuted equivalence on output %q; restored last verified snapshot", eq.DifferingOutput)
+					exhausted = true
+				}
+				// An aborted verification keeps the previous snapshot.
+				if exhausted {
+					break
+				}
 			}
 			// Stale AB gains are refreshed for the surviving candidates;
 			// this keeps the pre-selection meaningful within the repeat
@@ -388,7 +628,7 @@ func Optimize(nl *netlist.Netlist, opts Options) (*Result, error) {
 	stop()
 	res.CheckStats = checker.Stats
 	stop = ph.Start("validate")
-	err := nl.Validate()
+	vErr := nl.Validate()
 	stop()
 	res.Runtime = time.Since(start)
 	res.Phases = ph.Snapshot()
@@ -401,12 +641,94 @@ func Optimize(nl *netlist.Netlist, opts Options) (*Result, error) {
 			"power_final":     res.Final.Power,
 			"reduction_pct":   res.PowerReductionPct(),
 			"runtime_seconds": res.Runtime.Seconds(),
+			"stopped":         string(res.Stopped),
+			"rollbacks":       res.Rejects[RejectRollback],
+			"escalations":     res.Escalation.Retries,
 		})
 	}
-	if err != nil {
-		return res, fmt.Errorf("core: netlist invalid after optimization: %v", err)
+	if verifyErr != nil {
+		return res, verifyErr
+	}
+	if vErr != nil {
+		// Unreachable with the transactional apply in place, but if the
+		// invariants are somehow broken, hand back the last verified
+		// snapshot rather than a corrupt netlist.
+		nl.RestoreFrom(lastGood)
+		return res, fmt.Errorf("core: netlist invalid after optimization: %v (restored last verified snapshot)", vErr)
 	}
 	return res, nil
+}
+
+// escalate retries an aborted proof with geometrically escalated SAT
+// budgets (×escalationFactor per step, escalationSteps max) while the
+// per-run retry quota lasts, returning the final verdict and recording
+// the escalation statistics.
+func escalate(ctx context.Context, checker *atpg.Checker, s *transform.Substitution,
+	hooks *faultinject.Hooks, retriesLeft *int, res *Result, ph *obs.PhaseSet, o *obs.Observer) atpg.Verdict {
+	base := checker.Budget
+	defer func() { checker.Budget = base }()
+	budget := base
+	verdict := atpg.Aborted
+	for step := 0; step < escalationSteps && verdict == atpg.Aborted && *retriesLeft > 0 && ctx.Err() == nil; step++ {
+		budget *= escalationFactor
+		*retriesLeft--
+		res.Escalation.Retries++
+		o.Counter("core.escalation.retries").Inc()
+		checker.Budget = budget
+		stop := ph.Start("atpg-check")
+		verdict = checkCandidate(checker, s)
+		stop()
+		if hooks != nil && hooks.ForceAbort != nil && hooks.ForceAbort(checker.Stats.Checks) {
+			verdict = atpg.Aborted
+		}
+	}
+	switch verdict {
+	case atpg.Permissible:
+		res.Escalation.Permissible++
+		o.Counter("core.escalation.permissible").Inc()
+	case atpg.NotPermissible:
+		res.Escalation.Refuted++
+		o.Counter("core.escalation.refuted").Inc()
+	default:
+		res.Escalation.Exhausted++
+		o.Counter("core.escalation.exhausted").Inc()
+	}
+	if o.Tracing() {
+		o.Emit("escalate", obs.Fields{
+			"sub":          s.String(),
+			"verdict":      verdict.String(),
+			"budget":       budget,
+			"retries_left": *retriesLeft,
+		})
+	}
+	return verdict
+}
+
+// poSignatures captures the simulated value words of every primary
+// output (masked to the valid vectors); a permissible substitution must
+// leave them bit-identical.
+func poSignatures(pm *power.Model, nl *netlist.Netlist) []uint64 {
+	s := pm.Sim()
+	sig := make([]uint64, 0, len(nl.Outputs())*s.Words())
+	for _, po := range nl.Outputs() {
+		for w, word := range s.Value(po.Driver) {
+			sig = append(sig, word&s.ValidMask(w))
+		}
+	}
+	return sig
+}
+
+// sameSignatures compares two signature captures.
+func sameSignatures(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // checkCandidate runs the exact permissibility proof (the paper's

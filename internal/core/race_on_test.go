@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the binary was built with -race; used to
+// skip wall-clock-bounded scale probes that the detector slows ~10x.
+const raceEnabled = true

@@ -103,18 +103,20 @@ type Table1Row struct {
 // RunDetail is the per-run observability summary of one core.Optimize
 // call, serialized into the powbench JSON run report.
 type RunDetail struct {
-	Applied        int                `json:"applied"`
-	Harvests       int                `json:"harvests"`
-	Candidates     int                `json:"candidates"`
-	RuntimeSeconds float64            `json:"runtime_seconds"`
-	Phases         map[string]float64 `json:"phases,omitempty"`
-	Checks         atpg.CheckStats    `json:"checks"`
-	Rejects        map[string]int     `json:"rejects,omitempty"`
+	Applied        int                  `json:"applied"`
+	Harvests       int                  `json:"harvests"`
+	Candidates     int                  `json:"candidates"`
+	RuntimeSeconds float64              `json:"runtime_seconds"`
+	Phases         map[string]float64   `json:"phases,omitempty"`
+	Checks         atpg.CheckStats      `json:"checks"`
+	Rejects        map[string]int       `json:"rejects,omitempty"`
+	Escalations    core.EscalationStats `json:"escalations"`
+	Stopped        string               `json:"stopped,omitempty"`
 }
 
 // detailOf extracts the observability summary of one run result.
 func detailOf(res *core.Result) RunDetail {
-	return RunDetail{
+	d := RunDetail{
 		Applied:        res.Applied,
 		Harvests:       res.Harvests,
 		Candidates:     res.Candidates,
@@ -122,7 +124,12 @@ func detailOf(res *core.Result) RunDetail {
 		Phases:         res.Phases.Map(),
 		Checks:         res.CheckStats,
 		Rejects:        res.Rejects,
+		Escalations:    res.Escalation,
 	}
+	if res.StoppedEarly() {
+		d.Stopped = string(res.Stopped)
+	}
+	return d
 }
 
 // Suite holds the results of the Table 1 + Table 2 experiment.

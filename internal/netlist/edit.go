@@ -33,6 +33,12 @@ func (nl *Netlist) ReplaceFanin(gate NodeID, pin int, newDriver NodeID) error {
 	nl.removeFanout(old, Branch{Gate: gate, Pin: pin})
 	g.fanins[pin] = newDriver
 	nd.fanouts = append(nd.fanouts, Branch{Gate: gate, Pin: pin})
+	nl.logUndo(func() {
+		nl.removeFanout(newDriver, Branch{Gate: gate, Pin: pin})
+		g.fanins[pin] = old
+		on := nl.Node(old)
+		on.fanouts = append(on.fanouts, Branch{Gate: gate, Pin: pin})
+	})
 	nl.bump()
 	return nil
 }
@@ -54,6 +60,12 @@ func (nl *Netlist) RedirectOutput(poIdx int, newDriver NodeID) error {
 	nl.removeFanout(old, Branch{Gate: InvalidNode, Pin: poIdx})
 	nl.outputs[poIdx].Driver = newDriver
 	nd.fanouts = append(nd.fanouts, Branch{Gate: InvalidNode, Pin: poIdx})
+	nl.logUndo(func() {
+		nl.removeFanout(newDriver, Branch{Gate: InvalidNode, Pin: poIdx})
+		nl.outputs[poIdx].Driver = old
+		on := nl.Node(old)
+		on.fanouts = append(on.fanouts, Branch{Gate: InvalidNode, Pin: poIdx})
+	})
 	nl.bump()
 	return nil
 }
@@ -95,7 +107,9 @@ func (nl *Netlist) ReplaceCell(id NodeID, cell *cellib.Cell) error {
 	if cell == n.cell {
 		return nil
 	}
+	old := n.cell
 	n.cell = cell
+	nl.logUndo(func() { n.cell = old })
 	nl.bump()
 	return nil
 }
@@ -118,6 +132,14 @@ func (nl *Netlist) RemoveGate(id NodeID) error {
 	}
 	n.dead = true
 	delete(nl.byName, n.name)
+	nl.logUndo(func() {
+		n.dead = false
+		nl.byName[n.name] = id
+		for pin, f := range n.fanins {
+			fn := nl.Node(f)
+			fn.fanouts = append(fn.fanouts, Branch{Gate: id, Pin: pin})
+		}
+	})
 	nl.bump()
 	return nil
 }

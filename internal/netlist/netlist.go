@@ -104,6 +104,7 @@ type Netlist struct {
 	outputs []PO
 	byName  map[string]NodeID
 	version int64
+	txn     *Txn // active edit transaction, nil outside Begin/Commit
 
 	// Scratch state for allocation-free reachability queries.
 	visitMark  []int64
@@ -161,6 +162,11 @@ func (nl *Netlist) AddInput(name string) (NodeID, error) {
 	nl.nodes = append(nl.nodes, n)
 	nl.inputs = append(nl.inputs, id)
 	nl.byName[name] = id
+	nl.logUndo(func() {
+		delete(nl.byName, name)
+		nl.inputs = nl.inputs[:len(nl.inputs)-1]
+		nl.nodes = nl.nodes[:id]
+	})
 	nl.bump()
 	return id, nil
 }
@@ -197,6 +203,13 @@ func (nl *Netlist) AddGate(name string, cell *cellib.Cell, fanins []NodeID) (Nod
 		fn := nl.nodes[f]
 		fn.fanouts = append(fn.fanouts, Branch{Gate: id, Pin: pin})
 	}
+	nl.logUndo(func() {
+		for pin, f := range n.fanins {
+			nl.removeFanout(f, Branch{Gate: id, Pin: pin})
+		}
+		delete(nl.byName, name)
+		nl.nodes = nl.nodes[:id]
+	})
 	nl.bump()
 	return id, nil
 }
@@ -228,6 +241,10 @@ func (nl *Netlist) AddOutput(name string, driver NodeID) error {
 	nl.outputs = append(nl.outputs, PO{Name: name, Driver: driver})
 	d := nl.nodes[driver]
 	d.fanouts = append(d.fanouts, Branch{Gate: InvalidNode, Pin: idx})
+	nl.logUndo(func() {
+		nl.removeFanout(driver, Branch{Gate: InvalidNode, Pin: idx})
+		nl.outputs = nl.outputs[:idx]
+	})
 	nl.bump()
 	return nil
 }

@@ -1,0 +1,103 @@
+package netlist
+
+// Txn records the structural edits made to a netlist between Begin and
+// Commit/Rollback so that a failed multi-step edit (e.g. one candidate
+// substitution: inserted gates, rewired branches, swept cone) can be
+// undone exactly, restoring the pre-transaction structure.
+//
+// The journal hooks into the editing primitives (AddInput, AddGate,
+// AddOutput, ReplaceFanin, RedirectOutput, ReplaceCell, RemoveGate), so
+// any edit expressed through them is transactional; direct mutation of
+// slices returned by accessors is not journaled and cannot be rolled
+// back. Transactions do not nest and the netlist stays single-threaded.
+type Txn struct {
+	nl   *Netlist
+	undo []func()
+	done bool
+}
+
+// Begin starts recording edits into a transaction. It panics if a
+// transaction is already active: substitutions are applied one at a
+// time and nesting would make rollback order ambiguous.
+func (nl *Netlist) Begin() *Txn {
+	if nl.txn != nil {
+		panic("netlist: nested transaction")
+	}
+	t := &Txn{nl: nl}
+	nl.txn = t
+	return t
+}
+
+// InTxn reports whether an edit transaction is currently recording.
+func (nl *Netlist) InTxn() bool { return nl.txn != nil }
+
+// logUndo appends an undo step to the active transaction, if any.
+func (nl *Netlist) logUndo(f func()) {
+	if nl.txn != nil {
+		nl.txn.undo = append(nl.txn.undo, f)
+	}
+}
+
+// Commit keeps the recorded edits and ends the transaction.
+func (t *Txn) Commit() {
+	t.finish()
+	t.undo = nil
+}
+
+// Rollback undoes every recorded edit in reverse order, restoring the
+// structure the netlist had at Begin, and ends the transaction.
+func (t *Txn) Rollback() {
+	t.finish()
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		t.undo[i]()
+	}
+	t.undo = nil
+	t.nl.bump()
+}
+
+func (t *Txn) finish() {
+	if t.done {
+		panic("netlist: transaction already committed or rolled back")
+	}
+	if t.nl.txn != t {
+		panic("netlist: transaction is not the active one")
+	}
+	t.done = true
+	t.nl.txn = nil
+}
+
+// RestoreFrom overwrites this netlist in place with a deep copy of the
+// snapshot's state (typically one taken earlier with Clone from this
+// same netlist). Callers holding the *Netlist pointer see the restored
+// circuit; the version counter still advances so derived caches
+// invalidate. Any active transaction is abandoned — the restore
+// supersedes whatever it recorded.
+func (nl *Netlist) RestoreFrom(snap *Netlist) {
+	nl.txn = nil
+	nl.Name = snap.Name
+	nl.Lib = snap.Lib
+	nl.POLoad = snap.POLoad
+	nl.nodes = make([]*Node, len(snap.nodes))
+	for i, n := range snap.nodes {
+		nl.nodes[i] = &Node{
+			id:      n.id,
+			kind:    n.kind,
+			name:    n.name,
+			cell:    n.cell,
+			fanins:  append([]NodeID(nil), n.fanins...),
+			fanouts: append([]Branch(nil), n.fanouts...),
+			dead:    n.dead,
+		}
+	}
+	nl.inputs = append(nl.inputs[:0], snap.inputs...)
+	nl.outputs = append(nl.outputs[:0], snap.outputs...)
+	nl.byName = make(map[string]NodeID, len(snap.byName))
+	for k, v := range snap.byName {
+		nl.byName[k] = v
+	}
+	// Reachability scratch is sized for the old node table; drop it.
+	nl.visitMark = nil
+	nl.visitStack = nil
+	nl.visitEpoch = 0
+	nl.bump()
+}

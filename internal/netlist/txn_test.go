@@ -1,0 +1,198 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fingerprint renders the complete structural state of the netlist.
+// Fanout lists are order-insensitive (rollback may re-append a restored
+// branch at the tail), everything else must match exactly.
+func fingerprint(nl *Netlist) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "name=%s nodes=%d\n", nl.Name, len(nl.nodes))
+	for _, n := range nl.nodes {
+		cell := "-"
+		if n.cell != nil {
+			cell = n.cell.Name
+		}
+		fo := make([]string, len(n.fanouts))
+		for i, f := range n.fanouts {
+			fo[i] = fmt.Sprintf("%d.%d", f.Gate, f.Pin)
+		}
+		sort.Strings(fo)
+		fmt.Fprintf(&b, "node %d %q kind=%d cell=%s dead=%v fi=%v fo=%v\n",
+			n.id, n.name, n.kind, cell, n.dead, n.fanins, fo)
+	}
+	fmt.Fprintf(&b, "inputs=%v\n", nl.inputs)
+	for _, po := range nl.outputs {
+		fmt.Fprintf(&b, "po %q <- %d\n", po.Name, po.Driver)
+	}
+	names := make([]string, 0, len(nl.byName))
+	for k, v := range nl.byName {
+		names = append(names, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "byName=%v\n", names)
+	return b.String()
+}
+
+// TestTxnRollbackRestoresEveryPrimitive drives all journaled editing
+// primitives inside one transaction and checks rollback restores the
+// exact pre-transaction structure.
+func TestTxnRollbackRestoresEveryPrimitive(t *testing.T) {
+	nl, ids := buildExample(t)
+	lib := nl.Lib
+	before := fingerprint(nl)
+
+	txn := nl.Begin()
+	if !nl.InTxn() {
+		t.Fatal("InTxn = false inside a transaction")
+	}
+	// AddInput / AddGate / AddOutput.
+	x, err := nl.AddInput("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := nl.AddGate("g_new", lib.Cell("nand2"), []NodeID{x, ids["a"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.AddOutput("po_new", g); err != nil {
+		t.Fatal(err)
+	}
+	// ReplaceFanin: f's pin 0 (d) -> e; d becomes fanout-free.
+	if err := nl.ReplaceFanin(ids["f"], 0, ids["e"]); err != nil {
+		t.Fatal(err)
+	}
+	// RedirectOutput: PO f -> e's stem.
+	if err := nl.RedirectOutput(0, ids["e"]); err != nil {
+		t.Fatal(err)
+	}
+	// ReplaceCell: resize e to the x2 drive variant.
+	if err := nl.ReplaceCell(ids["e"], lib.Cell("and2x2")); err != nil {
+		t.Fatal(err)
+	}
+	// RemoveGate via the dead-cone sweep (f and d die after the rewiring
+	// above... f still drives nothing? f lost its PO; d lost f).
+	removed := nl.SweepDead()
+	if len(removed) == 0 {
+		t.Fatal("sweep removed nothing; the scenario lost its teeth")
+	}
+
+	txn.Rollback()
+	if nl.InTxn() {
+		t.Fatal("InTxn = true after rollback")
+	}
+	if after := fingerprint(nl); after != before {
+		t.Fatalf("rollback did not restore structure:\n--- before\n%s--- after\n%s", before, after)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatalf("rolled-back netlist invalid: %v", err)
+	}
+}
+
+// TestTxnCommitKeepsEdits pins that Commit preserves the edits and that
+// a committed transaction allows a new Begin.
+func TestTxnCommitKeepsEdits(t *testing.T) {
+	nl, ids := buildExample(t)
+	before := fingerprint(nl)
+	txn := nl.Begin()
+	if err := nl.ReplaceFanin(ids["f"], 0, ids["e"]); err != nil {
+		t.Fatal(err)
+	}
+	txn.Commit()
+	if after := fingerprint(nl); after == before {
+		t.Fatal("commit lost the edit")
+	}
+	if nl.InTxn() {
+		t.Fatal("InTxn = true after commit")
+	}
+	nl.Begin().Commit() // a fresh transaction must be allowed now
+}
+
+// TestTxnRemoveGateNameReuse pins the trickiest rollback ordering: a
+// gate is removed and its name immediately reused by a new gate within
+// the same transaction. Reverse-order undo must first truncate the new
+// gate (freeing the name) and then revive the old one.
+func TestTxnRemoveGateNameReuse(t *testing.T) {
+	nl, ids := buildExample(t)
+	before := fingerprint(nl)
+	txn := nl.Begin()
+	if err := nl.RedirectOutput(0, ids["e"]); err != nil { // PO f -> e
+		t.Fatal(err)
+	}
+	if err := nl.ReplaceFanin(ids["f"], 0, ids["e"]); err != nil {
+		t.Fatal(err)
+	}
+	// f is now fanout-free; remove it and reuse its name.
+	if err := nl.RemoveGate(ids["f"]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.AddGate("f", nl.Lib.Cell("nor2"), []NodeID{ids["a"], ids["c"]}); err != nil {
+		t.Fatal(err)
+	}
+	txn.Rollback()
+	if after := fingerprint(nl); after != before {
+		t.Fatalf("rollback after name reuse broke structure:\n--- before\n%s--- after\n%s", before, after)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatalf("rolled-back netlist invalid: %v", err)
+	}
+}
+
+func TestTxnMisuse(t *testing.T) {
+	nl, _ := buildExample(t)
+	txn := nl.Begin()
+	mustPanic(t, "nested Begin", func() { nl.Begin() })
+	txn.Commit()
+	mustPanic(t, "double finish", func() { txn.Rollback() })
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	f()
+}
+
+// TestRestoreFrom pins the snapshot-restore primitive used by the
+// engine's safety net: restoring mutates the receiver in place back to
+// the snapshot's structure and detaches it from the snapshot's storage.
+func TestRestoreFrom(t *testing.T) {
+	nl, ids := buildExample(t)
+	snap := nl.Clone()
+	want := fingerprint(nl)
+
+	// Wreck the original thoroughly (outside any transaction).
+	if err := nl.RedirectOutput(0, ids["e"]); err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.ReplaceFanin(ids["f"], 0, ids["e"]); err != nil {
+		t.Fatal(err)
+	}
+	nl.SweepDead()
+	if fingerprint(nl) == want {
+		t.Fatal("mutations did not change the fingerprint")
+	}
+
+	nl.RestoreFrom(snap)
+	if got := fingerprint(nl); got != want {
+		t.Fatalf("RestoreFrom mismatch:\n--- want\n%s--- got\n%s", want, got)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatalf("restored netlist invalid: %v", err)
+	}
+	// The restored netlist must not alias the snapshot.
+	if err := nl.ReplaceCell(ids["e"], nl.Lib.Cell("and2x2")); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Node(ids["e"]).Cell().Name != "and2" {
+		t.Error("RestoreFrom aliased node storage with the snapshot")
+	}
+}

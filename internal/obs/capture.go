@@ -1,0 +1,41 @@
+package obs
+
+import "sync"
+
+// CaptureSink records every emitted event in memory. It exists for
+// tests that assert on the event stream (rollbacks, escalations, stop
+// reasons) without going through a serialization sink.
+type CaptureSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewCaptureSink returns an empty capture sink.
+func NewCaptureSink() *CaptureSink { return &CaptureSink{} }
+
+// Emit records the event.
+func (c *CaptureSink) Emit(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Events returns a snapshot of the captured events in emission order.
+func (c *CaptureSink) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// Count returns how many events with the given name were captured.
+func (c *CaptureSink) Count(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.events {
+		if e.Name == name {
+			n++
+		}
+	}
+	return n
+}

@@ -7,6 +7,7 @@
 package sat
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -97,6 +98,12 @@ type Solver struct {
 	// Budget: conflicts allowed per Solve; <=0 means unlimited.
 	budget int64
 
+	// Cancellation: Solve polls ctx every pollEvery search-loop
+	// iterations and returns Unknown once it is done.
+	ctx         context.Context
+	pollCounter int
+	interrupted bool
+
 	// Statistics.
 	Conflicts    int64
 	Decisions    int64
@@ -115,6 +122,46 @@ func New() *Solver {
 // SetBudget limits the number of conflicts a single Solve may spend;
 // non-positive means unlimited.
 func (s *Solver) SetBudget(conflicts int64) { s.budget = conflicts }
+
+// pollEvery is how many CDCL search-loop iterations pass between
+// cancellation polls. Each iteration is one propagate/decide (or
+// conflict) step, so the response latency to a cancelled context is a
+// few microseconds of search — far below any wall-clock deadline a
+// caller would set.
+const pollEvery = 64
+
+// SetContext attaches a cancellation context to the solver. Solve polls
+// it periodically during search and returns Unknown once the context is
+// done; Interrupted then reports true (distinguishing cancellation from
+// a conflict-budget overrun). A nil context disables polling.
+func (s *Solver) SetContext(ctx context.Context) {
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil // never cancellable: skip the polling entirely
+	}
+	s.ctx = ctx
+}
+
+// Interrupted reports whether the last Solve returned Unknown because
+// its context was cancelled (rather than because the conflict budget
+// ran out).
+func (s *Solver) Interrupted() bool { return s.interrupted }
+
+// cancelled polls the attached context at a decimated rate.
+func (s *Solver) cancelled() bool {
+	if s.ctx == nil {
+		return false
+	}
+	s.pollCounter++
+	if s.pollCounter < pollEvery {
+		return false
+	}
+	s.pollCounter = 0
+	if s.ctx.Err() != nil {
+		s.interrupted = true
+		return true
+	}
+	return false
+}
 
 // NumVars returns the number of allocated variables.
 func (s *Solver) NumVars() int { return len(s.assign) }
@@ -384,6 +431,7 @@ func (s *Solver) bumpClause(c *clause) {
 // Solve determines satisfiability under the given assumptions. On Sat the
 // model is readable via Value. Assumption conflicts yield Unsat.
 func (s *Solver) Solve(assumptions ...Lit) Result {
+	s.interrupted = false
 	if !s.ok {
 		return Unsat
 	}
@@ -415,6 +463,9 @@ func (s *Solver) Solve(assumptions ...Lit) Result {
 	conflictsSinceRestart := int64(0)
 
 	for {
+		if s.cancelled() {
+			return Unknown
+		}
 		confl := s.propagate()
 		if confl != nil {
 			s.Conflicts++

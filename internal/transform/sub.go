@@ -201,6 +201,20 @@ func Apply(nl *netlist.Netlist, s *Substitution) (*ApplyResult, error) {
 	return res, nil
 }
 
+// ApplySafe is Apply with panic containment: a panic anywhere in the
+// apply path (editing primitives included) is converted into an error,
+// so a caller running inside a netlist transaction can roll back and
+// continue instead of crashing the run.
+func ApplySafe(nl *netlist.Netlist, s *Substitution) (res *ApplyResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("transform: panic applying %v: %v", s, r)
+		}
+	}()
+	return Apply(nl, s)
+}
+
 // FindInverter returns an existing live inverter gate driven by b, or
 // InvalidNode.
 func FindInverter(nl *netlist.Netlist, b netlist.NodeID) netlist.NodeID {
