@@ -5,9 +5,12 @@
 //	powbench -fig6        the power-delay trade-off curve
 //	powbench -all         everything
 //
-// -circuits restricts the run to a comma-separated subset; -csv writes the
-// Table 1 rows to a file for plotting; -json writes the machine-readable
-// run report (Table 1 rows plus per-phase timings, checker effort, and
+// -circuits restricts the run to a comma-separated subset; -parallel N
+// fans the per-circuit runs out over the internal/service worker pool
+// (tables and reports stay in circuit order; the per-circuit CPU column
+// then measures wall time under contention); -csv writes the Table 1
+// rows to a file for plotting; -json writes the machine-readable run
+// report (Table 1 rows plus per-phase timings, checker effort, and
 // reject-reason counts) used to track the performance trajectory across
 // changes (the BENCH_*.json format).
 //
@@ -20,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"powder/internal/circuits"
@@ -43,6 +47,7 @@ func main() {
 		preOpt   = flag.Bool("preopt", false, "pre-optimize initial circuits with redundancy removal (POSE-grade starting points)")
 		timeout  = flag.Duration("timeout", 0, "per-circuit wall-clock budget; expired runs report their best result (0 = none)")
 		retries  = flag.Int("max-retries", 0, "per-circuit budget-escalation retries for aborted proofs (0 = no escalation)")
+		parallel = flag.Int("parallel", 1, "run circuits concurrently on this many workers (0 = GOMAXPROCS); output stays in circuit order")
 
 		traceJSON  = flag.String("trace-json", "", "write structured run events as JSON Lines to this file")
 		metrics    = flag.Bool("metrics", false, "collect a metrics registry over all runs and print it to stderr")
@@ -92,6 +97,10 @@ func main() {
 	opts := expt.RunOptions{MapArea: *mapArea, PreOptimize: *preOpt, Obs: observer}
 	opts.Core.Timeout = *timeout
 	opts.Core.MaxRetries = *retries
+	opts.Parallel = *parallel
+	if *parallel <= 0 {
+		opts.Parallel = runtime.GOMAXPROCS(0)
+	}
 	if !*quiet {
 		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}

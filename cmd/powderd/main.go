@@ -1,0 +1,126 @@
+// Command powderd serves POWDER over HTTP: clients POST technology-
+// mapped BLIF circuits and get back asynchronously optimized netlists,
+// with streaming progress, cancellation, and metrics.
+//
+// Usage:
+//
+//	powderd [-addr :8844] [-workers N] [-queue N] [-lib cells.genlib]
+//
+// API (see the README "Serving" section for curl examples):
+//
+//	POST   /v1/jobs?timeout=30s&delay-limit=10&max-subs=100&verify=1
+//	GET    /v1/jobs/{id}
+//	GET    /v1/jobs/{id}/result.blif
+//	GET    /v1/jobs/{id}/events        NDJSON progress stream
+//	DELETE /v1/jobs/{id}
+//	GET    /healthz
+//	GET    /metrics
+//
+// On SIGTERM/SIGINT the daemon stops accepting submissions (503),
+// drains queued and in-flight jobs, and exits; jobs still running when
+// -drain-timeout expires are cancelled and finish with their best
+// result so far.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"powder/internal/cellib"
+	"powder/internal/obs"
+	"powder/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8844", "HTTP listen address")
+		workers      = flag.Int("workers", 0, "optimization workers (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "job queue depth; a full queue rejects submissions with 429")
+		libPath      = flag.String("lib", "", "genlib library file (default: built-in lib2)")
+		maxBody      = flag.Int64("max-body", 16<<20, "largest accepted BLIF body in bytes")
+		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "default per-job wall-clock budget when the submission sets none (0 = unlimited)")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for queued and in-flight jobs before cancelling them")
+		eventBuffer  = flag.Int("event-buffer", 0, "per-job event replay buffer (0 = default 4096)")
+		verbose      = flag.Bool("v", false, "log every HTTP request")
+	)
+	flag.Parse()
+
+	lib := cellib.Lib2()
+	if *libPath != "" {
+		f, err := os.Open(*libPath)
+		if err != nil {
+			fail(err)
+		}
+		parsed, err := cellib.ParseGenlib(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		lib = parsed
+	}
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		Library:        lib,
+		MaxBodyBytes:   *maxBody,
+		DefaultTimeout: *jobTimeout,
+		EventBuffer:    *eventBuffer,
+		Registry:       obs.NewRegistry(),
+	})
+
+	handler := svc.Handler()
+	if *verbose {
+		handler = logRequests(handler)
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("powderd: listening on %s (%d workers, queue %d)", *addr, svc.Workers(), *queue)
+
+	select {
+	case err := <-errCh:
+		fail(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: refuse new submissions immediately, let queued
+	// and in-flight jobs finish, then close the listener. Status and
+	// event-stream reads keep working while jobs drain.
+	log.Printf("powderd: draining (timeout %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Drain(drainCtx); err != nil {
+		log.Printf("powderd: drain expired; in-flight jobs were cancelled (%v)", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("powderd: shutdown: %v", err)
+	}
+	log.Printf("powderd: bye")
+}
+
+// logRequests is a minimal access-log middleware.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "powderd:", err)
+	os.Exit(1)
+}

@@ -95,6 +95,12 @@ type Options struct {
 	// apply, reject with reason codes) and per-phase metrics. A nil
 	// observer disables all event construction at near-zero cost.
 	Obs *obs.Observer
+	// Progress, when non-nil, receives a compact run snapshot after the
+	// initial estimates, after every applied substitution, and once more
+	// when the run ends (Done set). It is invoked synchronously on the
+	// optimization goroutine — callbacks must be fast and must not touch
+	// the netlist. Serving layers use it to publish live job status.
+	Progress func(Progress)
 	// Trace, when non-nil, receives one line per performed substitution.
 	// Deprecated compatibility adapter: it is wired onto the event sink;
 	// prefer Obs for structured events.
@@ -166,6 +172,23 @@ const (
 	// detected damage and the edit was rolled back.
 	RejectRollback = "rollback"
 )
+
+// Progress is the point-in-time run snapshot delivered to
+// Options.Progress.
+type Progress struct {
+	// Applied is the number of substitutions performed so far.
+	Applied int `json:"applied"`
+	// Harvests is the number of candidate harvests completed so far.
+	Harvests int `json:"harvests"`
+	// Candidates is the total number of candidates examined so far.
+	Candidates int `json:"candidates"`
+	// InitialPower is the power estimate of the input circuit.
+	InitialPower float64 `json:"initial_power"`
+	// Power is the current power estimate.
+	Power float64 `json:"power"`
+	// Done is set on the final callback of the run.
+	Done bool `json:"done"`
+}
 
 // StopReason explains why an optimization run ended.
 type StopReason string
@@ -352,6 +375,21 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 		constraint = res.InitialDelay * opts.DelayFactor
 	}
 	res.Constraint = constraint
+
+	reportProgress := func(done bool) {
+		if opts.Progress == nil {
+			return
+		}
+		opts.Progress(Progress{
+			Applied:      res.Applied,
+			Harvests:     res.Harvests,
+			Candidates:   res.Candidates,
+			InitialPower: res.Initial.Power,
+			Power:        pm.Total(),
+			Done:         done,
+		})
+	}
+	reportProgress(false)
 
 	checker := atpg.NewChecker(nl)
 	checker.Obs = o
@@ -566,6 +604,7 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 					"applied":    res.Applied,
 				})
 			}
+			reportProgress(false)
 			if opts.MaxSubstitutions > 0 && res.Applied >= opts.MaxSubstitutions {
 				res.Stopped = StopMaxSubs
 				exhausted = true
@@ -632,6 +671,7 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 	stop()
 	res.Runtime = time.Since(start)
 	res.Phases = ph.Snapshot()
+	reportProgress(true)
 	if o.Tracing() {
 		o.Emit("optimize-done", obs.Fields{
 			"applied":         res.Applied,

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"powder/internal/transform"
+)
+
+func TestProgressCallback(t *testing.T) {
+	nl := redundantCircuit(t)
+	var snaps []Progress
+	res, err := Optimize(nl, Options{
+		Transform: transform.Config{AllowInverted: true},
+		Progress:  func(p Progress) { snaps = append(snaps, p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied == 0 {
+		t.Fatal("expected substitutions on the redundant circuit")
+	}
+	// One initial snapshot, one per apply, one final.
+	if want := res.Applied + 2; len(snaps) != want {
+		t.Fatalf("got %d progress callbacks, want %d (applied=%d)", len(snaps), want, res.Applied)
+	}
+	first, last := snaps[0], snaps[len(snaps)-1]
+	if first.Applied != 0 || first.Done {
+		t.Fatalf("first snapshot = %+v, want applied=0 done=false", first)
+	}
+	if first.InitialPower != res.Initial.Power || first.Power != res.Initial.Power {
+		t.Fatalf("first snapshot power = %+v, want initial power %v", first, res.Initial.Power)
+	}
+	if !last.Done || last.Applied != res.Applied {
+		t.Fatalf("last snapshot = %+v, want done=true applied=%d", last, res.Applied)
+	}
+	if last.Power >= first.Power {
+		t.Fatalf("final progress power %v not below initial %v", last.Power, first.Power)
+	}
+	// Applied must be monotonic and intermediate snapshots not Done.
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Applied < snaps[i-1].Applied {
+			t.Fatalf("applied went backwards at %d: %+v -> %+v", i, snaps[i-1], snaps[i])
+		}
+		if i < len(snaps)-1 && snaps[i].Done {
+			t.Fatalf("intermediate snapshot %d marked done", i)
+		}
+	}
+}
+
+func TestProgressCallbackNilSafe(t *testing.T) {
+	nl := redundantCircuit(t)
+	if _, err := Optimize(nl, Options{Transform: transform.Config{AllowInverted: true}}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -24,50 +24,67 @@ type BaselineRow struct {
 	PowApplied int
 }
 
-// RunBaseline runs the baseline comparison over the circuit set.
+// RunBaseline runs the baseline comparison over the circuit set. With
+// RunOptions.Parallel > 1 the circuits run concurrently; rows are
+// collected in circuit order either way.
 func RunBaseline(specs []circuits.Spec, opts RunOptions) ([]BaselineRow, error) {
 	opts.normalize()
-	var rows []BaselineRow
-	for _, spec := range specs {
-		// Redundancy removal only.
-		nlR, err := compile(spec, &opts)
+	rows := make([]BaselineRow, len(specs))
+	errs := make([]error, len(specs))
+	forEachSpec(specs, &opts, func(i int, spec circuits.Spec) {
+		row, err := baselineOne(spec, &opts)
 		if err != nil {
-			return nil, fmt.Errorf("expt: %s: %v", spec.Name, err)
+			errs[i] = err
+			return
 		}
-		pmInit := power.Estimate(nlR, opts.Core.Power)
-		initPower := pmInit.Total()
-		rr, err := redundancy.Remove(nlR, redundancy.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("expt: %s: %v", spec.Name, err)
-		}
-		redPower := power.Estimate(nlR, opts.Core.Power).Total()
-
-		// POWDER.
-		nlP, err := compile(spec, &opts)
-		if err != nil {
-			return nil, err
-		}
-		cOpts := opts.Core
-		res, err := core.Optimize(nlP, cOpts)
-		if err != nil {
-			return nil, fmt.Errorf("expt: %s: %v", spec.Name, err)
-		}
-
-		row := BaselineRow{
-			Circuit:    spec.Name,
-			InitPower:  initPower,
-			RedPower:   redPower,
-			RedPct:     100 * (initPower - redPower) / initPower,
-			PowPower:   res.Final.Power,
-			PowPct:     res.PowerReductionPct(),
-			RedRemoved: rr.Removed,
-			PowApplied: res.Applied,
-		}
-		rows = append(rows, row)
+		rows[i] = *row
 		opts.progressf("%-10s redundancy-only %5.1f%%  POWDER %5.1f%%",
 			row.Circuit, row.RedPct, row.PowPct)
+	})
+	for i, spec := range specs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("expt: %s: %v", spec.Name, errs[i])
+		}
 	}
 	return rows, nil
+}
+
+// baselineOne compares redundancy removal against POWDER on one circuit.
+func baselineOne(spec circuits.Spec, opts *RunOptions) (*BaselineRow, error) {
+	// Redundancy removal only.
+	nlR, err := compile(spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	pmInit := power.Estimate(nlR, opts.Core.Power)
+	initPower := pmInit.Total()
+	rr, err := redundancy.Remove(nlR, redundancy.Options{})
+	if err != nil {
+		return nil, err
+	}
+	redPower := power.Estimate(nlR, opts.Core.Power).Total()
+
+	// POWDER.
+	nlP, err := compile(spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	cOpts := opts.Core
+	res, err := core.Optimize(nlP, cOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	return &BaselineRow{
+		Circuit:    spec.Name,
+		InitPower:  initPower,
+		RedPower:   redPower,
+		RedPct:     100 * (initPower - redPower) / initPower,
+		PowPower:   res.Final.Power,
+		PowPct:     res.PowerReductionPct(),
+		RedRemoved: rr.Removed,
+		PowApplied: res.Applied,
+	}, nil
 }
 
 // RenderBaseline writes the comparison table.

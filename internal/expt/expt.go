@@ -15,6 +15,7 @@ import (
 	"powder/internal/netlist"
 	"powder/internal/obs"
 	"powder/internal/redundancy"
+	"powder/internal/service"
 	"powder/internal/synth"
 	"powder/internal/transform"
 )
@@ -38,6 +39,11 @@ type RunOptions struct {
 	// POWDER's gains shift from dominated-region removal (OS2) toward
 	// rewiring (IS2/OS3), as in the paper's Table 2.
 	PreOptimize bool
+	// Parallel, when > 1, runs the per-circuit experiments concurrently
+	// on a service.Pool of that many workers. Results are collected by
+	// circuit index, so tables and reports render in the same order as a
+	// sequential run; only the interleaving of progress lines differs.
+	Parallel int
 	// Obs, when non-nil, receives experiment-level "progress" events and
 	// is threaded into every core.Optimize call (run events + metrics).
 	Obs *obs.Observer
@@ -178,20 +184,54 @@ func compile(spec circuits.Spec, opts *RunOptions) (*netlist.Netlist, error) {
 	return nl, nil
 }
 
+// forEachSpec runs fn once per spec — sequentially, or fanned out over
+// a service.Pool when opts.Parallel > 1. fn receives the spec index so
+// callers collect results in deterministic circuit order.
+func forEachSpec(specs []circuits.Spec, opts *RunOptions, fn func(i int, spec circuits.Spec)) {
+	if opts.Parallel > 1 {
+		pool := service.NewPool(opts.Parallel, 0)
+		for i, spec := range specs {
+			i, spec := i, spec
+			pool.Submit(func() { fn(i, spec) })
+		}
+		pool.Close()
+		return
+	}
+	for i, spec := range specs {
+		fn(i, spec)
+	}
+}
+
 // RunSuite optimizes every circuit twice (unconstrained and delay-
-// constrained) and assembles Table 1 and Table 2 data.
+// constrained) and assembles Table 1 and Table 2 data. With
+// RunOptions.Parallel > 1 the circuits run concurrently; the assembled
+// suite is identical to a sequential run's (rows and class aggregates
+// are collected in circuit order) apart from the CPUSeconds wall-clock
+// columns.
 func RunSuite(specs []circuits.Spec, opts RunOptions) (*Suite, error) {
 	opts.normalize()
 	suite := &Suite{Class: map[transform.Kind]*core.ClassStats{
 		transform.OS2: {}, transform.IS2: {}, transform.OS3: {}, transform.IS3: {},
 	}}
-	for _, spec := range specs {
-		row, classes, err := runOne(spec, &opts)
-		if err != nil {
-			return nil, fmt.Errorf("expt: %s: %v", spec.Name, err)
+	rows := make([]*Table1Row, len(specs))
+	classes := make([]map[transform.Kind]*core.ClassStats, len(specs))
+	errs := make([]error, len(specs))
+	forEachSpec(specs, &opts, func(i int, spec circuits.Spec) {
+		rows[i], classes[i], errs[i] = runOne(spec, &opts)
+		if errs[i] != nil {
+			return
 		}
+		row := rows[i]
+		opts.progressf("%-10s power %8.3f -> %8.3f (free %5.1f%%) / %8.3f (constr %5.1f%%)  %.1fs",
+			row.Circuit, row.InitPower, row.FreePower, row.FreeRedPct, row.ConstrPower, row.ConstrRedPct, row.CPUSeconds)
+	})
+	for i, spec := range specs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("expt: %s: %v", spec.Name, errs[i])
+		}
+		row := rows[i]
 		suite.Rows = append(suite.Rows, *row)
-		for k, cs := range classes {
+		for k, cs := range classes[i] {
 			agg := suite.Class[k]
 			agg.Count += cs.Count
 			agg.PowerGain += cs.PowerGain
@@ -205,8 +245,6 @@ func RunSuite(specs []circuits.Spec, opts RunOptions) (*Suite, error) {
 		suite.SumConstrArea += row.ConstrArea
 		suite.SumInitDelay += row.InitDelay
 		suite.SumConstrDelay += row.ConstrDelay
-		opts.progressf("%-10s power %8.3f -> %8.3f (free %5.1f%%) / %8.3f (constr %5.1f%%)  %.1fs",
-			row.Circuit, row.InitPower, row.FreePower, row.FreeRedPct, row.ConstrPower, row.ConstrRedPct, row.CPUSeconds)
 	}
 	return suite, nil
 }

@@ -1,0 +1,66 @@
+package expt
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// stripWallClock zeroes the fields that legitimately differ between a
+// sequential and a parallel run (wall-clock measurements).
+func stripWallClock(s *Suite) {
+	for i := range s.Rows {
+		s.Rows[i].CPUSeconds = 0
+		s.Rows[i].Free = RunDetail{}
+		s.Rows[i].Constr = RunDetail{}
+	}
+}
+
+func TestRunSuiteParallelMatchesSequential(t *testing.T) {
+	specs := smallSubset(t, "clip", "rd84", "t481")
+
+	seq, err := RunSuite(specs, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var lines []string
+	par, err := RunSuite(specs, RunOptions{
+		Parallel: 3,
+		Progress: func(s string) { mu.Lock(); lines = append(lines, s); mu.Unlock() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(specs) {
+		t.Fatalf("progress lines = %d, want %d", len(lines), len(specs))
+	}
+
+	stripWallClock(seq)
+	stripWallClock(par)
+	if !reflect.DeepEqual(seq.Rows, par.Rows) {
+		t.Fatalf("parallel rows differ from sequential:\nseq: %+v\npar: %+v", seq.Rows, par.Rows)
+	}
+	if !reflect.DeepEqual(seq.Class, par.Class) {
+		t.Fatalf("parallel class aggregates differ:\nseq: %+v\npar: %+v", seq.Class, par.Class)
+	}
+	if seq.SumFreePower != par.SumFreePower || seq.SumConstrPower != par.SumConstrPower {
+		t.Fatalf("totals differ: seq free %v constr %v, par free %v constr %v",
+			seq.SumFreePower, seq.SumConstrPower, par.SumFreePower, par.SumConstrPower)
+	}
+}
+
+func TestRunBaselineParallelMatchesSequential(t *testing.T) {
+	specs := smallSubset(t, "clip", "t481")
+	seq, err := RunBaseline(specs, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunBaseline(specs, RunOptions{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel baseline rows differ:\nseq: %+v\npar: %+v", seq, par)
+	}
+}

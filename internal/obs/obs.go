@@ -153,15 +153,13 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 	return &JSONLSink{enc: json.NewEncoder(w)}
 }
 
+// timeFormat is the timestamp layout of the serialized event formats.
+const timeFormat = time.RFC3339Nano
+
 // Emit writes the event as one JSON line: the reserved keys "t" (RFC3339
 // nanosecond timestamp) and "event" (name) plus the event fields.
 func (s *JSONLSink) Emit(e Event) {
-	rec := make(map[string]any, len(e.Fields)+2)
-	for k, v := range e.Fields {
-		rec[k] = v
-	}
-	rec["t"] = e.Time.Format(time.RFC3339Nano)
-	rec["event"] = e.Name
+	rec := EventRecord(e)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// Encoding errors are swallowed: tracing must never fail the run.

@@ -1,0 +1,126 @@
+package obs
+
+// Concurrency hammer for the metrics registry: with the service layer,
+// several optimization jobs emit into one shared registry at once, so
+// counters, histograms, phase sets, and snapshotting must hold up under
+// parallel writers. Run with -race (CI does).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+const hammerGoroutines = 8
+
+func TestRegistryConcurrentWriters(t *testing.T) {
+	reg := NewRegistry()
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < hammerGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Interleave creation and update of a small shared name
+				// space so the double-checked registration path races.
+				reg.Counter(fmt.Sprintf("c.%d", i%7)).Inc()
+				reg.Counter("c.shared").Add(2)
+				reg.Histogram(fmt.Sprintf("h.%d", i%5)).Observe(float64(i%97) / 13)
+				reg.Histogram("h.shared").Observe(float64(g))
+				if i%250 == 0 {
+					// Concurrent snapshots must see a consistent registry.
+					_ = reg.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["c.shared"]; got != int64(2*perG*hammerGoroutines) {
+		t.Fatalf("c.shared = %d, want %d", got, 2*perG*hammerGoroutines)
+	}
+	var sum int64
+	for i := 0; i < 7; i++ {
+		sum += snap.Counters[fmt.Sprintf("c.%d", i)]
+	}
+	if sum != int64(perG*hammerGoroutines) {
+		t.Fatalf("sharded counters sum to %d, want %d", sum, perG*hammerGoroutines)
+	}
+	h := snap.Histograms["h.shared"]
+	if h.Count != int64(perG*hammerGoroutines) {
+		t.Fatalf("h.shared count = %d, want %d", h.Count, perG*hammerGoroutines)
+	}
+	wantSum := 0.0
+	for g := 0; g < hammerGoroutines; g++ {
+		wantSum += float64(g) * perG
+	}
+	if diff := h.Sum - wantSum; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("h.shared sum = %v, want %v", h.Sum, wantSum)
+	}
+	if h.Max != float64(hammerGoroutines-1) {
+		t.Fatalf("h.shared max = %v, want %d", h.Max, hammerGoroutines-1)
+	}
+}
+
+func TestPhaseSetConcurrentTimers(t *testing.T) {
+	ph := NewPhaseSet()
+	var wg sync.WaitGroup
+	for g := 0; g < hammerGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				stop := ph.Start(fmt.Sprintf("phase-%d", i%3))
+				stop()
+				ph.Add("manual", time.Microsecond)
+				if i%100 == 0 {
+					_ = ph.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := ph.Snapshot()
+	manual, ok := snap.Get("manual")
+	if !ok || manual.Count != int64(500*hammerGoroutines) {
+		t.Fatalf("manual phase count = %+v, want %d segments", manual, 500*hammerGoroutines)
+	}
+	var segs int64
+	for i := 0; i < 3; i++ {
+		if p, ok := snap.Get(fmt.Sprintf("phase-%d", i)); ok {
+			segs += p.Count
+		}
+	}
+	if segs != int64(500*hammerGoroutines) {
+		t.Fatalf("timed segments = %d, want %d", segs, 500*hammerGoroutines)
+	}
+}
+
+func TestObserverConcurrentEmitToHub(t *testing.T) {
+	hub := NewHub(0)
+	reg := NewRegistry()
+	o := New(hub, reg)
+	var wg sync.WaitGroup
+	for g := 0; g < hammerGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				o.Emit("tick", Fields{"g": g, "i": i})
+				o.Counter("ticks").Inc()
+				o.Histogram("tick.val").Observe(float64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	hub.Close()
+	if got := int64(len(hub.Events())) + hub.Dropped(); got < int64(300*hammerGoroutines) {
+		t.Fatalf("hub saw %d events (buffered+dropped), want >= %d", got, 300*hammerGoroutines)
+	}
+	if got := o.Counter("ticks").Value(); got != int64(300*hammerGoroutines) {
+		t.Fatalf("ticks = %d, want %d", got, 300*hammerGoroutines)
+	}
+}

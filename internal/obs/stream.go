@@ -1,0 +1,136 @@
+package obs
+
+import "sync"
+
+// Default Hub sizing: the replay buffer keeps this many events for late
+// subscribers, and every subscriber channel gets this much headroom over
+// the replayed prefix before a slow consumer starts losing events.
+const (
+	defaultHubBuffer = 4096
+	hubSubSlack      = 256
+)
+
+// Hub is a Sink that records events into a bounded replay buffer and
+// fans them out to live subscribers. It is the adapter between one
+// run's event stream and any number of concurrent readers: a
+// subscriber arriving mid-run first receives the buffered prefix, then
+// live events, and the channel closes when the hub does.
+//
+// Emit never blocks the producing run: a subscriber whose channel is
+// full loses events (counted per hub in Dropped), and events beyond
+// the replay-buffer cap are delivered live but not retained.
+type Hub struct {
+	mu      sync.Mutex
+	limit   int
+	buf     []Event
+	subs    map[*hubSub]struct{}
+	closed  bool
+	dropped int64
+}
+
+type hubSub struct {
+	ch   chan Event
+	done bool // channel closed (hub close or cancel)
+}
+
+// NewHub returns a hub retaining up to limit events for replay
+// (limit <= 0 uses the default of 4096).
+func NewHub(limit int) *Hub {
+	if limit <= 0 {
+		limit = defaultHubBuffer
+	}
+	return &Hub{limit: limit, subs: make(map[*hubSub]struct{})}
+}
+
+// Emit records the event and delivers it to every live subscriber
+// without blocking; a no-op after Close.
+func (h *Hub) Emit(e Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	if len(h.buf) < h.limit {
+		h.buf = append(h.buf, e)
+	} else {
+		h.dropped++
+	}
+	for s := range h.subs {
+		select {
+		case s.ch <- e:
+		default:
+			h.dropped++
+		}
+	}
+}
+
+// Subscribe returns a channel that yields the buffered events followed
+// by live ones; the channel is closed when the hub closes or cancel is
+// called. cancel is idempotent and safe after close.
+func (h *Hub) Subscribe() (events <-chan Event, cancel func()) {
+	h.mu.Lock()
+	s := &hubSub{ch: make(chan Event, len(h.buf)+hubSubSlack)}
+	for _, e := range h.buf {
+		s.ch <- e
+	}
+	if h.closed {
+		s.done = true
+		close(s.ch)
+	} else {
+		h.subs[s] = struct{}{}
+	}
+	h.mu.Unlock()
+	return s.ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if !s.done {
+			delete(h.subs, s)
+			s.done = true
+			close(s.ch)
+		}
+	}
+}
+
+// Close seals the hub: subscriber channels are closed after the events
+// already delivered, and further Emit calls are dropped. Idempotent.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for s := range h.subs {
+		s.done = true
+		close(s.ch)
+		delete(h.subs, s)
+	}
+}
+
+// Events returns a snapshot of the replay buffer in emission order.
+func (h *Hub) Events() []Event {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Event(nil), h.buf...)
+}
+
+// Dropped returns how many event deliveries were lost to the replay cap
+// or to slow subscribers.
+func (h *Hub) Dropped() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}
+
+// EventRecord flattens an event into the wire representation shared by
+// JSONLSink and the service's NDJSON streams: the event fields plus the
+// reserved keys "t" (RFC3339 nanosecond timestamp) and "event" (name).
+func EventRecord(e Event) map[string]any {
+	rec := make(map[string]any, len(e.Fields)+2)
+	for k, v := range e.Fields {
+		rec[k] = v
+	}
+	rec["t"] = e.Time.Format(timeFormat)
+	rec["event"] = e.Name
+	return rec
+}

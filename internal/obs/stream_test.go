@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func hubEvent(name string, i int) Event {
+	return Event{Time: time.Unix(0, int64(i)), Name: name, Fields: Fields{"i": i}}
+}
+
+func TestHubReplayThenLive(t *testing.T) {
+	h := NewHub(16)
+	h.Emit(hubEvent("a", 0))
+	h.Emit(hubEvent("b", 1))
+
+	ch, cancel := h.Subscribe()
+	defer cancel()
+	h.Emit(hubEvent("c", 2))
+	h.Close()
+
+	var names []string
+	for e := range ch {
+		names = append(names, e.Name)
+	}
+	want := []string{"a", "b", "c"}
+	if len(names) != len(want) {
+		t.Fatalf("got %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("event %d = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestHubSubscribeAfterClose(t *testing.T) {
+	h := NewHub(16)
+	h.Emit(hubEvent("a", 0))
+	h.Close()
+	h.Emit(hubEvent("late", 1)) // dropped, not delivered
+
+	ch, cancel := h.Subscribe()
+	defer cancel()
+	var n int
+	for e := range ch {
+		if e.Name != "a" {
+			t.Fatalf("unexpected event %q after close", e.Name)
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("replay after close delivered %d events, want 1", n)
+	}
+}
+
+func TestHubCancelIdempotent(t *testing.T) {
+	h := NewHub(4)
+	_, cancel := h.Subscribe()
+	cancel()
+	cancel() // second cancel must not panic or double-close
+	h.Close()
+	cancel() // nor after close
+}
+
+func TestHubReplayCapCountsDrops(t *testing.T) {
+	h := NewHub(2)
+	for i := 0; i < 5; i++ {
+		h.Emit(hubEvent("e", i))
+	}
+	if got := len(h.Events()); got != 2 {
+		t.Fatalf("replay buffer holds %d events, want 2", got)
+	}
+	if got := h.Dropped(); got != 3 {
+		t.Fatalf("Dropped() = %d, want 3", got)
+	}
+}
+
+func TestHubSlowSubscriberDoesNotBlockEmit(t *testing.T) {
+	h := NewHub(8)
+	_, cancel := h.Subscribe() // never drained
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 8+hubSubSlack+50; i++ {
+			h.Emit(hubEvent("e", i))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Emit blocked on a slow subscriber")
+	}
+	if h.Dropped() == 0 {
+		t.Fatal("expected drops on an overflowing subscriber")
+	}
+}
+
+func TestHubConcurrentEmitSubscribeClose(t *testing.T) {
+	h := NewHub(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Emit(hubEvent("e", g*1000+i))
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch, cancel := h.Subscribe()
+			for range ch {
+			}
+			cancel()
+		}()
+	}
+	var closeWG sync.WaitGroup
+	closeWG.Add(1)
+	go func() {
+		defer closeWG.Done()
+		time.Sleep(time.Millisecond)
+		h.Close()
+	}()
+	closeWG.Wait()
+	wg.Wait()
+}

@@ -1,0 +1,240 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"powder/internal/obs"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs                submit a BLIF circuit (body) with query
+//	                               options timeout, delay-limit, max-subs,
+//	                               verify; 202 + job status, 429 when the
+//	                               queue is full, 503 while draining
+//	GET    /v1/jobs                all job statuses in submission order
+//	GET    /v1/jobs/{id}           one job's status
+//	GET    /v1/jobs/{id}/result.blif  the optimized netlist
+//	GET    /v1/jobs/{id}/events    the job's event stream as NDJSON
+//	DELETE /v1/jobs/{id}           cancel a queued or running job
+//	GET    /healthz                liveness + drain state
+//	GET    /metrics                text dump of the metrics registry
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result.blif", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// parseJobOptions reads the submission options from the query string.
+func parseJobOptions(r *http.Request) (JobOptions, error) {
+	q := r.URL.Query()
+	opts := JobOptions{DelayLimitPct: -1}
+	if v := q.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			return opts, fmt.Errorf("bad timeout %q (want a positive Go duration, e.g. 30s)", v)
+		}
+		opts.Timeout = d
+	}
+	if v := q.Get("delay-limit"); v != "" {
+		pct, err := strconv.ParseFloat(v, 64)
+		if err != nil || pct < 0 {
+			return opts, fmt.Errorf("bad delay-limit %q (want a percentage >= 0)", v)
+		}
+		opts.DelayLimitPct = pct
+	}
+	if v := q.Get("max-subs"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return opts, fmt.Errorf("bad max-subs %q (want an integer >= 0)", v)
+		}
+		opts.MaxSubstitutions = n
+	}
+	if v := q.Get("verify"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return opts, fmt.Errorf("bad verify %q (want a boolean)", v)
+		}
+		opts.Verify = b
+	}
+	return opts, nil
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	opts, err := parseJobOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	j, err := s.Submit(body, opts)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, j.Status())
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	default:
+		var pe *ParseError
+		if errors.As(err, &pe) {
+			writeError(w, http.StatusBadRequest, "parse: %v", pe.Err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.JobsSnapshot())
+}
+
+func (s *Service) jobOr404(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+	}
+	return j, ok
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobOr404(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	st := j.Status()
+	blifText := j.ResultBLIF()
+	switch {
+	case !st.State.Terminal():
+		writeError(w, http.StatusConflict, "job %s is %s; result not ready", j.ID(), st.State)
+	case blifText == nil:
+		writeError(w, http.StatusNotFound, "job %s finished %s without a result", j.ID(), st.State)
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write(blifText)
+	}
+}
+
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	events, cancel := j.Hub().Subscribe()
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case e, open := <-events:
+			if !open {
+				return // job finished and the stream is drained
+			}
+			if err := enc.Encode(obs.EventRecord(e)); err != nil {
+				return // client went away
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	cancelled, _ := s.Cancel(j.ID())
+	st := j.Status()
+	if !cancelled && !st.State.Terminal() {
+		writeError(w, http.StatusConflict, "job %s could not be cancelled", j.ID())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// health is the /healthz payload.
+type health struct {
+	Status     string `json:"status"`
+	Draining   bool   `json:"draining"`
+	Workers    int    `json:"workers"`
+	QueueDepth int    `json:"queue_depth"`
+	InFlight   int64  `json:"in_flight"`
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := health{
+		Status:     "ok",
+		Draining:   s.Draining(),
+		Workers:    s.Workers(),
+		QueueDepth: s.QueueDepth(),
+		InFlight:   s.InFlight(),
+	}
+	code := http.StatusOK
+	if h.Draining {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "%-40s %12d\n", "service.queue.depth", s.QueueDepth())
+	fmt.Fprintf(w, "%-40s %12d\n", "service.jobs.inflight", s.InFlight())
+	fmt.Fprintf(w, "%-40s %12d\n", "service.workers", s.Workers())
+	fmt.Fprintf(w, "%-40s %12d\n", "service.pool.panics", s.pool.Panics())
+	s.reg.Snapshot().WriteText(w)
+}

@@ -1,0 +1,202 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"powder/internal/core"
+	"powder/internal/netlist"
+	"powder/internal/obs"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	// StateQueued means the job is waiting for a worker.
+	StateQueued State = "queued"
+	// StateRunning means a worker is optimizing the circuit.
+	StateRunning State = "running"
+	// StateCompleted means the job finished and its result is available
+	// (including runs stopped early by their deadline: those carry the
+	// best netlist found plus a "deadline" stop reason).
+	StateCompleted State = "completed"
+	// StateFailed means the run (or its verification) errored.
+	StateFailed State = "failed"
+	// StateCancelled means the job was cancelled before or during the
+	// run; a partially optimized result may still be available.
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateCompleted || s == StateFailed || s == StateCancelled
+}
+
+// JobOptions are the per-job knobs accepted by POST /v1/jobs.
+type JobOptions struct {
+	// Timeout is the wall-clock budget of the run; on expiry the best
+	// netlist so far is the result (stop reason "deadline"). 0 uses the
+	// service default.
+	Timeout time.Duration `json:"timeout,omitempty"`
+	// DelayLimitPct, when >= 0, constrains the optimized delay to
+	// initial_delay * (1 + pct/100); 0 keeps the initial delay, -1
+	// (the default) runs unconstrained.
+	DelayLimitPct float64 `json:"delay_limit_pct"`
+	// MaxSubstitutions caps the number of applied substitutions
+	// (0 = unlimited).
+	MaxSubstitutions int `json:"max_substitutions,omitempty"`
+	// Verify re-proves the optimized circuit SAT-equivalent to the
+	// input after the run; a refuted proof fails the job.
+	Verify bool `json:"verify,omitempty"`
+}
+
+// JobResult is the serialized outcome of a finished run.
+type JobResult struct {
+	InitialPower float64 `json:"initial_power"`
+	FinalPower   float64 `json:"final_power"`
+	ReductionPct float64 `json:"reduction_pct"`
+	InitialArea  float64 `json:"initial_area"`
+	FinalArea    float64 `json:"final_area"`
+	InitialDelay float64 `json:"initial_delay"`
+	FinalDelay   float64 `json:"final_delay"`
+	Gates        int     `json:"gates"`
+	Applied      int     `json:"applied"`
+	// Stopped is the engine's stop reason ("completed", "deadline",
+	// "cancelled", "max-substitutions", ...).
+	Stopped string `json:"stopped"`
+	// Verified is "equivalent", "inconclusive", or "" (not requested).
+	Verified       string         `json:"verified,omitempty"`
+	RuntimeSeconds float64        `json:"runtime_seconds"`
+	Rejects        map[string]int `json:"rejects,omitempty"`
+}
+
+// Status is the JSON representation of a job returned by the API.
+type Status struct {
+	ID          string        `json:"id"`
+	State       State         `json:"state"`
+	Circuit     string        `json:"circuit"`
+	Options     JobOptions    `json:"options"`
+	SubmittedAt time.Time     `json:"submitted_at"`
+	StartedAt   *time.Time    `json:"started_at,omitempty"`
+	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
+	Progress    core.Progress `json:"progress"`
+	Result      *JobResult    `json:"result,omitempty"`
+	Error       string        `json:"error,omitempty"`
+}
+
+// Job is one queued or running optimization. All mutable fields are
+// guarded by mu; the input netlist is owned by the worker that runs the
+// job and must not be touched elsewhere after submission.
+type Job struct {
+	id   string
+	opts JobOptions
+	hub  *obs.Hub
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu          sync.Mutex
+	state       State
+	circuit     string
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
+	progress    core.Progress
+	result      *JobResult
+	errMsg      string
+	cancelAsked bool
+
+	nl         *netlist.Netlist // input circuit, consumed by the worker
+	original   *netlist.Netlist // pre-optimization clone (verify only)
+	resultBLIF []byte
+}
+
+// ID returns the job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Hub returns the job's event stream.
+func (j *Job) Hub() *obs.Hub { return j.hub }
+
+// Status snapshots the job for serialization.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:          j.id,
+		State:       j.state,
+		Circuit:     j.circuit,
+		Options:     j.opts,
+		SubmittedAt: j.submittedAt,
+		Progress:    j.progress,
+		Result:      j.result,
+		Error:       j.errMsg,
+	}
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
+		st.StartedAt = &t
+	}
+	if !j.finishedAt.IsZero() {
+		t := j.finishedAt
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// transition moves the job from one state to another; it reports false
+// (and does nothing) when the job is not in the expected state.
+func (j *Job) transition(from, to State) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != from {
+		return false
+	}
+	j.state = to
+	now := time.Now()
+	switch to {
+	case StateRunning:
+		j.startedAt = now
+	case StateCompleted, StateFailed, StateCancelled:
+		j.finishedAt = now
+	}
+	return true
+}
+
+// setProgress publishes a live run snapshot (the core.Options.Progress
+// hook target).
+func (j *Job) setProgress(p core.Progress) {
+	j.mu.Lock()
+	j.progress = p
+	j.mu.Unlock()
+}
+
+// requestCancel flags the job for cancellation and cancels its context.
+// It reports whether the job was still cancellable (not yet terminal).
+func (j *Job) requestCancel() bool {
+	j.mu.Lock()
+	terminal := j.state.Terminal()
+	if !terminal {
+		j.cancelAsked = true
+	}
+	j.mu.Unlock()
+	if !terminal {
+		j.cancel()
+	}
+	return !terminal
+}
+
+// cancelRequested reports whether DELETE asked for cancellation.
+func (j *Job) cancelRequested() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelAsked
+}
+
+// ResultBLIF returns the optimized netlist in BLIF form, or nil while
+// the job has not produced one.
+func (j *Job) ResultBLIF() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.resultBLIF
+}

@@ -1,0 +1,119 @@
+// Package service is POWDER's serving layer: a bounded worker pool, a
+// job store with queueing and backpressure, and an HTTP API (the
+// powderd daemon) that runs BLIF circuits through core.OptimizeCtx with
+// streaming progress, cancellation, and graceful drain.
+package service
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// errPoolClosed reports a Submit after Close; surfaced as a panic since
+// it is a caller bug, not a runtime condition.
+const errPoolClosed = "service: Submit on closed Pool"
+
+// Pool is a fixed-size worker pool over a bounded task queue. It is the
+// shared execution substrate of the serving layer: powderd runs jobs on
+// it, and powbench -parallel reuses it to fan the benchmark suite out
+// over cores.
+//
+// A task that panics does not kill its worker: the panic is recovered
+// and counted (the daemon layers its own per-job recovery on top; the
+// pool-level recover is the backstop that keeps the pool draining).
+type Pool struct {
+	mu      sync.RWMutex // serializes sends against Close
+	tasks   chan func()
+	closed  bool
+	wg      sync.WaitGroup
+	workers int
+	panics  atomic.Int64
+}
+
+// NewPool starts a pool of the given number of workers over a queue
+// holding up to queue pending tasks (queue 0 means hand-off only:
+// Submit blocks until a worker is free). workers <= 0 defaults to
+// runtime.GOMAXPROCS(0).
+func NewPool(workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{tasks: make(chan func(), queue), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.work()
+	}
+	return p
+}
+
+func (p *Pool) work() {
+	defer p.wg.Done()
+	for fn := range p.tasks {
+		p.run(fn)
+	}
+}
+
+func (p *Pool) run(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Add(1)
+		}
+	}()
+	fn()
+}
+
+// Submit enqueues a task, blocking while the queue is full. Submitting
+// on a closed pool panics (a caller bug).
+func (p *Pool) Submit(fn func()) {
+	// The read lock lets submitters proceed concurrently while making a
+	// concurrent Close (which takes the write lock) safe: the channel is
+	// only closed when no send is in flight.
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		panic(errPoolClosed)
+	}
+	p.tasks <- fn
+}
+
+// TrySubmit enqueues a task without blocking; it reports false when the
+// queue is full or the pool is closed (the caller's backpressure
+// signal).
+func (p *Pool) TrySubmit(fn func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.tasks <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// QueueDepth returns the number of tasks waiting for a worker.
+func (p *Pool) QueueDepth() int { return len(p.tasks) }
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Panics returns how many tasks panicked (and were recovered).
+func (p *Pool) Panics() int64 { return p.panics.Load() }
+
+// Close stops intake and blocks until every queued and running task has
+// finished. Idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

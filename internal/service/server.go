@@ -1,0 +1,413 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"powder/internal/atpg"
+	"powder/internal/blif"
+	"powder/internal/cellib"
+	"powder/internal/core"
+	"powder/internal/obs"
+	"powder/internal/power"
+	"powder/internal/transform"
+)
+
+// Config sizes and wires one Service.
+type Config struct {
+	// Workers is the optimization worker-pool size (<= 0: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker; a full
+	// queue rejects submissions with 429 (<= 0: default 64).
+	QueueDepth int
+	// Library resolves BLIF cells (nil: the built-in lib2).
+	Library *cellib.Library
+	// MaxBodyBytes bounds the accepted BLIF size (<= 0: 16 MiB).
+	MaxBodyBytes int64
+	// DefaultTimeout is the per-job wall-clock budget applied when a
+	// submission does not set one (0: unlimited).
+	DefaultTimeout time.Duration
+	// EventBuffer is each job's event replay-buffer size (<= 0: 4096).
+	EventBuffer int
+	// Registry receives the service and per-phase engine metrics
+	// (nil: a fresh registry, exposed at /metrics).
+	Registry *obs.Registry
+	// PowerWords / PowerSeed configure probability estimation for every
+	// job (<= 0: engine defaults of 64 words, seed 1).
+	PowerWords int
+	PowerSeed  int64
+}
+
+// Service owns the job store, the worker pool, and the HTTP handlers of
+// one powderd instance.
+type Service struct {
+	cfg  Config
+	pool *Pool
+	reg  *obs.Registry
+
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string
+	seq   atomic.Int64
+
+	draining atomic.Bool
+	inflight atomic.Int64
+
+	// testBeforeRun, when non-nil, is invoked by a worker after the job
+	// transitions to running and before optimization starts. Tests use
+	// it to hold workers in place deterministically.
+	testBeforeRun func(ctx context.Context, j *Job)
+}
+
+// New starts a Service: its workers are live once New returns.
+func New(cfg Config) *Service {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Library == nil {
+		cfg.Library = cellib.Lib2()
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 16 << 20
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:        cfg,
+		reg:        cfg.Registry,
+		jobs:       make(map[string]*Job),
+		rootCtx:    ctx,
+		rootCancel: cancel,
+	}
+	s.pool = NewPool(cfg.Workers, cfg.QueueDepth)
+	return s
+}
+
+// Registry returns the service metrics registry.
+func (s *Service) Registry() *obs.Registry { return s.reg }
+
+// Workers returns the worker-pool size.
+func (s *Service) Workers() int { return s.pool.Workers() }
+
+// Submit parses a BLIF circuit and enqueues it as a job. It returns
+// ErrDraining while the service drains and ErrQueueFull when the
+// bounded queue has no room (the HTTP layer maps these to 503 and 429).
+func (s *Service) Submit(body []byte, opts JobOptions) (*Job, error) {
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	nl, err := blif.Read(bytes.NewReader(body), s.cfg.Library)
+	if err != nil {
+		return nil, &ParseError{Err: err}
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = s.cfg.DefaultTimeout
+	}
+
+	ctx, cancel := context.WithCancel(s.rootCtx)
+	j := &Job{
+		id:          fmt.Sprintf("j%06d", s.seq.Add(1)),
+		opts:        opts,
+		hub:         obs.NewHub(s.cfg.EventBuffer),
+		ctx:         ctx,
+		cancel:      cancel,
+		state:       StateQueued,
+		circuit:     nl.Name,
+		submittedAt: time.Now(),
+		nl:          nl,
+	}
+	if opts.Verify {
+		j.original = nl.Clone()
+	}
+
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+
+	if !s.pool.TrySubmit(func() { s.runJob(j) }) {
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		// Concurrent submissions may have appended after us; remove by ID.
+		for i := len(s.order) - 1; i >= 0; i-- {
+			if s.order[i] == j.id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		cancel()
+		s.reg.Counter("service.jobs.rejected").Inc()
+		return nil, ErrQueueFull
+	}
+	s.reg.Counter("service.jobs.submitted").Inc()
+	j.hub.Emit(obs.Event{Time: time.Now(), Name: "job-queued", Fields: obs.Fields{
+		"job":     j.id,
+		"circuit": j.circuit,
+	}})
+	return j, nil
+}
+
+// Job returns the job by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// JobsSnapshot returns every job's status in submission order.
+func (s *Service) JobsSnapshot() []Status {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Cancel cancels the job by ID: a queued job finishes immediately as
+// cancelled, a running one is interrupted through its context. The
+// second return is false when the job does not exist; the first is
+// false when it had already finished.
+func (s *Service) Cancel(id string) (cancelled, found bool) {
+	j, ok := s.Job(id)
+	if !ok {
+		return false, false
+	}
+	if !j.requestCancel() {
+		return false, true
+	}
+	// A job still queued finishes right here; the worker skips it when
+	// it eventually pops. A running job is finished by its worker.
+	if j.transition(StateQueued, StateCancelled) {
+		s.finishStats(j, StateCancelled)
+		j.hub.Emit(obs.Event{Time: time.Now(), Name: "job-finished", Fields: obs.Fields{
+			"job": j.id, "state": string(StateCancelled), "queued_only": true,
+		}})
+		j.hub.Close()
+	}
+	return true, true
+}
+
+// Draining reports whether the service is refusing new submissions.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// BeginDrain makes every further Submit fail with ErrDraining; queued
+// and running jobs keep going.
+func (s *Service) BeginDrain() { s.draining.Store(true) }
+
+// Drain gracefully shuts the service down: new submissions are
+// rejected, queued and in-flight jobs run to completion. If ctx expires
+// first, the remaining jobs are cancelled (they finish as "cancelled"
+// with their best result so far) and Drain returns ctx's error after
+// they unwind.
+func (s *Service) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.pool.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.rootCancel() // interrupt in-flight optimizations
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close shuts down immediately: in-flight jobs are interrupted and the
+// pool is drained.
+func (s *Service) Close() {
+	s.BeginDrain()
+	s.rootCancel()
+	s.pool.Close()
+}
+
+// runJob is the worker body: it executes one job end to end with panic
+// isolation (a panic fails the job, never the worker).
+func (s *Service) runJob(j *Job) {
+	if j.cancelRequested() || j.ctx.Err() != nil {
+		// Cancelled while queued; Cancel usually finishes the job, this
+		// covers the root-context (forced shutdown) path.
+		if j.transition(StateQueued, StateCancelled) {
+			s.finishJob(j, StateCancelled, nil, nil)
+		}
+		return
+	}
+	if !j.transition(StateQueued, StateRunning) {
+		return // finished elsewhere (queued cancellation won the race)
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	j.hub.Emit(obs.Event{Time: time.Now(), Name: "job-started", Fields: obs.Fields{
+		"job": j.id, "circuit": j.circuit,
+	}})
+
+	defer func() {
+		if r := recover(); r != nil {
+			s.finishJob(j, StateFailed, nil, fmt.Errorf("panic: %v", r))
+		}
+	}()
+
+	if s.testBeforeRun != nil {
+		s.testBeforeRun(j.ctx, j)
+	}
+
+	res, err := s.optimize(j)
+	switch {
+	case err != nil:
+		s.finishJob(j, StateFailed, res, err)
+	case res.Stopped == core.StopCancelled:
+		s.finishJob(j, StateCancelled, res, nil)
+	default:
+		s.finishJob(j, StateCompleted, res, nil)
+	}
+}
+
+// optimize runs the engine and, when requested, the SAT equivalence
+// re-verification; it also renders the optimized netlist to BLIF.
+func (s *Service) optimize(j *Job) (*core.Result, error) {
+	opts := core.Options{
+		Timeout:          j.opts.Timeout,
+		MaxSubstitutions: j.opts.MaxSubstitutions,
+		Power:            power.Options{Words: s.cfg.PowerWords, Seed: s.cfg.PowerSeed},
+		Transform:        transform.Config{AllowInverted: true},
+		Obs:              obs.New(j.hub, s.reg),
+		Progress:         j.setProgress,
+	}
+	if j.opts.DelayLimitPct >= 0 {
+		opts.DelayFactor = 1 + j.opts.DelayLimitPct/100
+	}
+
+	res, err := core.OptimizeCtx(j.ctx, j.nl, opts)
+	if err != nil {
+		return res, err
+	}
+
+	verified := ""
+	if j.opts.Verify && res.Stopped != core.StopCancelled {
+		// Verification is not cancellable by the job context on purpose:
+		// it certifies the result we are about to publish.
+		eq, eqErr := atpg.Equivalent(j.original, j.nl, 0)
+		if eqErr != nil {
+			return res, fmt.Errorf("verify: %v", eqErr)
+		}
+		switch eq.Verdict {
+		case atpg.Permissible:
+			verified = "equivalent"
+		case atpg.NotPermissible:
+			return res, fmt.Errorf("verify: optimized circuit differs on output %q", eq.DifferingOutput)
+		default:
+			verified = "inconclusive"
+		}
+	}
+
+	var buf bytes.Buffer
+	if werr := blif.Write(&buf, j.nl); werr != nil {
+		return res, fmt.Errorf("render result: %v", werr)
+	}
+	j.mu.Lock()
+	j.resultBLIF = buf.Bytes()
+	j.result = resultJSON(res, verified)
+	j.mu.Unlock()
+	return res, nil
+}
+
+// finishJob moves a running job to its terminal state and publishes the
+// closing event.
+func (s *Service) finishJob(j *Job, to State, res *core.Result, err error) {
+	j.mu.Lock()
+	if !j.state.Terminal() {
+		j.state = to
+		j.finishedAt = time.Now()
+		if err != nil {
+			j.errMsg = err.Error()
+		}
+		if res != nil && j.result == nil {
+			j.result = resultJSON(res, "")
+		}
+	}
+	j.mu.Unlock()
+	s.finishStats(j, to)
+	f := obs.Fields{"job": j.id, "state": string(to)}
+	if res != nil {
+		f["applied"] = res.Applied
+		f["stopped"] = string(res.Stopped)
+		f["reduction_pct"] = res.PowerReductionPct()
+	}
+	if err != nil {
+		f["error"] = err.Error()
+	}
+	j.hub.Emit(obs.Event{Time: time.Now(), Name: "job-finished", Fields: f})
+	j.hub.Close()
+}
+
+// finishStats updates the terminal-state counters and latency
+// histogram.
+func (s *Service) finishStats(j *Job, to State) {
+	s.reg.Counter("service.jobs." + string(to)).Inc()
+	st := j.Status()
+	if st.FinishedAt != nil {
+		s.reg.Histogram("service.job.seconds").Observe(st.FinishedAt.Sub(st.SubmittedAt).Seconds())
+	}
+}
+
+// resultJSON converts an engine result into the API shape.
+func resultJSON(res *core.Result, verified string) *JobResult {
+	return &JobResult{
+		InitialPower:   res.Initial.Power,
+		FinalPower:     res.Final.Power,
+		ReductionPct:   res.PowerReductionPct(),
+		InitialArea:    res.Initial.Area,
+		FinalArea:      res.Final.Area,
+		InitialDelay:   res.InitialDelay,
+		FinalDelay:     res.FinalDelay,
+		Gates:          res.Final.Gates,
+		Applied:        res.Applied,
+		Stopped:        string(res.Stopped),
+		Verified:       verified,
+		RuntimeSeconds: res.Runtime.Seconds(),
+		Rejects:        res.Rejects,
+	}
+}
+
+// Sentinel errors of Submit, mapped to HTTP status codes by the
+// handlers.
+var (
+	// ErrQueueFull reports a full job queue (HTTP 429).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining reports a draining service (HTTP 503).
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+)
+
+// ParseError wraps a BLIF parse failure (HTTP 400).
+type ParseError struct{ Err error }
+
+func (e *ParseError) Error() string { return e.Err.Error() }
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// QueueDepth returns the number of jobs waiting for a worker.
+func (s *Service) QueueDepth() int { return s.pool.QueueDepth() }
+
+// InFlight returns the number of jobs currently being optimized.
+func (s *Service) InFlight() int64 { return s.inflight.Load() }
