@@ -12,7 +12,11 @@
 // rows to a file for plotting; -json writes the machine-readable run
 // report (Table 1 rows plus per-phase timings, checker effort, and
 // reject-reason counts) used to track the performance trajectory across
-// changes (the BENCH_*.json format).
+// changes (the BENCH_*.json format); -trajectory appends one compact
+// benchmark entry (git rev, wall time, power before/after, proof count,
+// peak RSS) to a powder-trajectory/v1 file, and -bench-baseline fails
+// the run when it regresses more than 10% power or 2x wall time against
+// the newest entry of a committed baseline.
 //
 // Observability: -trace-json streams every core.Optimize run's structured
 // events as JSON Lines, -metrics prints the aggregated metrics registry to
@@ -25,6 +29,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"powder/internal/circuits"
 	"powder/internal/expt"
@@ -42,12 +47,15 @@ func main() {
 		subset   = flag.String("circuits", "", "comma-separated circuit subset (default: the paper's sets)")
 		csvPath  = flag.String("csv", "", "write Table 1 rows as CSV to this file")
 		jsonPath = flag.String("json", "", "write the JSON run report (Table 1 rows + per-phase timings) to this file")
-		quiet    = flag.Bool("quiet", false, "suppress per-circuit progress")
-		mapArea  = flag.Bool("map-area", false, "use area-cost initial mapping instead of power-aware")
-		preOpt   = flag.Bool("preopt", false, "pre-optimize initial circuits with redundancy removal (POSE-grade starting points)")
-		timeout  = flag.Duration("timeout", 0, "per-circuit wall-clock budget; expired runs report their best result (0 = none)")
-		retries  = flag.Int("max-retries", 0, "per-circuit budget-escalation retries for aborted proofs (0 = no escalation)")
-		parallel = flag.Int("parallel", 1, "run circuits concurrently on this many workers (0 = GOMAXPROCS); output stays in circuit order")
+
+		trajectory    = flag.String("trajectory", "", "append one benchmark-trajectory entry (git rev, wall time, power, proofs, peak RSS) to this JSON file")
+		benchBaseline = flag.String("bench-baseline", "", "fail if this run regresses >10% power or >2x wall time against the newest entry of this trajectory file")
+		quiet         = flag.Bool("quiet", false, "suppress per-circuit progress")
+		mapArea       = flag.Bool("map-area", false, "use area-cost initial mapping instead of power-aware")
+		preOpt        = flag.Bool("preopt", false, "pre-optimize initial circuits with redundancy removal (POSE-grade starting points)")
+		timeout       = flag.Duration("timeout", 0, "per-circuit wall-clock budget; expired runs report their best result (0 = none)")
+		retries       = flag.Int("max-retries", 0, "per-circuit budget-escalation retries for aborted proofs (0 = no escalation)")
+		parallel      = flag.Int("parallel", 1, "run circuits concurrently on this many workers (0 = GOMAXPROCS); output stays in circuit order")
 
 		traceJSON  = flag.String("trace-json", "", "write structured run events as JSON Lines to this file")
 		metrics    = flag.Bool("metrics", false, "collect a metrics registry over all runs and print it to stderr")
@@ -62,8 +70,9 @@ func main() {
 		}
 		return
 	}
-	if *jsonPath != "" && !(*table1 || *table2 || *all) {
-		// The run report is assembled from the Table 1 suite.
+	if (*jsonPath != "" || *trajectory != "" || *benchBaseline != "") && !(*table1 || *table2 || *all) {
+		// The run report and the benchmark trajectory are assembled from
+		// the Table 1 suite.
 		*table1 = true
 	}
 	if !*table1 && !*table2 && !*fig6 && !*baseline && !*all {
@@ -121,10 +130,12 @@ func main() {
 	}
 
 	if *table1 || *table2 || *all {
+		suiteStart := time.Now()
 		suite, err := expt.RunSuite(pick(circuits.All()), opts)
 		if err != nil {
 			fail(err)
 		}
+		suiteWall := time.Since(suiteStart)
 		if *table1 || *all {
 			expt.RenderTable1(os.Stdout, suite)
 			fmt.Println()
@@ -161,6 +172,29 @@ func main() {
 			}
 			f.Close()
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+		}
+		if *trajectory != "" || *benchBaseline != "" {
+			entry := expt.BuildTrajectoryEntry(suite, suiteWall)
+			if *benchBaseline != "" {
+				// The regression gate runs before the append so a CI job
+				// pointing both flags at the same file never compares the
+				// fresh entry against itself.
+				base, err := expt.LoadTrajectory(*benchBaseline)
+				if err != nil {
+					fail(err)
+				}
+				if err := expt.CheckRegression(entry, base, 10, 2); err != nil {
+					fail(err)
+				}
+				fmt.Fprintf(os.Stderr, "no regression vs %s\n", *benchBaseline)
+			}
+			if *trajectory != "" {
+				if err := expt.AppendTrajectory(*trajectory, entry); err != nil {
+					fail(err)
+				}
+				fmt.Fprintf(os.Stderr, "appended trajectory entry to %s (rev %s, %.1fs, %.1f%% reduction)\n",
+					*trajectory, entry.GitRev, entry.WallSeconds, entry.ReductionPct)
+			}
 		}
 	}
 

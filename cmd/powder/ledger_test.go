@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"powder/internal/obs"
+)
+
+// TestReportAndLedgerJSON is the CLI acceptance scenario: -report renders
+// the markdown explanation and -ledger-json writes a parseable ledger
+// whose realized gains sum to the headline within 1e-9.
+func TestReportAndLedgerJSON(t *testing.T) {
+	dir := t.TempDir()
+	ledgerPath := filepath.Join(dir, "ledger.json")
+	var stdout, stderr bytes.Buffer
+	cfg := config{
+		circuit: "comp", repeat: 10, preselect: 12, words: 16, seed: 1,
+		inverted: true, report: true, ledgerJSON: ledgerPath,
+	}
+	if err := run(context.Background(), cfg, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+
+	out := stdout.String()
+	for _, want := range []string{
+		"# POWDER run report",
+		"## Top moves by realized gain",
+		"## Predicted vs realized",
+		"**total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// The plain summary must be replaced, not duplicated.
+	if strings.Contains(out, "permissibility checks:") {
+		t.Errorf("plain summary printed alongside the report:\n%s", out)
+	}
+
+	data, err := os.ReadFile(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var led obs.LedgerSummary
+	if err := json.Unmarshal(data, &led); err != nil {
+		t.Fatalf("ledger JSON unparseable: %v", err)
+	}
+	if led.Applied == 0 || len(led.Moves) != led.Applied {
+		t.Fatalf("ledger moves %d, applied %d", len(led.Moves), led.Applied)
+	}
+	// The acceptance property, end to end through the CLI: per-move
+	// realized gains sum to the headline drop.
+	var sum float64
+	for _, m := range led.Moves {
+		sum += m.RealizedGain
+	}
+	if diff := math.Abs(sum - led.RealizedGain); diff > 1e-9 {
+		t.Errorf("move sum %.12g != ledger total %.12g", sum, led.RealizedGain)
+	}
+	first, last := led.Moves[0], led.Moves[len(led.Moves)-1]
+	if first.PowerBefore == 0 || last.PowerAfter == 0 {
+		t.Errorf("moves missing power brackets: first=%+v last=%+v", first, last)
+	}
+	if diff := math.Abs((first.PowerBefore - last.PowerAfter) - led.RealizedGain); diff > 1e-9 {
+		t.Errorf("power brackets %.12g..%.12g do not telescope to %.12g",
+			first.PowerBefore, last.PowerAfter, led.RealizedGain)
+	}
+}
+
+// TestLedgerJSONWithoutReport pins that -ledger-json works standalone and
+// leaves the plain summary on stdout.
+func TestLedgerJSONWithoutReport(t *testing.T) {
+	dir := t.TempDir()
+	ledgerPath := filepath.Join(dir, "ledger.json")
+	var stdout, stderr bytes.Buffer
+	cfg := config{
+		circuit: "t481", repeat: 10, preselect: 12, words: 16, seed: 1,
+		inverted: true, ledgerJSON: ledgerPath,
+	}
+	if err := run(context.Background(), cfg, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "permissibility checks:") {
+		t.Errorf("plain summary missing:\n%s", stdout.String())
+	}
+	if _, err := os.Stat(ledgerPath); err != nil {
+		t.Fatalf("ledger not written: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "wrote ledger") {
+		t.Errorf("stderr missing ledger note:\n%s", stderr.String())
+	}
+}

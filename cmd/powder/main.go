@@ -11,14 +11,17 @@
 // suite with -circuit. The optimized netlist is written as mapped BLIF.
 //
 // Observability: -trace-json streams structured JSONL run events
-// (harvest, check, apply, reject, metrics), -metrics prints the metrics
-// registry and phase breakdown to stderr, and -cpuprofile/-memprofile
-// write pprof profiles. The report goes to stdout; traces and progress go
-// to stderr.
+// (harvest, check, apply, reject, metrics), -ledger-json writes the run
+// ledger (per-substitution provenance and power attribution), -report
+// renders a markdown run explanation to stdout, -metrics prints the
+// metrics registry and phase breakdown to stderr, and
+// -cpuprofile/-memprofile write pprof profiles. The report goes to
+// stdout; traces and progress go to stderr.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -64,6 +67,8 @@ type config struct {
 	verbose     bool
 
 	traceJSON  string
+	ledgerJSON string
+	report     bool
 	metrics    bool
 	cpuProfile string
 	memProfile string
@@ -91,6 +96,8 @@ func main() {
 	flag.BoolVar(&cfg.verify, "verify", false, "independently re-verify the optimized circuit against the original (SAT equivalence check)")
 	flag.BoolVar(&cfg.verbose, "v", false, "trace every performed substitution to stderr")
 	flag.StringVar(&cfg.traceJSON, "trace-json", "", "write structured run events as JSON Lines to this file")
+	flag.StringVar(&cfg.ledgerJSON, "ledger-json", "", "write the run ledger (substitution provenance + power attribution) as JSON to this file")
+	flag.BoolVar(&cfg.report, "report", false, "print a markdown run report (attribution table, predicted-vs-realized, reject and proof stats) instead of the plain summary")
 	flag.BoolVar(&cfg.metrics, "metrics", false, "collect a metrics registry and print it to stderr")
 	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	flag.StringVar(&cfg.memProfile, "memprofile", "", "write a pprof heap profile to this file")
@@ -114,22 +121,31 @@ func main() {
 func buildObserver(cfg config, stderr io.Writer) (o *obs.Observer, reg *obs.Registry, cleanup func(), err error) {
 	var sinks []obs.Sink
 	cleanup = func() {}
+	// -report reads proof-latency quantiles from the registry, so it
+	// forces one on even without -metrics.
+	if cfg.metrics || cfg.report || cfg.traceJSON != "" {
+		reg = obs.NewRegistry()
+	}
 	if cfg.traceJSON != "" {
 		f, err := os.Create(cfg.traceJSON)
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		sinks = append(sinks, obs.NewJSONLSink(f))
-		cleanup = func() { f.Close() }
+		// The file writer hides behind an async drop-and-count stage so a
+		// slow disk can never stall the optimizer; drops surface as
+		// obs_dropped_events_total in any metrics exposition.
+		async := obs.NewAsyncSink(obs.NewJSONLSink(f), 0, reg.Counter("obs.dropped.events"))
+		sinks = append(sinks, async)
+		cleanup = func() {
+			async.Close()
+			f.Close()
+		}
 	}
 	if cfg.verbose {
 		// Substitution traces go to stderr so stdout stays a clean report.
 		sinks = append(sinks, obs.NewLineSink(func(s string) {
 			fmt.Fprintln(stderr, s)
 		}, "apply", "reject"))
-	}
-	if cfg.metrics || cfg.traceJSON != "" {
-		reg = obs.NewRegistry()
 	}
 	return obs.New(obs.Multi(sinks...), reg), reg, cleanup, nil
 }
@@ -243,33 +259,48 @@ func run(ctx context.Context, cfg config, stdout, stderr io.Writer) error {
 		}
 	}
 
-	fmt.Fprintf(stdout, "circuit: %s\n", nl.Name)
-	fmt.Fprintf(stdout, "  power: %10.3f -> %10.3f  (%.1f%% reduction)\n",
-		res.Initial.Power, res.Final.Power, res.PowerReductionPct())
-	fmt.Fprintf(stdout, "  area:  %10.0f -> %10.0f  (%+.1f%%)\n",
-		res.Initial.Area, res.Final.Area, res.AreaChangePct())
-	fmt.Fprintf(stdout, "  delay: %10.2f -> %10.2f", res.InitialDelay, res.FinalDelay)
-	if res.Constraint > 0 {
-		fmt.Fprintf(stdout, "  (constraint %.2f)", res.Constraint)
+	if cfg.ledgerJSON != "" {
+		data, err := json.MarshalIndent(res.Ledger, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.ledgerJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote ledger to %s\n", cfg.ledgerJSON)
 	}
-	fmt.Fprintln(stdout)
-	fmt.Fprintf(stdout, "  gates: %10d -> %10d\n", res.Initial.Gates, res.Final.Gates)
-	fmt.Fprintf(stdout, "  substitutions: %d (OS2 %d, IS2 %d, OS3 %d, IS3 %d) in %s\n",
-		res.Applied,
-		res.ByClass[transform.OS2].Count, res.ByClass[transform.IS2].Count,
-		res.ByClass[transform.OS3].Count, res.ByClass[transform.IS3].Count,
-		res.Runtime.Round(1e6))
-	fmt.Fprintf(stdout, "  permissibility checks: %s\n", res.CheckStats)
-	if res.Escalation.Retries > 0 {
-		fmt.Fprintf(stdout, "  budget escalations: %d retries (%d proven, %d refuted, %d exhausted)\n",
-			res.Escalation.Retries, res.Escalation.Permissible,
-			res.Escalation.Refuted, res.Escalation.Exhausted)
-	}
-	if rb := res.Rejects[core.RejectRollback]; rb > 0 {
-		fmt.Fprintf(stdout, "  rollbacks: %d\n", rb)
-	}
-	if res.StoppedEarly() {
-		fmt.Fprintf(stdout, "  stopped early: %s (the emitted netlist is the best verified result so far)\n", res.Stopped)
+
+	if cfg.report {
+		core.WriteReport(stdout, nl.Name, res, reg)
+	} else {
+		fmt.Fprintf(stdout, "circuit: %s\n", nl.Name)
+		fmt.Fprintf(stdout, "  power: %10.3f -> %10.3f  (%.1f%% reduction)\n",
+			res.Initial.Power, res.Final.Power, res.PowerReductionPct())
+		fmt.Fprintf(stdout, "  area:  %10.0f -> %10.0f  (%+.1f%%)\n",
+			res.Initial.Area, res.Final.Area, res.AreaChangePct())
+		fmt.Fprintf(stdout, "  delay: %10.2f -> %10.2f", res.InitialDelay, res.FinalDelay)
+		if res.Constraint > 0 {
+			fmt.Fprintf(stdout, "  (constraint %.2f)", res.Constraint)
+		}
+		fmt.Fprintln(stdout)
+		fmt.Fprintf(stdout, "  gates: %10d -> %10d\n", res.Initial.Gates, res.Final.Gates)
+		fmt.Fprintf(stdout, "  substitutions: %d (OS2 %d, IS2 %d, OS3 %d, IS3 %d) in %s\n",
+			res.Applied,
+			res.ByClass[transform.OS2].Count, res.ByClass[transform.IS2].Count,
+			res.ByClass[transform.OS3].Count, res.ByClass[transform.IS3].Count,
+			res.Runtime.Round(1e6))
+		fmt.Fprintf(stdout, "  permissibility checks: %s\n", res.CheckStats)
+		if res.Escalation.Retries > 0 {
+			fmt.Fprintf(stdout, "  budget escalations: %d retries (%d proven, %d refuted, %d exhausted)\n",
+				res.Escalation.Retries, res.Escalation.Permissible,
+				res.Escalation.Refuted, res.Escalation.Exhausted)
+		}
+		if rb := res.Rejects[core.RejectRollback]; rb > 0 {
+			fmt.Fprintf(stdout, "  rollbacks: %d\n", rb)
+		}
+		if res.StoppedEarly() {
+			fmt.Fprintf(stdout, "  stopped early: %s (the emitted netlist is the best verified result so far)\n", res.Stopped)
+		}
 	}
 
 	if cfg.resize {

@@ -89,9 +89,20 @@ type CheckStats struct {
 	Decisions int64
 }
 
+// CheckDetail records the outcome and effort of one proof, for callers
+// (the run ledger) that attribute SAT work to individual candidates.
+type CheckDetail struct {
+	Verdict   Verdict
+	Conflicts int64
+	Decisions int64
+	Seconds   float64
+	// Budget is the conflict budget the proof ran under.
+	Budget int64
+}
+
 // Checker proves or refutes candidate substitutions on one netlist. It is
-// stateless across checks except for statistics and the last
-// counterexample; create one per netlist.
+// stateless across checks except for statistics, the last check's
+// detail, and the last counterexample; create one per netlist.
 type Checker struct {
 	nl *netlist.Netlist
 	// Budget is the conflict budget per check; exceeded means Aborted.
@@ -103,6 +114,9 @@ type Checker struct {
 	// Ctx, when non-nil, is polled inside the SAT search; a cancelled
 	// context makes the in-flight proof return Aborted promptly.
 	Ctx context.Context
+	// LastCheck holds the detail of the most recent proof (each check
+	// overwrites it; escalated retries therefore report the final round).
+	LastCheck CheckDetail
 
 	// cex holds the distinguishing primary-input assignment of the last
 	// NotPermissible verdict, in input order.
@@ -149,6 +163,13 @@ func (c *Checker) check(kind string, changed []netlist.Branch, src Source) Verdi
 	}
 	c.Stats.Conflicts += conflicts
 	c.Stats.Decisions += decisions
+	c.LastCheck = CheckDetail{
+		Verdict:   v,
+		Conflicts: conflicts,
+		Decisions: decisions,
+		Seconds:   time.Since(start).Seconds(),
+		Budget:    c.Budget,
+	}
 
 	if m := c.Obs.Metrics(); m != nil {
 		m.Counter("atpg.checks").Inc()

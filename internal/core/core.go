@@ -22,6 +22,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"powder/internal/atpg"
@@ -91,6 +92,12 @@ type Options struct {
 	Power power.Options
 	// Transform configures candidate generation.
 	Transform transform.Config
+	// LedgerLimit bounds the run ledger's retained entries per outcome
+	// class (applied moves and rejected attempts are bounded
+	// independently, so a reject flood cannot evict the attribution
+	// table). 0 uses the default of 4096; negative disables the ledger
+	// entirely, leaving Result.Ledger nil.
+	LedgerLimit int
 	// Obs, when non-nil, receives structured run events (harvest, check,
 	// apply, reject with reason codes) and per-phase metrics. A nil
 	// observer disables all event construction at near-zero cost.
@@ -258,6 +265,11 @@ type Result struct {
 	// SafetyRefreshes counts how often the last-good snapshot was
 	// re-proved equivalent to the input and refreshed.
 	SafetyRefreshes int
+	// Ledger is the run's substitution-provenance record: every selected
+	// attempt with its predicted gain, proof effort, and — for applied
+	// moves — the realized power drop whose sum telescopes to
+	// Initial.Power - Final.Power. Nil when Options.LedgerLimit < 0.
+	Ledger *obs.LedgerSummary
 }
 
 // StoppedEarly reports whether the run ended before exhausting the
@@ -341,6 +353,16 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 		Stopped: StopCompleted,
 	}
 
+	// The run ledger records every selected attempt; a nil ledger (when
+	// disabled) is a no-op on every method.
+	var led *obs.Ledger
+	if opts.LedgerLimit >= 0 {
+		led = obs.NewLedger(opts.LedgerLimit)
+	}
+	// Reused per-node power captures bracketing each apply; their diff is
+	// the per-node attribution of the realized gain.
+	var perNodeBefore, perNodeAfter []float64
+
 	// Safety net: the input clone is trivially the last netlist known
 	// equivalent to the input; periodic verification moves it forward.
 	input := nl.Clone()
@@ -351,6 +373,7 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 			res.Stopped = StopPanic
 			res.Runtime = time.Since(start)
 			res.Phases = ph.Snapshot()
+			res.Ledger = led.Summary()
 			// Best-effort final numbers for the restored netlist; a
 			// second panic here must not mask the restore.
 			func() {
@@ -415,9 +438,24 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 		return true
 	}
 
-	reject := func(reason string, s *transform.Substitution) {
+	// reject discards a selected candidate: reason counters, a ledger
+	// provenance entry (with the proof record when the candidate reached
+	// the checker), and a structured event.
+	reject := func(reason string, s *transform.Substitution, proof *obs.LedgerProof) {
 		res.Rejects[reason]++
 		o.Counter("core.rejects." + reason).Inc()
+		if s != nil && led != nil {
+			led.Record(obs.LedgerAttempt{
+				Kind:          s.Kind.String(),
+				Target:        s.TargetString(),
+				Source:        s.SourceString(),
+				PredictedGain: s.Gain(),
+				Outcome:       obs.LedgerRejected,
+				Reason:        reason,
+				Proof:         proof,
+			})
+			o.Counter("core.ledger.attempts").Inc()
+		}
 		if o.Tracing() {
 			f := obs.Fields{"reason": reason}
 			if s != nil {
@@ -494,7 +532,7 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 				// structural changes, and the outer loop terminates once a
 				// whole harvest makes no progress.
 				if best != nil {
-					reject(RejectLowGain, best)
+					reject(RejectLowGain, best, nil)
 				}
 				break
 			}
@@ -506,24 +544,32 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 				ok := transform.DelayOK(nl, best, timing)
 				stop()
 				if !ok {
-					reject(RejectDelay, best)
+					reject(RejectDelay, best, nil)
 					continue // increases_delay -> discard, pick the next best
 				}
 			}
 			stop = ph.Start("atpg-check")
 			verdict := checkCandidate(checker, best)
 			stop()
+			d := checker.LastCheck
+			proof := &obs.LedgerProof{
+				Conflicts: d.Conflicts,
+				Decisions: d.Decisions,
+				Seconds:   d.Seconds,
+				Budget:    d.Budget,
+			}
 			if hooks != nil && hooks.ForceAbort != nil && hooks.ForceAbort(checker.Stats.Checks) {
 				verdict = atpg.Aborted
 			}
 			if verdict == atpg.Aborted && retriesLeft > 0 && ctx.Err() == nil {
-				verdict = escalate(ctx, checker, best, hooks, &retriesLeft, res, ph, o)
+				verdict = escalate(ctx, checker, best, hooks, &retriesLeft, res, ph, o, proof)
 			}
+			proof.Verdict = verdict.String()
 			if verdict != atpg.Permissible {
 				if verdict == atpg.Aborted {
-					reject(RejectAborted, best)
+					reject(RejectAborted, best, proof)
 				} else {
-					reject(RejectRefuted, best)
+					reject(RejectRefuted, best, proof)
 				}
 				continue
 			}
@@ -538,6 +584,16 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 			// damage — a buggy transform, an injected corruption, a panic
 			// in the apply path — rolls the transaction back and the run
 			// continues with the next candidate.
+			// Bracket the apply with power captures: their difference is the
+			// realized gain, and the per-node diff is its attribution over
+			// the touched cone. Simulation is deterministic, so the realized
+			// gains of the applied moves telescope exactly to the headline
+			// Initial.Power - Final.Power (rollbacks restore prior values).
+			var pBefore float64
+			if led != nil {
+				pBefore = pm.Total()
+				perNodeBefore = pm.PerNode(perNodeBefore)
+			}
 			preSig := poSignatures(pm, nl)
 			txn := nl.Begin()
 			stop = ph.Start("apply")
@@ -573,13 +629,32 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 				pm.Resync()
 				an = transform.NewAnalyzer(nl, pm)
 				stop()
-				reject(reason, best)
+				reject(reason, best, proof)
 				if o.Tracing() {
 					o.Emit("rollback", obs.Fields{"sub": best.String(), "error": applyErr.Error()})
 				}
 				continue
 			}
 			txn.Commit()
+			if led != nil {
+				pAfter := pm.Total()
+				perNodeAfter = pm.PerNode(perNodeAfter)
+				led.Record(obs.LedgerAttempt{
+					Kind:          best.Kind.String(),
+					Target:        best.TargetString(),
+					Source:        best.SourceString(),
+					PredictedGain: best.Gain(),
+					Outcome:       obs.LedgerApplied,
+					Proof:         proof,
+					PowerBefore:   pBefore,
+					PowerAfter:    pAfter,
+					RealizedGain:  pBefore - pAfter,
+					Cone:          coneDeltas(nl, perNodeBefore, perNodeAfter),
+				})
+				o.Counter("core.ledger.attempts").Inc()
+				o.Counter("core.ledger.applied").Inc()
+				o.Histogram("core.ledger.realized_gain").Observe(pBefore - pAfter)
+			}
 			an = transform.NewAnalyzer(nl, pm)
 			if timing != nil {
 				stop = ph.Start("delay-analysis")
@@ -649,6 +724,7 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 				} else {
 					res.Rejects[RejectStale]++
 					o.Counter("core.rejects." + RejectStale).Inc()
+					led.CountReject(RejectStale)
 				}
 			}
 			cands = kept
@@ -671,6 +747,7 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 	stop()
 	res.Runtime = time.Since(start)
 	res.Phases = ph.Snapshot()
+	res.Ledger = led.Summary()
 	reportProgress(true)
 	if o.Tracing() {
 		o.Emit("optimize-done", obs.Fields{
@@ -702,9 +779,11 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 // escalate retries an aborted proof with geometrically escalated SAT
 // budgets (×escalationFactor per step, escalationSteps max) while the
 // per-run retry quota lasts, returning the final verdict and recording
-// the escalation statistics.
+// the escalation statistics. proof, when non-nil, accumulates the SAT
+// effort of every retry for the run ledger.
 func escalate(ctx context.Context, checker *atpg.Checker, s *transform.Substitution,
-	hooks *faultinject.Hooks, retriesLeft *int, res *Result, ph *obs.PhaseSet, o *obs.Observer) atpg.Verdict {
+	hooks *faultinject.Hooks, retriesLeft *int, res *Result, ph *obs.PhaseSet, o *obs.Observer,
+	proof *obs.LedgerProof) atpg.Verdict {
 	base := checker.Budget
 	defer func() { checker.Budget = base }()
 	budget := base
@@ -718,6 +797,14 @@ func escalate(ctx context.Context, checker *atpg.Checker, s *transform.Substitut
 		stop := ph.Start("atpg-check")
 		verdict = checkCandidate(checker, s)
 		stop()
+		if proof != nil {
+			d := checker.LastCheck
+			proof.Conflicts += d.Conflicts
+			proof.Decisions += d.Decisions
+			proof.Seconds += d.Seconds
+			proof.Budget = d.Budget
+			proof.Escalations++
+		}
 		if hooks != nil && hooks.ForceAbort != nil && hooks.ForceAbort(checker.Stats.Checks) {
 			verdict = atpg.Aborted
 		}
@@ -742,6 +829,62 @@ func escalate(ctx context.Context, checker *atpg.Checker, s *transform.Substitut
 		})
 	}
 	return verdict
+}
+
+// coneLimit caps the per-move attribution entries the ledger retains;
+// wider cones are folded into one exact "(other)" remainder entry.
+const coneLimit = 32
+
+// coneDeltas diffs two per-node power captures into the attribution of
+// one applied substitution: which nodes gained or lost C(i)*E(i), largest
+// magnitude first. The entries sum exactly to PowerBefore - PowerAfter.
+func coneDeltas(nl *netlist.Netlist, before, after []float64) []obs.LedgerNodeDelta {
+	n := len(before)
+	if len(after) > n {
+		n = len(after)
+	}
+	at := func(v []float64, i int) float64 {
+		if i < len(v) {
+			return v[i]
+		}
+		return 0
+	}
+	var deltas []obs.LedgerNodeDelta
+	for i := 0; i < n; i++ {
+		d := at(before, i) - at(after, i)
+		if d == 0 {
+			continue
+		}
+		name := ""
+		if i < nl.NumNodes() {
+			name = nl.Node(netlist.NodeID(i)).Name()
+		}
+		if name == "" {
+			name = fmt.Sprintf("n%d", i)
+		}
+		deltas = append(deltas, obs.LedgerNodeDelta{Node: name, Delta: d})
+	}
+	sort.Slice(deltas, func(i, j int) bool {
+		di, dj := deltas[i].Delta, deltas[j].Delta
+		if di < 0 {
+			di = -di
+		}
+		if dj < 0 {
+			dj = -dj
+		}
+		if di != dj {
+			return di > dj
+		}
+		return deltas[i].Node < deltas[j].Node
+	})
+	if len(deltas) > coneLimit {
+		rest := 0.0
+		for _, d := range deltas[coneLimit:] {
+			rest += d.Delta
+		}
+		deltas = append(deltas[:coneLimit], obs.LedgerNodeDelta{Node: "(other)", Delta: rest})
+	}
+	return deltas
 }
 
 // poSignatures captures the simulated value words of every primary

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"powder/internal/faultinject"
+	"powder/internal/obs"
+	"powder/internal/transform"
+)
+
+// attributionTolerance is the acceptance bound of the ledger contract:
+// the applied moves' realized gains must sum to the headline power drop
+// within this absolute tolerance.
+const attributionTolerance = 1e-9
+
+// checkAttribution asserts the telescoping property on one result.
+func checkAttribution(t *testing.T, label string, res *Result) {
+	t.Helper()
+	led := res.Ledger
+	if led == nil {
+		t.Fatalf("%s: Ledger is nil with the ledger enabled", label)
+	}
+	headline := res.Initial.Power - res.Final.Power
+	if diff := math.Abs(led.RealizedGain - headline); diff > attributionTolerance {
+		t.Errorf("%s: sum of realized gains %.12g != headline drop %.12g (diff %.3g)",
+			label, led.RealizedGain, headline, diff)
+	}
+	if led.Applied != res.Applied {
+		t.Errorf("%s: ledger Applied = %d, Result.Applied = %d", label, led.Applied, res.Applied)
+	}
+	// Each retained move's cone must decompose its own realized gain.
+	for _, m := range led.Moves {
+		var coneSum float64
+		for _, d := range m.Cone {
+			coneSum += d.Delta
+		}
+		if diff := math.Abs(coneSum - m.RealizedGain); diff > attributionTolerance {
+			t.Errorf("%s: move %d cone sums to %.12g, realized %.12g (diff %.3g)",
+				label, m.Seq, coneSum, m.RealizedGain, diff)
+		}
+	}
+}
+
+// TestLedgerAttributionSumsToHeadline is the acceptance property: on real
+// circuits, the per-substitution realized gains recorded by the ledger
+// telescope to Initial.Power - Final.Power within 1e-9.
+func TestLedgerAttributionSumsToHeadline(t *testing.T) {
+	for _, name := range []string{"comp", "clip", "t481"} {
+		nl := compileBenchmark(t, name)
+		res, err := Optimize(nl, Options{
+			Power:     powerOptsSmall(),
+			Transform: transform.Config{AllowInverted: true},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Applied == 0 {
+			t.Fatalf("%s: no substitutions applied; property vacuous", name)
+		}
+		checkAttribution(t, name, res)
+		if res.Ledger.Attempts < res.Applied {
+			t.Errorf("%s: Attempts %d < Applied %d", name, res.Ledger.Attempts, res.Applied)
+		}
+	}
+}
+
+// TestLedgerAttributionSurvivesRollbacks pins the property under the
+// transactional-apply recovery path: intermittent corruption forces
+// rollbacks, whose power resyncs must restore the model exactly so the
+// telescoping sum still matches.
+func TestLedgerAttributionSurvivesRollbacks(t *testing.T) {
+	nl := compileBenchmark(t, "clip")
+	res, err := Optimize(nl, Options{
+		Power:     powerOptsSmall(),
+		Transform: transform.Config{AllowInverted: true},
+		Inject:    &faultinject.Hooks{CorruptApply: faultinject.CorruptEveryApply(0, 2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejects[RejectRollback] == 0 {
+		t.Fatal("no rollbacks triggered; scenario vacuous")
+	}
+	checkAttribution(t, "clip+rollbacks", res)
+	// Rolled-back attempts must be in the ledger as rejects, not moves.
+	if res.Ledger.Rejected[RejectRollback] != res.Rejects[RejectRollback] {
+		t.Errorf("ledger rollback count %d, result %d",
+			res.Ledger.Rejected[RejectRollback], res.Rejects[RejectRollback])
+	}
+}
+
+// TestLedgerAttributionUnderDeadline pins the property on the early-stop
+// path: a tight deadline ends the run mid-flight, and the partial ledger
+// must still sum to the partial headline.
+func TestLedgerAttributionUnderDeadline(t *testing.T) {
+	for _, timeout := range []time.Duration{time.Millisecond, 20 * time.Millisecond} {
+		nl := compileBenchmark(t, "t481")
+		res, err := Optimize(nl, Options{
+			Power:     powerOptsSmall(),
+			Transform: transform.Config{AllowInverted: true},
+			Timeout:   timeout,
+		})
+		if err != nil {
+			t.Fatalf("timeout %v: %v", timeout, err)
+		}
+		checkAttribution(t, "t481+deadline", res)
+	}
+}
+
+// TestLedgerDisabled pins the opt-out: a negative LedgerLimit leaves
+// Result.Ledger nil and the run otherwise unaffected.
+func TestLedgerDisabled(t *testing.T) {
+	nl := redundantCircuit(t)
+	res, err := Optimize(nl, Options{
+		Transform:   transform.Config{AllowInverted: true},
+		LedgerLimit: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ledger != nil {
+		t.Fatalf("Ledger = %+v, want nil when disabled", res.Ledger)
+	}
+	if res.Applied == 0 {
+		t.Error("disabling the ledger suppressed optimization")
+	}
+}
+
+// TestLedgerRecordsProofsAndRejects pins the provenance content: applied
+// moves carry proof records with the permissible verdict, and reject
+// entries carry their reason.
+func TestLedgerRecordsProofsAndRejects(t *testing.T) {
+	nl := redundantCircuit(t)
+	res, err := Optimize(nl, Options{
+		Transform: transform.Config{AllowInverted: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied == 0 {
+		t.Fatal("no substitutions applied")
+	}
+	for _, m := range res.Ledger.Moves {
+		if m.Outcome != obs.LedgerApplied {
+			t.Errorf("move %d outcome %q", m.Seq, m.Outcome)
+		}
+		if m.Proof == nil || m.Proof.Verdict != "permissible" {
+			t.Errorf("move %d proof = %+v, want permissible verdict", m.Seq, m.Proof)
+		}
+		if m.Kind == "" || m.Target == "" || m.Source == "" {
+			t.Errorf("move %d missing provenance: %+v", m.Seq, m)
+		}
+	}
+	for _, r := range res.Ledger.Rejects {
+		if r.Outcome != obs.LedgerRejected || r.Reason == "" {
+			t.Errorf("reject entry %d missing reason: %+v", r.Seq, r)
+		}
+	}
+}
+
+// TestWriteReport pins the report's shape and its attribution totals.
+func TestWriteReport(t *testing.T) {
+	reg := obs.NewRegistry()
+	nl := compileBenchmark(t, "comp")
+	res, err := Optimize(nl, Options{
+		Power:     powerOptsSmall(),
+		Transform: transform.Config{AllowInverted: true},
+		Obs:       obs.New(nil, reg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	WriteReport(&sb, "comp", res, reg)
+	out := sb.String()
+	for _, want := range []string{
+		"# POWDER run report — comp",
+		"## Top moves by realized gain",
+		"## Predicted vs realized",
+		"## Rejected candidates",
+		"## Permissibility proofs",
+		"proof latency: p50",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q\n--- report ---\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"powder/internal/obs"
+)
+
+// reportTopMoves bounds the per-move rows of the attribution table; the
+// remaining moves are folded into one aggregate row so the columns still
+// sum to the run totals.
+const reportTopMoves = 10
+
+// WriteReport renders a human-readable markdown explanation of one run:
+// the headline numbers, the attribution table of the best moves, the
+// predicted-vs-realized calibration of the gain estimator, the
+// reject-reason breakdown, and — when a registry is supplied — the
+// permissibility-proof latency quantiles.
+func WriteReport(w io.Writer, name string, res *Result, reg *obs.Registry) {
+	fmt.Fprintf(w, "# POWDER run report — %s\n\n", name)
+	fmt.Fprintf(w, "Power %.6g -> %.6g (**-%.2f%%**), area %.0f -> %.0f, delay %.3g -> %.3g.\n",
+		res.Initial.Power, res.Final.Power, res.PowerReductionPct(),
+		res.Initial.Area, res.Final.Area, res.InitialDelay, res.FinalDelay)
+	fmt.Fprintf(w, "%d substitutions over %d harvests (%d candidates examined), stopped: %s, runtime %.3gs.\n\n",
+		res.Applied, res.Harvests, res.Candidates, res.Stopped, res.Runtime.Seconds())
+
+	led := res.Ledger
+	if led != nil {
+		writeMoveTable(w, led)
+		writeCalibration(w, led)
+		writeNodeTable(w, led)
+	}
+	writeRejects(w, res, led)
+	writeProofLatency(w, res, reg)
+}
+
+// writeMoveTable renders the top moves by realized gain plus an exact
+// remainder row: the realized column sums to the headline power drop.
+func writeMoveTable(w io.Writer, led *obs.LedgerSummary) {
+	fmt.Fprintf(w, "## Top moves by realized gain\n\n")
+	if len(led.Moves) == 0 {
+		fmt.Fprintf(w, "No substitutions were applied.\n\n")
+		return
+	}
+	moves := append([]obs.LedgerAttempt(nil), led.Moves...)
+	sort.Slice(moves, func(i, j int) bool {
+		if moves[i].RealizedGain != moves[j].RealizedGain {
+			return moves[i].RealizedGain > moves[j].RealizedGain
+		}
+		return moves[i].Seq < moves[j].Seq
+	})
+	fmt.Fprintf(w, "| # | kind | target <- source | predicted | realized | proof conflicts |\n")
+	fmt.Fprintf(w, "|--:|------|------------------|----------:|---------:|----------------:|\n")
+	top := len(moves)
+	if top > reportTopMoves {
+		top = reportTopMoves
+	}
+	var shownPred, shownReal float64
+	for _, m := range moves[:top] {
+		conflicts := int64(0)
+		if m.Proof != nil {
+			conflicts = m.Proof.Conflicts
+		}
+		fmt.Fprintf(w, "| %d | %s | %s <- %s | %.6g | %.6g | %d |\n",
+			m.Seq, m.Kind, m.Target, m.Source, m.PredictedGain, m.RealizedGain, conflicts)
+		shownPred += m.PredictedGain
+		shownReal += m.RealizedGain
+	}
+	rest := led.Applied - top
+	if rest > 0 {
+		// The dropped-moves remainder uses the exact ledger totals, so the
+		// table stays a complete decomposition even past the retention cap.
+		fmt.Fprintf(w, "| | | (%d more moves) | %.6g | %.6g | |\n",
+			rest, led.PredictedGain-shownPred, led.RealizedGain-shownReal)
+	}
+	fmt.Fprintf(w, "| | | **total (%d moves)** | **%.6g** | **%.6g** | |\n\n",
+		led.Applied, led.PredictedGain, led.RealizedGain)
+}
+
+// writeCalibration compares the gain estimator against the measured
+// per-move power drops over the retained moves.
+func writeCalibration(w io.Writer, led *obs.LedgerSummary) {
+	fmt.Fprintf(w, "## Predicted vs realized\n\n")
+	if len(led.Moves) == 0 {
+		fmt.Fprintf(w, "No applied moves to calibrate against.\n\n")
+		return
+	}
+	n := float64(len(led.Moves))
+	var sumErr, sumAbs, maxAbs float64
+	var sp, sr, spp, srr, spr float64
+	for _, m := range led.Moves {
+		e := m.PredictedGain - m.RealizedGain
+		sumErr += e
+		a := math.Abs(e)
+		sumAbs += a
+		if a > maxAbs {
+			maxAbs = a
+		}
+		sp += m.PredictedGain
+		sr += m.RealizedGain
+		spp += m.PredictedGain * m.PredictedGain
+		srr += m.RealizedGain * m.RealizedGain
+		spr += m.PredictedGain * m.RealizedGain
+	}
+	fmt.Fprintf(w, "- moves: %d (of %d applied; %d beyond the retention cap)\n",
+		len(led.Moves), led.Applied, led.DroppedMoves)
+	fmt.Fprintf(w, "- mean error (predicted - realized): %.6g\n", sumErr/n)
+	fmt.Fprintf(w, "- mean |error|: %.6g, max |error|: %.6g\n", sumAbs/n, maxAbs)
+	if sr != 0 {
+		fmt.Fprintf(w, "- aggregate ratio predicted/realized: %.4g\n", sp/sr)
+	}
+	// Pearson correlation over the retained moves; meaningless for a
+	// single move or a degenerate (constant) column.
+	den := math.Sqrt((spp - sp*sp/n) * (srr - sr*sr/n))
+	if n > 1 && den > 0 {
+		fmt.Fprintf(w, "- correlation: %.4g\n", (spr-sp*sr/n)/den)
+	}
+	fmt.Fprintf(w, "\n")
+}
+
+// writeNodeTable renders where the realized gain landed structurally.
+func writeNodeTable(w io.Writer, led *obs.LedgerSummary) {
+	if len(led.ByNode) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "## Top nodes by attributed gain\n\n")
+	fmt.Fprintf(w, "| node | moves | realized gain |\n")
+	fmt.Fprintf(w, "|------|------:|--------------:|\n")
+	top := len(led.ByNode)
+	if top > reportTopMoves {
+		top = reportTopMoves
+	}
+	for _, a := range led.ByNode[:top] {
+		fmt.Fprintf(w, "| %s | %d | %.6g |\n", a.Node, a.Moves, a.Realized)
+	}
+	fmt.Fprintf(w, "\n")
+}
+
+// writeRejects renders the reject-reason breakdown, preferring the exact
+// Result counters (which include pre-selection rejects the ledger never
+// sees as entries).
+func writeRejects(w io.Writer, res *Result, led *obs.LedgerSummary) {
+	if len(res.Rejects) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "## Rejected candidates\n\n")
+	fmt.Fprintf(w, "| reason | count |\n")
+	fmt.Fprintf(w, "|--------|------:|\n")
+	reasons := make([]string, 0, len(res.Rejects))
+	for r := range res.Rejects {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	total := 0
+	for _, r := range reasons {
+		fmt.Fprintf(w, "| %s | %d |\n", r, res.Rejects[r])
+		total += res.Rejects[r]
+	}
+	fmt.Fprintf(w, "| **total** | **%d** |\n\n", total)
+	if led != nil && led.DroppedRejects > 0 {
+		fmt.Fprintf(w, "(%d rejected entries beyond the ledger retention cap; the counts above remain exact.)\n\n",
+			led.DroppedRejects)
+	}
+}
+
+// writeProofLatency renders the permissibility-proof effort: the check
+// counts from Result and the latency quantiles from the registry's
+// "atpg.check.seconds" histogram when one was recording.
+func writeProofLatency(w io.Writer, res *Result, reg *obs.Registry) {
+	if res.CheckStats.Checks == 0 {
+		return
+	}
+	fmt.Fprintf(w, "## Permissibility proofs\n\n")
+	fmt.Fprintf(w, "- checks: %d (permissible %d, refuted %d, aborted %d)\n",
+		res.CheckStats.Checks, res.CheckStats.Permissible,
+		res.CheckStats.Refuted, res.CheckStats.Aborted)
+	fmt.Fprintf(w, "- SAT effort: %d conflicts, %d decisions\n",
+		res.CheckStats.Conflicts, res.CheckStats.Decisions)
+	if res.Escalation.Retries > 0 {
+		fmt.Fprintf(w, "- budget escalations: %d retries (recovered %d, refuted %d, exhausted %d)\n",
+			res.Escalation.Retries, res.Escalation.Permissible,
+			res.Escalation.Refuted, res.Escalation.Exhausted)
+	}
+	if h := reg.Histogram("atpg.check.seconds"); h.Count() > 0 {
+		fmt.Fprintf(w, "- proof latency: p50 %.3gs, p90 %.3gs, p99 %.3gs, max %.3gs over %d proofs\n",
+			h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Max(), h.Count())
+	}
+	fmt.Fprintf(w, "\n")
+}

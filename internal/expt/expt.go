@@ -118,6 +118,9 @@ type RunDetail struct {
 	Rejects        map[string]int       `json:"rejects,omitempty"`
 	Escalations    core.EscalationStats `json:"escalations"`
 	Stopped        string               `json:"stopped,omitempty"`
+	// Ledger carries the run-ledger totals (entry slices stripped): the
+	// predicted and realized gain sums and the per-reason reject counts.
+	Ledger *obs.LedgerSummary `json:"ledger,omitempty"`
 }
 
 // detailOf extracts the observability summary of one run result.
@@ -131,6 +134,7 @@ func detailOf(res *core.Result) RunDetail {
 		Checks:         res.CheckStats,
 		Rejects:        res.Rejects,
 		Escalations:    res.Escalation,
+		Ledger:         res.Ledger.Brief(),
 	}
 	if res.StoppedEarly() {
 		d.Stopped = string(res.Stopped)

@@ -1,0 +1,197 @@
+package expt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TrajectorySchema identifies the benchmark-trajectory file format; bump
+// it on breaking changes so readers can reject files they do not
+// understand.
+const TrajectorySchema = "powder-trajectory/v1"
+
+// TrajectoryCircuit is one circuit's slice of a trajectory entry.
+type TrajectoryCircuit struct {
+	Name string `json:"name"`
+	// PowerBefore/PowerAfter are the unconstrained run's estimates (the
+	// paper's headline numbers; the regression gate compares PowerAfter).
+	PowerBefore float64 `json:"power_before"`
+	PowerAfter  float64 `json:"power_after"`
+	// Substitutions and Proofs sum both runs (free + constrained).
+	Substitutions int `json:"substitutions"`
+	Proofs        int `json:"proofs"`
+	// WallSeconds is the constrained run's wall time (the CPU column of
+	// Table 1).
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// TrajectoryEntry is one benchmark run appended to BENCH_powder.json:
+// enough to plot quality and cost over the repository's history and to
+// gate CI on regressions against a committed baseline.
+type TrajectoryEntry struct {
+	Schema string `json:"schema"`
+	// GitRev is the VCS revision the binary was built from ("unknown"
+	// outside a stamped build without POWDER_GIT_REV).
+	GitRev string `json:"git_rev"`
+	// When is the run's RFC3339 UTC timestamp.
+	When string `json:"when"`
+	// WallSeconds is the whole suite's wall time.
+	WallSeconds float64 `json:"wall_seconds"`
+	// PowerBefore/PowerAfter total the unconstrained runs over all
+	// circuits; ReductionPct is the headline percentage.
+	PowerBefore  float64 `json:"power_before"`
+	PowerAfter   float64 `json:"power_after"`
+	ReductionPct float64 `json:"reduction_pct"`
+	// Substitutions and Proofs total over all circuits and both runs.
+	Substitutions int `json:"substitutions"`
+	Proofs        int `json:"proofs"`
+	// PeakRSSBytes is the process's high-water resident set (0 where
+	// /proc is unavailable).
+	PeakRSSBytes int64               `json:"peak_rss_bytes,omitempty"`
+	Circuits     []TrajectoryCircuit `json:"circuits"`
+}
+
+// BuildTrajectoryEntry assembles one entry from a finished suite.
+func BuildTrajectoryEntry(suite *Suite, wall time.Duration) TrajectoryEntry {
+	e := TrajectoryEntry{
+		Schema:       TrajectorySchema,
+		GitRev:       GitRev(),
+		When:         time.Now().UTC().Format(time.RFC3339),
+		WallSeconds:  wall.Seconds(),
+		PowerBefore:  suite.SumInitPower,
+		PowerAfter:   suite.SumFreePower,
+		ReductionPct: suite.FreeRedPct(),
+		PeakRSSBytes: PeakRSSBytes(),
+	}
+	for _, row := range suite.Rows {
+		e.Substitutions += row.Free.Applied + row.Constr.Applied
+		e.Proofs += row.Free.Checks.Checks + row.Constr.Checks.Checks
+		e.Circuits = append(e.Circuits, TrajectoryCircuit{
+			Name:          row.Circuit,
+			PowerBefore:   row.InitPower,
+			PowerAfter:    row.FreePower,
+			Substitutions: row.Free.Applied + row.Constr.Applied,
+			Proofs:        row.Free.Checks.Checks + row.Constr.Checks.Checks,
+			WallSeconds:   row.CPUSeconds,
+		})
+	}
+	return e
+}
+
+// GitRev returns the POWDER_GIT_REV environment override when set (so
+// CI can pin the revision regardless of how the binary was built), the
+// VCS revision baked into the build by the go tool, or "unknown".
+func GitRev() string {
+	if rev := os.Getenv("POWDER_GIT_REV"); rev != "" {
+		return rev
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
+}
+
+// PeakRSSBytes reads the process's high-water resident set from
+// /proc/self/status (VmHWM); 0 on platforms without it.
+func PeakRSSBytes() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}
+
+// LoadTrajectory reads a trajectory file (a JSON array of entries). A
+// missing file is an empty trajectory, not an error.
+func LoadTrajectory(path string) ([]TrajectoryEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var entries []TrajectoryEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("expt: %s: %v", path, err)
+	}
+	return entries, nil
+}
+
+// AppendTrajectory appends one entry to the trajectory file, creating it
+// when absent. The file stays a plain JSON array so plotting tools can
+// read it directly.
+func AppendTrajectory(path string, e TrajectoryEntry) error {
+	entries, err := LoadTrajectory(path)
+	if err != nil {
+		return err
+	}
+	entries = append(entries, e)
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// CheckRegression compares a fresh entry against the newest baseline
+// entry: any shared circuit whose optimized power grew by more than
+// powerPct percent, or a suite wall time beyond wallFactor times the
+// baseline's, is a regression. It returns nil when the baseline is empty
+// (nothing to regress against) and an error naming every violation
+// otherwise.
+func CheckRegression(e TrajectoryEntry, baseline []TrajectoryEntry, powerPct, wallFactor float64) error {
+	if len(baseline) == 0 {
+		return nil
+	}
+	base := baseline[len(baseline)-1]
+	byName := make(map[string]TrajectoryCircuit, len(base.Circuits))
+	for _, c := range base.Circuits {
+		byName[c.Name] = c
+	}
+	var violations []string
+	for _, c := range e.Circuits {
+		b, ok := byName[c.Name]
+		if !ok || b.PowerAfter <= 0 {
+			continue
+		}
+		if pct := 100 * (c.PowerAfter - b.PowerAfter) / b.PowerAfter; pct > powerPct {
+			violations = append(violations, fmt.Sprintf(
+				"%s: optimized power %.4f vs baseline %.4f (+%.1f%% > %.1f%%)",
+				c.Name, c.PowerAfter, b.PowerAfter, pct, powerPct))
+		}
+	}
+	if base.WallSeconds > 0 && e.WallSeconds > base.WallSeconds*wallFactor {
+		violations = append(violations, fmt.Sprintf(
+			"suite wall time %.2fs vs baseline %.2fs (> %.1fx)",
+			e.WallSeconds, base.WallSeconds, wallFactor))
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("expt: benchmark regression vs %s:\n  %s",
+			base.GitRev, strings.Join(violations, "\n  "))
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package expt
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleSuite() *Suite {
+	return &Suite{
+		Rows: []Table1Row{
+			{
+				Circuit: "comp", InitPower: 10, FreePower: 8, CPUSeconds: 1.5,
+				Free:   RunDetail{Applied: 3},
+				Constr: RunDetail{Applied: 2},
+			},
+			{
+				Circuit: "clip", InitPower: 20, FreePower: 15, CPUSeconds: 2.5,
+				Free:   RunDetail{Applied: 4},
+				Constr: RunDetail{Applied: 1},
+			},
+		},
+		SumInitPower: 30,
+		SumFreePower: 23,
+	}
+}
+
+func TestBuildTrajectoryEntry(t *testing.T) {
+	e := BuildTrajectoryEntry(sampleSuite(), 7*time.Second)
+	if e.Schema != TrajectorySchema {
+		t.Errorf("Schema = %q", e.Schema)
+	}
+	if e.GitRev == "" {
+		t.Error("GitRev empty; want a revision or \"unknown\"")
+	}
+	if e.WallSeconds != 7 {
+		t.Errorf("WallSeconds = %v", e.WallSeconds)
+	}
+	if e.PowerBefore != 30 || e.PowerAfter != 23 {
+		t.Errorf("power totals %v -> %v", e.PowerBefore, e.PowerAfter)
+	}
+	if e.Substitutions != 10 {
+		t.Errorf("Substitutions = %d, want 10", e.Substitutions)
+	}
+	if len(e.Circuits) != 2 || e.Circuits[0].Name != "comp" || e.Circuits[1].WallSeconds != 2.5 {
+		t.Errorf("Circuits = %+v", e.Circuits)
+	}
+	if _, err := time.Parse(time.RFC3339, e.When); err != nil {
+		t.Errorf("When %q not RFC3339: %v", e.When, err)
+	}
+}
+
+func TestTrajectoryAppendLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_powder.json")
+	if entries, err := LoadTrajectory(path); err != nil || entries != nil {
+		t.Fatalf("missing file: entries=%v err=%v, want nil/nil", entries, err)
+	}
+	e1 := BuildTrajectoryEntry(sampleSuite(), time.Second)
+	e2 := BuildTrajectoryEntry(sampleSuite(), 2*time.Second)
+	if err := AppendTrajectory(path, e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendTrajectory(path, e2); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := LoadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("loaded %d entries, want 2", len(entries))
+	}
+	if entries[0].WallSeconds != 1 || entries[1].WallSeconds != 2 {
+		t.Errorf("entries out of order: %+v", entries)
+	}
+	if entries[0].Schema != TrajectorySchema {
+		t.Errorf("schema lost in round trip: %q", entries[0].Schema)
+	}
+}
+
+func TestCheckRegression(t *testing.T) {
+	base := BuildTrajectoryEntry(sampleSuite(), 10*time.Second)
+	baseline := []TrajectoryEntry{base}
+
+	// Same run: no regression.
+	if err := CheckRegression(base, baseline, 10, 2); err != nil {
+		t.Errorf("identical run flagged: %v", err)
+	}
+	// Empty baseline: nothing to compare.
+	if err := CheckRegression(base, nil, 10, 2); err != nil {
+		t.Errorf("empty baseline flagged: %v", err)
+	}
+
+	// Power regression on one circuit beyond the threshold.
+	worse := base
+	worse.Circuits = append([]TrajectoryCircuit(nil), base.Circuits...)
+	worse.Circuits[0].PowerAfter *= 1.25
+	err := CheckRegression(worse, baseline, 10, 2)
+	if err == nil || !strings.Contains(err.Error(), "comp") {
+		t.Errorf("25%% power regression not flagged: %v", err)
+	}
+
+	// Within threshold: allowed.
+	slight := base
+	slight.Circuits = append([]TrajectoryCircuit(nil), base.Circuits...)
+	slight.Circuits[0].PowerAfter *= 1.05
+	if err := CheckRegression(slight, baseline, 10, 2); err != nil {
+		t.Errorf("5%% drift flagged at 10%% threshold: %v", err)
+	}
+
+	// Wall-time regression beyond the factor.
+	slow := base
+	slow.WallSeconds = base.WallSeconds * 3
+	err = CheckRegression(slow, baseline, 10, 2)
+	if err == nil || !strings.Contains(err.Error(), "wall time") {
+		t.Errorf("3x wall-time regression not flagged: %v", err)
+	}
+
+	// A circuit absent from the baseline is ignored, not a failure.
+	extra := base
+	extra.Circuits = append(append([]TrajectoryCircuit(nil), base.Circuits...),
+		TrajectoryCircuit{Name: "new", PowerAfter: 99})
+	if err := CheckRegression(extra, baseline, 10, 2); err != nil {
+		t.Errorf("new circuit flagged: %v", err)
+	}
+
+	// Regression checked against the NEWEST baseline entry.
+	newer := base
+	newer.Circuits = append([]TrajectoryCircuit(nil), base.Circuits...)
+	newer.Circuits[0].PowerAfter *= 0.5 // newest baseline is much better
+	err = CheckRegression(base, []TrajectoryEntry{{}, newer}, 10, 2)
+	if err == nil {
+		t.Error("regression vs newest baseline entry not detected")
+	}
+}
+
+func TestPeakRSSBytes(t *testing.T) {
+	// On Linux this must report a sane positive value; elsewhere 0.
+	if rss := PeakRSSBytes(); rss < 0 {
+		t.Errorf("PeakRSSBytes = %d", rss)
+	} else if rss > 0 && rss < 1<<20 {
+		t.Errorf("PeakRSSBytes = %d, implausibly small", rss)
+	}
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// defaultAsyncBuffer is the AsyncSink channel depth when the caller does
+// not choose one.
+const defaultAsyncBuffer = 8192
+
+// AsyncSink decouples event producers from a slow sink: Emit enqueues
+// onto a bounded channel and NEVER blocks — when the consumer falls
+// behind and the channel fills, the event is dropped and counted
+// (drop-and-count policy). A single goroutine drains the channel into
+// the wrapped sink, so the wrapped sink needs no concurrency safety of
+// its own beyond what Emit-from-one-goroutine requires.
+//
+// This is the sink to put in front of anything that does I/O (JSONLSink
+// on a file, a network writer): the optimizer hot path then pays one
+// channel send per event, worst case one counter increment.
+type AsyncSink struct {
+	inner   Sink
+	ch      chan Event
+	quit    chan struct{}
+	done    chan struct{}
+	closing sync.Once
+	dropped atomic.Int64
+	counter *Counter // optional registry counter ("obs.dropped.events")
+}
+
+// NewAsyncSink starts the drain goroutine and returns the sink.
+// buffer <= 0 uses the default of 8192. dropped, when non-nil, is
+// incremented on every dropped event in addition to the internal count
+// (wire the registry counter "obs.dropped.events" here so drops surface
+// as obs_dropped_events_total in the Prometheus exposition).
+func NewAsyncSink(inner Sink, buffer int, dropped *Counter) *AsyncSink {
+	if buffer <= 0 {
+		buffer = defaultAsyncBuffer
+	}
+	s := &AsyncSink{
+		inner:   inner,
+		ch:      make(chan Event, buffer),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+		counter: dropped,
+	}
+	go s.drain()
+	return s
+}
+
+func (s *AsyncSink) drain() {
+	defer close(s.done)
+	for {
+		select {
+		case e := <-s.ch:
+			s.inner.Emit(e)
+		case <-s.quit:
+			// Flush whatever is already buffered, then stop.
+			for {
+				select {
+				case e := <-s.ch:
+					s.inner.Emit(e)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Emit enqueues the event without blocking; a full buffer (or a closed
+// sink) drops it and bumps the drop counters.
+func (s *AsyncSink) Emit(e Event) {
+	select {
+	case <-s.quit:
+		s.drop()
+		return
+	default:
+	}
+	select {
+	case s.ch <- e:
+	default:
+		s.drop()
+	}
+}
+
+func (s *AsyncSink) drop() {
+	s.dropped.Add(1)
+	s.counter.Inc()
+}
+
+// Dropped returns how many events were discarded.
+func (s *AsyncSink) Dropped() int64 { return s.dropped.Load() }
+
+// Close flushes the buffered events into the wrapped sink and stops the
+// drain goroutine; it blocks until the flush finishes. Emit calls racing
+// or following Close are dropped (and counted), never a panic.
+// Idempotent.
+func (s *AsyncSink) Close() {
+	s.closing.Do(func() { close(s.quit) })
+	<-s.done
+	// Events from Emit calls that raced the flush are still in the
+	// channel; account for them as dropped rather than losing them
+	// silently.
+	for {
+		select {
+		case <-s.ch:
+			s.drop()
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAsyncSinkDeliversInOrder(t *testing.T) {
+	var got []Event
+	var mu sync.Mutex
+	s := NewAsyncSink(SinkFunc(func(e Event) {
+		mu.Lock()
+		got = append(got, e)
+		mu.Unlock()
+	}), 16, nil)
+	for i := 0; i < 10; i++ {
+		s.Emit(Event{Name: "e", Fields: Fields{"i": i}})
+	}
+	s.Close()
+	if len(got) != 10 {
+		t.Fatalf("delivered %d events, want 10", len(got))
+	}
+	for i, e := range got {
+		if e.Fields["i"] != i {
+			t.Fatalf("event %d out of order: %v", i, e.Fields["i"])
+		}
+	}
+	if s.Dropped() != 0 {
+		t.Errorf("Dropped = %d, want 0", s.Dropped())
+	}
+}
+
+// TestAsyncSinkDropsWhenFullNeverBlocks pins the drop-and-count policy:
+// with the consumer wedged, Emit must return immediately and count every
+// overflow in both the internal counter and the registry counter.
+func TestAsyncSinkDropsWhenFullNeverBlocks(t *testing.T) {
+	reg := NewRegistry()
+	block := make(chan struct{})
+	var consumed atomic.Int64
+	s := NewAsyncSink(SinkFunc(func(Event) {
+		<-block
+		consumed.Add(1)
+	}), 4, reg.Counter("obs.dropped.events"))
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// 4 buffered + 1 in the wedged consumer; the rest must drop.
+		for i := 0; i < 100; i++ {
+			s.Emit(Event{Name: "e"})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Emit blocked on a wedged consumer")
+	}
+	close(block)
+	s.Close()
+	dropped := s.Dropped()
+	if dropped == 0 {
+		t.Fatal("no drops recorded with a wedged consumer")
+	}
+	if got := reg.Counter("obs.dropped.events").Value(); got != dropped {
+		t.Errorf("registry counter %d != internal %d", got, dropped)
+	}
+	if consumed.Load()+dropped != 100 {
+		t.Errorf("consumed %d + dropped %d != 100 emitted", consumed.Load(), dropped)
+	}
+}
+
+func TestAsyncSinkCloseFlushesAndIsIdempotent(t *testing.T) {
+	var n atomic.Int64
+	s := NewAsyncSink(SinkFunc(func(Event) { n.Add(1) }), 64, nil)
+	for i := 0; i < 50; i++ {
+		s.Emit(Event{Name: "e"})
+	}
+	s.Close()
+	s.Close()
+	if n.Load() != 50 {
+		t.Fatalf("flushed %d events, want 50", n.Load())
+	}
+	// Emit after close drops, never panics.
+	s.Emit(Event{Name: "late"})
+	if s.Dropped() == 0 {
+		t.Error("post-close Emit not counted as dropped")
+	}
+}
+
+// TestAsyncSinkHammer is the -race stress: many producers against a slow
+// sink with concurrent Close. Every emitted event must be either
+// delivered or counted dropped — none lost, no deadlock, no race.
+func TestAsyncSinkHammer(t *testing.T) {
+	reg := NewRegistry()
+	var delivered atomic.Int64
+	s := NewAsyncSink(SinkFunc(func(Event) {
+		delivered.Add(1)
+		time.Sleep(10 * time.Microsecond) // slow consumer
+	}), 8, reg.Counter("obs.dropped.events"))
+
+	const producers = 8
+	const perProducer = 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				s.Emit(Event{Name: "e"})
+			}
+		}()
+	}
+	// Close concurrently with the tail of production.
+	closed := make(chan struct{})
+	go func() {
+		defer close(closed)
+		time.Sleep(2 * time.Millisecond)
+		s.Close()
+	}()
+	wg.Wait()
+	<-closed
+	s.Close() // idempotent with the concurrent close
+
+	total := delivered.Load() + s.Dropped()
+	if total != producers*perProducer {
+		t.Fatalf("delivered %d + dropped %d = %d, want %d",
+			delivered.Load(), s.Dropped(), total, producers*perProducer)
+	}
+}
+
+// TestHubDropCounterMirrorsDrops pins the Hub side of the drop
+// accounting used by the service's job event streams.
+func TestHubDropCounterMirrorsDrops(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHub(4)
+	h.SetDropCounter(reg.Counter("obs.dropped.events"))
+	for i := 0; i < 10; i++ {
+		h.Emit(Event{Name: "e"})
+	}
+	h.Close()
+	if h.Dropped() == 0 {
+		t.Fatal("replay cap never dropped")
+	}
+	if got := reg.Counter("obs.dropped.events").Value(); got != h.Dropped() {
+		t.Errorf("registry counter %d != hub dropped %d", got, h.Dropped())
+	}
+}

@@ -26,6 +26,9 @@ type Hub struct {
 	subs    map[*hubSub]struct{}
 	closed  bool
 	dropped int64
+	// dropCounter, when set, mirrors every drop into a registry counter
+	// so losses surface in the metrics exposition.
+	dropCounter *Counter
 }
 
 type hubSub struct {
@@ -54,14 +57,24 @@ func (h *Hub) Emit(e Event) {
 		h.buf = append(h.buf, e)
 	} else {
 		h.dropped++
+		h.dropCounter.Inc()
 	}
 	for s := range h.subs {
 		select {
 		case s.ch <- e:
 		default:
 			h.dropped++
+			h.dropCounter.Inc()
 		}
 	}
+}
+
+// SetDropCounter attaches a registry counter (conventionally
+// "obs.dropped.events") that mirrors every dropped delivery.
+func (h *Hub) SetDropCounter(c *Counter) {
+	h.mu.Lock()
+	h.dropCounter = c
+	h.mu.Unlock()
 }
 
 // Subscribe returns a channel that yields the buffered events followed

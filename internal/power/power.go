@@ -86,6 +86,29 @@ func (m *Model) Total() float64 {
 	return total
 }
 
+// PerNode returns C(i)*E(i) for every node ID (dead nodes report zero),
+// appending into buf when it has capacity. Diffing two captures taken
+// around a netlist edit yields the per-node decomposition of the power
+// change over the touched cone — the attribution the run ledger records
+// for every applied substitution.
+func (m *Model) PerNode(buf []float64) []float64 {
+	out := buf[:0]
+	n := m.nl.NumNodes()
+	if cap(out) < n {
+		out = make([]float64, n)
+	} else {
+		out = out[:n]
+		for i := range out {
+			out[i] = 0
+		}
+	}
+	m.nl.LiveNodes(func(node *netlist.Node) {
+		id := node.ID()
+		out[id] = m.nl.Load(id) * m.e[id]
+	})
+	return out
+}
+
 // Refresh resimulates the transitive fanout of the given roots and updates
 // the cached transition probabilities there (the paper's
 // power_estimate_update after a performed substitution). Call it after a

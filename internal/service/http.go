@@ -22,9 +22,14 @@ import (
 //	GET    /v1/jobs/{id}           one job's status
 //	GET    /v1/jobs/{id}/result.blif  the optimized netlist
 //	GET    /v1/jobs/{id}/events    the job's event stream as NDJSON
+//	GET    /v1/jobs/{id}/ledger    the run ledger (substitution provenance
+//	                               + per-node power attribution) of a
+//	                               finished job; 409 while running
 //	DELETE /v1/jobs/{id}           cancel a queued or running job
 //	GET    /healthz                liveness + drain state
-//	GET    /metrics                text dump of the metrics registry
+//	GET    /metrics                Prometheus text exposition (counters,
+//	                               histograms, runtime collectors);
+//	                               ?format=json keeps the JSON snapshot
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -32,6 +37,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result.blif", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/ledger", s.handleLedger)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -191,6 +197,23 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+func (s *Service) handleLedger(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	st := j.Status()
+	led := j.Ledger()
+	switch {
+	case !st.State.Terminal():
+		writeError(w, http.StatusConflict, "job %s is %s; ledger not ready", j.ID(), st.State)
+	case led == nil:
+		writeError(w, http.StatusNotFound, "job %s finished %s without a ledger", j.ID(), st.State)
+	default:
+		writeJSON(w, http.StatusOK, led)
+	}
+}
+
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobOr404(w, r)
 	if !ok {
@@ -230,11 +253,32 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, h)
 }
 
+// metricsJSON is the ?format=json payload of /metrics: the live service
+// gauges plus the registry snapshot.
+type metricsJSON struct {
+	QueueDepth int          `json:"queue_depth"`
+	InFlight   int64        `json:"in_flight"`
+	Workers    int          `json:"workers"`
+	PoolPanics int64        `json:"pool_panics"`
+	Metrics    obs.Snapshot `json:"metrics"`
+}
+
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "%-40s %12d\n", "service.queue.depth", s.QueueDepth())
-	fmt.Fprintf(w, "%-40s %12d\n", "service.jobs.inflight", s.InFlight())
-	fmt.Fprintf(w, "%-40s %12d\n", "service.workers", s.Workers())
-	fmt.Fprintf(w, "%-40s %12d\n", "service.pool.panics", s.pool.Panics())
-	s.reg.Snapshot().WriteText(w)
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, metricsJSON{
+			QueueDepth: s.QueueDepth(),
+			InFlight:   s.InFlight(),
+			Workers:    s.Workers(),
+			PoolPanics: s.pool.Panics(),
+			Metrics:    s.reg.Snapshot(),
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.PromGauge(w, "powder_service_queue_depth", float64(s.QueueDepth()))
+	obs.PromGauge(w, "powder_service_jobs_inflight", float64(s.InFlight()))
+	obs.PromGauge(w, "powder_service_workers", float64(s.Workers()))
+	obs.PromCounter(w, "powder_pool_panics_total", float64(s.pool.Panics()))
+	obs.WriteRuntimeMetrics(w)
+	s.reg.WritePrometheus(w, "powder_")
 }

@@ -111,6 +111,7 @@ type Job struct {
 	nl         *netlist.Netlist // input circuit, consumed by the worker
 	original   *netlist.Netlist // pre-optimization clone (verify only)
 	resultBLIF []byte
+	ledger     *obs.LedgerSummary
 }
 
 // ID returns the job identifier.
@@ -199,4 +200,12 @@ func (j *Job) ResultBLIF() []byte {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.resultBLIF
+}
+
+// Ledger returns the run ledger of a finished job, or nil while the job
+// has not produced one. The summary is immutable once published.
+func (j *Job) Ledger() *obs.LedgerSummary {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.ledger
 }

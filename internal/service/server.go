@@ -115,10 +115,14 @@ func (s *Service) Submit(body []byte, opts JobOptions) (*Job, error) {
 	}
 
 	ctx, cancel := context.WithCancel(s.rootCtx)
+	hub := obs.NewHub(s.cfg.EventBuffer)
+	// Slow event consumers must never stall a worker: the hub drops
+	// instead, and the drops surface at /metrics.
+	hub.SetDropCounter(s.reg.Counter("obs.dropped.events"))
 	j := &Job{
 		id:          fmt.Sprintf("j%06d", s.seq.Add(1)),
 		opts:        opts,
-		hub:         obs.NewHub(s.cfg.EventBuffer),
+		hub:         hub,
 		ctx:         ctx,
 		cancel:      cancel,
 		state:       StateQueued,
@@ -300,6 +304,13 @@ func (s *Service) optimize(j *Job) (*core.Result, error) {
 	}
 
 	res, err := core.OptimizeCtx(j.ctx, j.nl, opts)
+	if res != nil && res.Ledger != nil {
+		// Publish the ledger even for failed or cancelled runs: partial
+		// provenance is exactly what a post-mortem needs.
+		j.mu.Lock()
+		j.ledger = res.Ledger
+		j.mu.Unlock()
+	}
 	if err != nil {
 		return res, err
 	}

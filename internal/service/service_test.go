@@ -5,7 +5,6 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -183,9 +182,10 @@ func TestServiceEndToEndConcurrentVerified(t *testing.T) {
 	}
 }
 
+// getMetrics fetches the JSON metrics snapshot (/metrics?format=json).
 func getMetrics(t *testing.T, base string) string {
 	t.Helper()
-	resp, err := http.Get(base + "/metrics")
+	resp, err := http.Get(base + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,21 +194,18 @@ func getMetrics(t *testing.T, base string) string {
 	return string(b)
 }
 
-// metricValue extracts one counter line from the /metrics text dump.
+// metricValue extracts one registry counter from the JSON snapshot.
 func metricValue(t *testing.T, metrics, name string) int64 {
 	t.Helper()
-	for _, line := range strings.Split(metrics, "\n") {
-		fields := strings.Fields(line)
-		if len(fields) == 2 && fields[0] == name {
-			var v int64
-			if _, err := fmt.Sscanf(fields[1], "%d", &v); err != nil {
-				t.Fatalf("bad metric line %q: %v", line, err)
-			}
-			return v
-		}
+	var mj metricsJSON
+	if err := json.Unmarshal([]byte(metrics), &mj); err != nil {
+		t.Fatalf("metrics JSON unparseable: %v\n%s", err, metrics)
 	}
-	t.Fatalf("metric %s not found in:\n%s", name, metrics)
-	return 0
+	v, ok := mj.Metrics.Counters[name]
+	if !ok {
+		t.Fatalf("metric %s not found in:\n%s", name, metrics)
+	}
+	return v
 }
 
 func TestServiceQueueOverflowReturns429(t *testing.T) {

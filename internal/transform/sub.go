@@ -95,12 +95,18 @@ func (s *Substitution) IsBranchSub() bool { return s.Kind == IS2 || s.Kind == IS
 // Gain returns the total estimated power gain PG_A + PG_B + PG_C.
 func (s *Substitution) Gain() float64 { return s.GainAB + s.GainC }
 
-// String renders the substitution compactly for logs and tests.
-func (s *Substitution) String() string {
-	target := fmt.Sprintf("stem %d", s.A)
+// TargetString renders the substituted signal ("stem 12",
+// "branch 12->34.1"); the run ledger records it as provenance.
+func (s *Substitution) TargetString() string {
 	if s.IsBranchSub() {
-		target = fmt.Sprintf("branch %d->%d.%d", s.A, s.G, s.Pin)
+		return fmt.Sprintf("branch %d->%d.%d", s.A, s.G, s.Pin)
 	}
+	return fmt.Sprintf("stem %d", s.A)
+}
+
+// SourceString renders the substituting signal ("34", "!34",
+// "nand2(34,56)").
+func (s *Substitution) SourceString() string {
 	src := fmt.Sprintf("%d", s.Src.B)
 	if s.Src.InvertB {
 		src = "!" + src
@@ -108,7 +114,12 @@ func (s *Substitution) String() string {
 	if s.Src.IsThree() {
 		src = fmt.Sprintf("%s(%s,%d)", s.NewCell.Name, src, s.Src.C)
 	}
-	return fmt.Sprintf("%s %s <- %s (gainAB=%.4f gainC=%.4f)", s.Kind, target, src, s.GainAB, s.GainC)
+	return src
+}
+
+// String renders the substitution compactly for logs and tests.
+func (s *Substitution) String() string {
+	return fmt.Sprintf("%s %s <- %s (gainAB=%.4f gainC=%.4f)", s.Kind, s.TargetString(), s.SourceString(), s.GainAB, s.GainC)
 }
 
 // detachedBranches returns the branches the substitution detaches from
