@@ -3,6 +3,8 @@
 //	powbench -table1      per-circuit results without / with delay constraints
 //	powbench -table2      contribution of OS2/IS2/OS3/IS3 to power and area
 //	powbench -fig6        the power-delay trade-off curve
+//	powbench -seq         the sequential family (steady-state fixpoint +
+//	                      optimization at the register cut)
 //	powbench -all         everything
 //
 // -circuits restricts the run to a comma-separated subset; -parallel N
@@ -42,9 +44,11 @@ func main() {
 		table2   = flag.Bool("table2", false, "run the Table 2 experiment (same runs as Table 1)")
 		fig6     = flag.Bool("fig6", false, "run the Figure 6 power-delay trade-off")
 		baseline = flag.Bool("baseline", false, "compare redundancy removal (ref [1]) against POWDER")
+		seqRun   = flag.Bool("seq", false, "run the sequential family (fixpoint + register-cut optimization)")
 		all      = flag.Bool("all", false, "run every experiment")
 		list     = flag.Bool("list", false, "list the benchmark circuits and exit")
 		subset   = flag.String("circuits", "", "comma-separated circuit subset (default: the paper's sets)")
+		seqSubst = flag.String("seq-circuits", "", "comma-separated sequential-circuit subset")
 		csvPath  = flag.String("csv", "", "write Table 1 rows as CSV to this file")
 		jsonPath = flag.String("json", "", "write the JSON run report (Table 1 rows + per-phase timings) to this file")
 
@@ -68,6 +72,9 @@ func main() {
 		for _, s := range circuits.All() {
 			fmt.Printf("%-10s %s\n", s.Name, s.Kind)
 		}
+		for _, s := range circuits.SeqAll() {
+			fmt.Printf("%-10s %s (sequential, %d latches)\n", s.Name, s.Kind, s.Latches)
+		}
 		return
 	}
 	if (*jsonPath != "" || *trajectory != "" || *benchBaseline != "") && !(*table1 || *table2 || *all) {
@@ -75,7 +82,7 @@ func main() {
 		// the Table 1 suite.
 		*table1 = true
 	}
-	if !*table1 && !*table2 && !*fig6 && !*baseline && !*all {
+	if !*table1 && !*table2 && !*fig6 && !*baseline && !*seqRun && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -129,13 +136,19 @@ func main() {
 		return out
 	}
 
+	var (
+		suite     *expt.Suite
+		suiteWall time.Duration
+		seqSuite  *expt.SeqSuite
+	)
 	if *table1 || *table2 || *all {
 		suiteStart := time.Now()
-		suite, err := expt.RunSuite(pick(circuits.All()), opts)
+		var err error
+		suite, err = expt.RunSuite(pick(circuits.All()), opts)
 		if err != nil {
 			fail(err)
 		}
-		suiteWall := time.Since(suiteStart)
+		suiteWall = time.Since(suiteStart)
 		if *table1 || *all {
 			expt.RenderTable1(os.Stdout, suite)
 			fmt.Println()
@@ -153,6 +166,33 @@ func main() {
 			f.Close()
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
 		}
+	}
+
+	if *seqRun || *all {
+		pickSeq := func(defaults []circuits.SeqSpec) []circuits.SeqSpec {
+			if *seqSubst == "" {
+				return defaults
+			}
+			var out []circuits.SeqSpec
+			for _, name := range strings.Split(*seqSubst, ",") {
+				s, err := circuits.SeqByName(strings.TrimSpace(name))
+				if err != nil {
+					fail(err)
+				}
+				out = append(out, s)
+			}
+			return out
+		}
+		var err error
+		seqSuite, err = expt.RunSeqSuite(pickSeq(circuits.SeqAll()), opts)
+		if err != nil {
+			fail(err)
+		}
+		expt.RenderSeqTable(os.Stdout, seqSuite)
+		fmt.Println()
+	}
+
+	if suite != nil {
 		if *jsonPath != "" {
 			var snap *obs.Snapshot
 			if reg != nil {
@@ -162,6 +202,9 @@ func main() {
 			report := expt.BuildReport(suite, expt.ReportOptions{
 				MapArea: *mapArea, PreOptimize: *preOpt,
 			}, snap)
+			if seqSuite != nil {
+				report.AttachSeq(seqSuite)
+			}
 			f, err := os.Create(*jsonPath)
 			if err != nil {
 				fail(err)

@@ -10,6 +10,14 @@
 // built-in lib2-style library), or generated from the built-in benchmark
 // suite with -circuit. The optimized netlist is written as mapped BLIF.
 //
+// Sequential circuits (.latch) are detected automatically: the design is
+// cut at its register boundaries, the state-line signal probabilities are
+// iterated to their steady state (-fix-tol/-fix-max-iter/-fix-damping),
+// and the combinational core is optimized with the converged
+// probabilities; the emitted BLIF has the latches stitched back. -probs
+// FILE supplies per-primary-input signal probabilities as "name=p" lines
+// for both combinational and sequential circuits.
+//
 // Observability: -trace-json streams structured JSONL run events
 // (harvest, check, apply, reject, metrics), -ledger-json writes the run
 // ledger (per-substitution provenance and power attribution), -report
@@ -38,6 +46,7 @@ import (
 	"powder/internal/obs"
 	"powder/internal/power"
 	"powder/internal/resize"
+	"powder/internal/seq"
 	"powder/internal/synth"
 	"powder/internal/transform"
 	"powder/internal/verilog"
@@ -45,11 +54,16 @@ import (
 
 // config carries every command-line option of one powder invocation.
 type config struct {
-	inPath   string
-	circuit  string
-	libPath  string
-	outPath  string
-	vlogPath string
+	inPath    string
+	circuit   string
+	libPath   string
+	outPath   string
+	vlogPath  string
+	probsPath string
+
+	fixTol     float64
+	fixMaxIter int
+	fixDamping float64
 
 	delayFactor float64
 	delayAbs    float64
@@ -81,6 +95,10 @@ func main() {
 	flag.StringVar(&cfg.libPath, "lib", "", "genlib library file (default: built-in lib2)")
 	flag.StringVar(&cfg.outPath, "out", "", "write the optimized netlist as BLIF")
 	flag.StringVar(&cfg.vlogPath, "verilog", "", "write the optimized netlist as structural Verilog (with primitives)")
+	flag.StringVar(&cfg.probsPath, "probs", "", "per-primary-input signal probability file (name=p lines)")
+	flag.Float64Var(&cfg.fixTol, "fix-tol", 0, "steady-state fixpoint tolerance for sequential circuits (0 = 1e-6)")
+	flag.IntVar(&cfg.fixMaxIter, "fix-max-iter", 0, "fixpoint iteration cap; hitting it is an error, not a hang (0 = 1000)")
+	flag.Float64Var(&cfg.fixDamping, "fix-damping", 0, "fixpoint damping: retained fraction of the previous iterate (0 = 0.5, negative = undamped)")
 	flag.Float64Var(&cfg.delayFactor, "delay-factor", 0, "delay constraint as a factor of the initial delay (1.0 = keep delay; 0 = unconstrained)")
 	flag.Float64Var(&cfg.delayAbs, "delay", 0, "absolute delay constraint in library time units (0 = unconstrained)")
 	flag.IntVar(&cfg.repeat, "repeat", 10, "substitutions per candidate harvest")
@@ -184,7 +202,7 @@ func run(ctx context.Context, cfg config, stdout, stderr io.Writer) error {
 		}
 	}
 
-	var nl *netlist.Netlist
+	var model *blif.Model
 	switch {
 	case cfg.inPath != "" && cfg.circuit != "":
 		return fmt.Errorf("use either -in or -circuit, not both")
@@ -194,21 +212,55 @@ func run(ctx context.Context, cfg config, stdout, stderr io.Writer) error {
 			return err
 		}
 		defer f.Close()
-		nl, err = blif.Read(f, lib)
+		model, err = blif.ReadModel(f, lib)
 		if err != nil {
 			return err
 		}
 	case cfg.circuit != "":
-		spec, err := circuits.ByName(cfg.circuit)
-		if err != nil {
-			return fmt.Errorf("%v (known: %v)", err, circuits.Names())
-		}
-		nl, err = synth.Compile(spec.Build(), lib, synth.Options{Mode: synth.CostPower})
-		if err != nil {
-			return err
+		if spec, err := circuits.ByName(cfg.circuit); err == nil {
+			nl, err := synth.Compile(spec.Build(), lib, synth.Options{Mode: synth.CostPower})
+			if err != nil {
+				return err
+			}
+			model = &blif.Model{Netlist: nl, NumInputs: len(nl.Inputs()), NumOutputs: len(nl.Outputs())}
+		} else if spec, err := circuits.SeqByName(cfg.circuit); err == nil {
+			model, err = spec.Build(lib)
+			if err != nil {
+				return err
+			}
+		} else {
+			return fmt.Errorf("unknown circuit %q (combinational: %v; sequential: %v)",
+				cfg.circuit, circuits.Names(), circuits.SeqNames())
 		}
 	default:
 		return fmt.Errorf("need -in FILE or -circuit NAME (see -h)")
+	}
+	circ, err := seq.FromModel(model)
+	if err != nil {
+		return err
+	}
+	nl := model.Netlist
+	if cfg.vlogPath != "" && circ.Model.Sequential() {
+		return fmt.Errorf("-verilog does not support sequential circuits yet; use -out for latch-aware BLIF")
+	}
+
+	// Per-primary-input probabilities (combinational: every input;
+	// sequential: the true inputs, with state lines ruled by the fixpoint).
+	var inputProbs []float64
+	if cfg.probsPath != "" {
+		f, err := os.Open(cfg.probsPath)
+		if err != nil {
+			return err
+		}
+		entries, err := seq.ParseProbs(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		inputProbs, err = seq.ResolveProbs(entries, circ)
+		if err != nil {
+			return err
+		}
 	}
 
 	observer, reg, closeTrace, err := buildObserver(cfg, stderr)
@@ -236,9 +288,34 @@ func run(ctx context.Context, cfg config, stdout, stderr io.Writer) error {
 		original = nl.Clone()
 	}
 
-	res, err := core.OptimizeCtx(ctx, nl, opts)
-	if err != nil {
-		return err
+	var res *core.Result
+	if circ.Model.Sequential() {
+		fmt.Fprintf(stderr, "sequential circuit: %d latches, cutting at the register boundary\n", circ.NumLatches())
+		sres, err := seq.OptimizeCtx(ctx, circ, seq.Options{
+			Core: opts,
+			Fixpoint: seq.FixpointOptions{
+				Tol:        cfg.fixTol,
+				MaxIter:    cfg.fixMaxIter,
+				Damping:    cfg.fixDamping,
+				InputProbs: inputProbs,
+				Obs:        observer,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "steady-state fixpoint: %d iterations, residual %.3g\n",
+			sres.Fixpoint.Iterations, sres.Fixpoint.Residual)
+		res = sres.Core
+	} else {
+		if inputProbs != nil {
+			opts.Power.InputProbs = inputProbs
+		}
+		var err error
+		res, err = core.OptimizeCtx(ctx, nl, opts)
+		if err != nil {
+			return err
+		}
 	}
 
 	// The final metrics block: phase breakdown plus the registry snapshot,
@@ -336,7 +413,7 @@ func run(ctx context.Context, cfg config, stdout, stderr io.Writer) error {
 			return err
 		}
 		defer f.Close()
-		if err := blif.Write(f, nl); err != nil {
+		if err := blif.WriteModel(f, model); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "  wrote %s\n", cfg.outPath)

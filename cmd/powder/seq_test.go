@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"powder/internal/blif"
+	"powder/internal/cellib"
+)
+
+const counter3Path = "../../examples/circuits/counter3.blif"
+
+// TestRunSequentialFile drives the full sequential CLI path on the
+// shipped example: auto-detection, fixpoint, optimization at the
+// register cut, and latch-preserving BLIF output.
+func TestRunSequentialFile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "opt.blif")
+	var stdout, stderr bytes.Buffer
+	cfg := config{
+		inPath: counter3Path, outPath: out,
+		repeat: 10, preselect: 12, words: 16, seed: 1, inverted: true, verify: true,
+	}
+	if err := run(context.Background(), cfg, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "sequential circuit: 3 latches") {
+		t.Errorf("stderr missing latch banner:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "steady-state fixpoint:") {
+		t.Errorf("stderr missing fixpoint line:\n%s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "proven equivalent") {
+		t.Errorf("stdout missing verification verdict:\n%s", stdout.String())
+	}
+
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := blif.ReadModel(f, cellib.Lib2())
+	if err != nil {
+		t.Fatalf("output BLIF unreadable: %v", err)
+	}
+	if len(m.Latches) != 3 {
+		t.Errorf("output has %d latches, want 3", len(m.Latches))
+	}
+	for _, l := range m.Latches {
+		if l.Kind != "re" || l.Control != "clk" || l.Init != 0 {
+			t.Errorf("latch attributes lost: %+v", l)
+		}
+	}
+}
+
+// TestRunSequentialBuiltin picks a sequential circuit from the built-in
+// family by name.
+func TestRunSequentialBuiltin(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	cfg := config{
+		circuit: "fsm1011",
+		repeat:  10, preselect: 12, words: 16, seed: 1, inverted: true,
+	}
+	if err := run(context.Background(), cfg, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "sequential circuit: 2 latches") {
+		t.Errorf("stderr missing latch banner:\n%s", stderr.String())
+	}
+}
+
+// TestRunVerilogRejectsSequential pins the unsupported-path contract:
+// -verilog on a latch circuit is an upfront error, not a broken module.
+func TestRunVerilogRejectsSequential(t *testing.T) {
+	cfg := config{
+		inPath: counter3Path, vlogPath: filepath.Join(t.TempDir(), "c.v"),
+		repeat: 10, preselect: 12, words: 16, seed: 1, inverted: true,
+	}
+	err := runQuiet(t, cfg)
+	if err == nil || !strings.Contains(err.Error(), "sequential") {
+		t.Fatalf("err = %v, want sequential-circuit rejection", err)
+	}
+}
+
+func writeProbs(t *testing.T, src string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "in.probs")
+	if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestRunProbsSequential feeds a biased enable probability into the
+// sequential path; -probs names only the true primary inputs, the state
+// lines come from the fixpoint.
+func TestRunProbsSequential(t *testing.T) {
+	cfg := config{
+		inPath:    counter3Path,
+		probsPath: writeProbs(t, "# counter enable\nen = 0.25\n"),
+		repeat:    10, preselect: 12, words: 16, seed: 1, inverted: true,
+	}
+	if err := runQuiet(t, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunProbsCombinational exercises -probs on a pure combinational
+// run, where it switches the power model to biased random vectors.
+func TestRunProbsCombinational(t *testing.T) {
+	cfg := config{
+		circuit:   "t481",
+		probsPath: writeProbs(t, "x0=0.9\nx1=0.1\n"),
+		repeat:    10, preselect: 12, words: 16, seed: 1, inverted: true,
+	}
+	if err := runQuiet(t, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunProbsErrors pins the -probs failure contract: malformed lines,
+// out-of-range values, and unknown or state-line names fail with the
+// offending line number.
+func TestRunProbsErrors(t *testing.T) {
+	cases := map[string]struct {
+		src  string
+		want string
+	}{
+		"bad value":    {"en = 1.5\n", "line 1"},
+		"not a number": {"en = maybe\n", "line 1"},
+		"unknown name": {"en = 0.5\nbogus = 0.5\n", "line 2"},
+		"state line":   {"q0 = 0.5\n", "latch output"},
+	}
+	for name, tc := range cases {
+		cfg := config{
+			inPath:    counter3Path,
+			probsPath: writeProbs(t, tc.src),
+			repeat:    10, preselect: 12, words: 16, seed: 1, inverted: true,
+		}
+		err := runQuiet(t, cfg)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", name, err, tc.want)
+		}
+	}
+}
+
+// TestRunSequentialFixpointFlags threads the -fix-* flags through to the
+// estimator: an undamped run on a circuit that needs damping must fail
+// with the explicit divergence error, never hang.
+func TestRunSequentialFixpointFlags(t *testing.T) {
+	// Cross-coupled inverters oscillate under undamped iteration.
+	src := `.model osc
+.inputs en
+.outputs y
+.latch n0 q0 re clk 0
+.latch n1 q1 re clk 0
+.gate inv a=q1 O=n0
+.gate inv a=q0 O=n1
+.gate and2 a=q0 b=en O=y
+.end
+`
+	p := filepath.Join(t.TempDir(), "osc.blif")
+	if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := config{
+		inPath: p, fixDamping: -1, fixMaxIter: 25,
+		repeat: 10, preselect: 12, words: 16, seed: 1, inverted: true,
+	}
+	err := runQuiet(t, cfg)
+	if err == nil || !strings.Contains(err.Error(), "diverge") {
+		t.Fatalf("err = %v, want divergence", err)
+	}
+
+	// The same circuit converges with the default damping.
+	cfg.fixDamping = 0
+	cfg.fixMaxIter = 0
+	if err := runQuiet(t, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

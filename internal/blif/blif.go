@@ -1,6 +1,6 @@
 // Package blif reads and writes technology-mapped circuits in a BLIF
-// subset: .model/.inputs/.outputs/.gate/.end. Gates reference cells of a
-// cellib.Library by name with explicit pin bindings, e.g.
+// subset: .model/.inputs/.outputs/.gate/.latch/.end. Gates reference cells
+// of a cellib.Library by name with explicit pin bindings, e.g.
 //
 //	.model fig2
 //	.inputs a b c
@@ -11,6 +11,19 @@
 //
 // Gate output names name the stem signal; a signal listed in .outputs is
 // attached as a primary output of the same name.
+//
+// Sequential circuits use .latch lines (D-type registers):
+//
+//	.latch <input> <output> [<type> <control>] [<init-val>]
+//
+// ReadModel cuts such a circuit at its register boundaries: every latch
+// output (state line) becomes a pseudo primary input of the combinational
+// core and every latch input (next-state function) a pseudo primary
+// output, so the core is an ordinary netlist.Netlist the combinational
+// pipeline handles unchanged. Model records the cut; WriteModel stitches
+// the latches back into valid sequential BLIF. Only edge-triggered D-types
+// ("re"/"fe", or unclocked) are supported; level-sensitive and
+// asynchronous types are rejected with line-numbered errors.
 package blif
 
 import (
@@ -24,8 +37,177 @@ import (
 	"powder/internal/netlist"
 )
 
-// Read parses a mapped BLIF model against the given library.
+// Latch is one D-type register of a sequential model. The combinational
+// core represents its output (state line) as a pseudo primary input named
+// Output and its input (next-state function) as a pseudo primary output;
+// Model records where.
+type Latch struct {
+	// Input is the next-state signal name as parsed; after optimization
+	// the live connection is the pseudo primary output (substitutions may
+	// have redirected it to a different driver), so writers must consult
+	// the netlist, not this name.
+	Input string
+	// Output is the state-line signal name; it names a pseudo primary
+	// input of the core netlist.
+	Output string
+	// Kind is the latch type: "re" (rising edge), "fe" (falling edge), or
+	// "" for an unclocked declaration.
+	Kind string
+	// Control is the clocking signal token ("NIL" or a net name; clock
+	// nets are not modeled, the token is preserved verbatim on re-emit).
+	// Empty when Kind is empty.
+	Control string
+	// Init is the initial state: 0, 1, 2 (don't care), or 3 (unknown, the
+	// BLIF default).
+	Init int
+	// Line is the source line of the .latch (0 for generated circuits).
+	Line int
+}
+
+// Model is a parsed BLIF circuit: the combinational core cut at the
+// register boundaries, plus the registers themselves.
+//
+// The cut layout is positional: Netlist.Inputs()[:NumInputs] are the true
+// primary inputs and Inputs()[NumInputs+i] is latch i's state line;
+// Netlist.Outputs()[:NumOutputs] are the true primary outputs and
+// Outputs()[NumOutputs+i] is latch i's next-state sink. Optimization
+// mutates the core in place but never reorders ports, so the layout
+// survives a core.Optimize run.
+type Model struct {
+	Netlist *netlist.Netlist
+	Latches []Latch
+	// NumInputs counts the true primary inputs (the .inputs list).
+	NumInputs int
+	// NumOutputs counts the true primary outputs (the .outputs list).
+	NumOutputs int
+}
+
+// Sequential reports whether the model has registers.
+func (m *Model) Sequential() bool { return len(m.Latches) > 0 }
+
+// StateNode returns the core node of latch i's state line (a pseudo
+// primary input).
+func (m *Model) StateNode(i int) netlist.NodeID {
+	return m.Netlist.Inputs()[m.NumInputs+i]
+}
+
+// NextStatePO returns latch i's next-state sink (a pseudo primary
+// output of the core).
+func (m *Model) NextStatePO(i int) netlist.PO {
+	return m.Netlist.Outputs()[m.NumOutputs+i]
+}
+
+// Clone deep-copies the model (the core netlist is cloned; latch metadata
+// is value-copied).
+func (m *Model) Clone() *Model {
+	return &Model{
+		Netlist:    m.Netlist.Clone(),
+		Latches:    append([]Latch(nil), m.Latches...),
+		NumInputs:  m.NumInputs,
+		NumOutputs: m.NumOutputs,
+	}
+}
+
+// Validate checks the cut invariants on top of the core's own netlist
+// invariants: port counts match the latch list and every state line is
+// the pseudo input the latch names.
+func (m *Model) Validate() error {
+	if err := m.Netlist.Validate(); err != nil {
+		return err
+	}
+	if m.NumInputs < 0 || m.NumOutputs < 0 {
+		return fmt.Errorf("blif: negative port count in model %s", m.Netlist.Name)
+	}
+	if got, want := len(m.Netlist.Inputs()), m.NumInputs+len(m.Latches); got != want {
+		return fmt.Errorf("blif: model %s has %d core inputs, want %d (%d true + %d state lines)",
+			m.Netlist.Name, got, want, m.NumInputs, len(m.Latches))
+	}
+	if got, want := len(m.Netlist.Outputs()), m.NumOutputs+len(m.Latches); got != want {
+		return fmt.Errorf("blif: model %s has %d core outputs, want %d (%d true + %d next-state sinks)",
+			m.Netlist.Name, got, want, m.NumOutputs, len(m.Latches))
+	}
+	for i, l := range m.Latches {
+		n := m.Netlist.Node(m.StateNode(i))
+		if n.Kind() != netlist.KindInput {
+			return fmt.Errorf("blif: latch %d state line %q is not a core input", i, l.Output)
+		}
+		if n.Name() != l.Output {
+			return fmt.Errorf("blif: latch %d state line is %q, want %q", i, n.Name(), l.Output)
+		}
+		if l.Init < 0 || l.Init > 3 {
+			return fmt.Errorf("blif: latch %q has init value %d outside 0..3", l.Output, l.Init)
+		}
+	}
+	return nil
+}
+
+// latchLine is one raw .latch declaration awaiting resolution.
+type latchLine struct {
+	latch Latch
+}
+
+// parseLatch validates the operand forms of one .latch line:
+//
+//	.latch d q               (unclocked, init unknown)
+//	.latch d q init
+//	.latch d q type control
+//	.latch d q type control init
+func parseLatch(fields []string, lineNo int) (Latch, error) {
+	l := Latch{Init: 3, Line: lineNo}
+	ops := fields[1:]
+	if len(ops) < 2 || len(ops) > 5 {
+		return l, fmt.Errorf("blif line %d: malformed .latch (want \".latch input output [type control] [init]\", got %d operands)",
+			lineNo, len(ops))
+	}
+	l.Input, l.Output = ops[0], ops[1]
+	rest := ops[2:]
+	if len(rest) == 2 || len(rest) == 3 {
+		switch rest[0] {
+		case "re", "fe":
+			l.Kind, l.Control = rest[0], rest[1]
+		case "ah", "al", "as":
+			return l, fmt.Errorf("blif line %d: unsupported latch clocking type %q (only edge-triggered D-types \"re\"/\"fe\" are supported)",
+				lineNo, rest[0])
+		default:
+			return l, fmt.Errorf("blif line %d: unknown latch type %q (want \"re\" or \"fe\")", lineNo, rest[0])
+		}
+		rest = rest[2:]
+	}
+	if len(rest) == 1 {
+		switch rest[0] {
+		case "0":
+			l.Init = 0
+		case "1":
+			l.Init = 1
+		case "2":
+			l.Init = 2
+		case "3":
+			l.Init = 3
+		default:
+			return l, fmt.Errorf("blif line %d: bad latch init value %q (want 0, 1, 2, or 3)", lineNo, rest[0])
+		}
+	}
+	return l, nil
+}
+
+// Read parses a combinational mapped BLIF model against the given library.
+// Sequential inputs (.latch) are rejected; use ReadModel for those.
 func Read(r io.Reader, lib *cellib.Library) (*netlist.Netlist, error) {
+	m, err := ReadModel(r, lib)
+	if err != nil {
+		return nil, err
+	}
+	if m.Sequential() {
+		return nil, fmt.Errorf("blif line %d: circuit is sequential (.latch); this entry point is combinational-only, use ReadModel",
+			m.Latches[0].Line)
+	}
+	return m.Netlist, nil
+}
+
+// ReadModel parses a mapped BLIF model against the given library,
+// accepting .latch lines and returning the circuit cut at its register
+// boundaries.
+func ReadModel(r io.Reader, lib *cellib.Library) (*Model, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 
@@ -34,12 +216,14 @@ func Read(r io.Reader, lib *cellib.Library) (*netlist.Netlist, error) {
 		modelLine int
 		inputs    []string
 		outputs   []string
+		latches   []latchLine
 		sawEnd    bool
 	)
 	// declAt maps every declared input/output signal name to its line, so
 	// duplicate declarations report both locations.
 	inputAt := make(map[string]int)
 	outputAt := make(map[string]int)
+	latchOutAt := make(map[string]int)
 	type gateLine struct {
 		cell    *cellib.Cell
 		output  string
@@ -131,13 +315,24 @@ func Read(r io.Reader, lib *cellib.Library) (*netlist.Netlist, error) {
 					lineNo, cell.Name, cell.NumPins(), len(g.pinConn))
 			}
 			gates = append(gates, g)
+		case ".latch":
+			l, err := parseLatch(fields, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			if at, dup := latchOutAt[l.Output]; dup {
+				return nil, fmt.Errorf("blif line %d: duplicate latch output %q (first declared on line %d)", lineNo, l.Output, at)
+			}
+			if at, dup := inputAt[l.Output]; dup {
+				return nil, fmt.Errorf("blif line %d: latch output %q collides with the primary input declared on line %d", lineNo, l.Output, at)
+			}
+			latchOutAt[l.Output] = lineNo
+			latches = append(latches, latchLine{latch: l})
 		case ".names":
 			return nil, fmt.Errorf("blif line %d: .names (unmapped logic) is not supported; map the circuit first", lineNo)
 		case ".end":
 			// Terminates the (single) model; anything after is ignored.
 			sawEnd = true
-		case ".latch":
-			return nil, fmt.Errorf("blif line %d: sequential elements are not supported", lineNo)
 		default:
 			return nil, fmt.Errorf("blif line %d: unknown construct %q", lineNo, fields[0])
 		}
@@ -161,6 +356,13 @@ func Read(r io.Reader, lib *cellib.Library) (*netlist.Netlist, error) {
 			return nil, fmt.Errorf("blif line %d: %v", inputAt[in], err)
 		}
 	}
+	// Register cut, input side: every latch output becomes a pseudo
+	// primary input of the combinational core.
+	for _, ll := range latches {
+		if _, err := nl.AddInput(ll.latch.Output); err != nil {
+			return nil, fmt.Errorf("blif line %d: %v", ll.latch.Line, err)
+		}
+	}
 
 	// Gates may appear in any order; insert them in dependency order.
 	producer := make(map[string]int, len(gates)) // signal -> gate index
@@ -169,7 +371,7 @@ func Read(r io.Reader, lib *cellib.Library) (*netlist.Netlist, error) {
 			return nil, fmt.Errorf("blif line %d: signal %q driven twice", g.lineNo, g.output)
 		}
 		if nl.FindNode(g.output) != netlist.InvalidNode {
-			return nil, fmt.Errorf("blif line %d: signal %q collides with an input", g.lineNo, g.output)
+			return nil, fmt.Errorf("blif line %d: signal %q collides with an input or latch output", g.lineNo, g.output)
 		}
 		producer[g.output] = i
 	}
@@ -218,19 +420,68 @@ func Read(r io.Reader, lib *cellib.Library) (*netlist.Netlist, error) {
 			return nil, fmt.Errorf("blif line %d: %v", outputAt[out], err)
 		}
 	}
-	if err := nl.Validate(); err != nil {
+	// Register cut, output side: every latch input becomes a pseudo
+	// primary output anchoring the next-state cone. Pseudo-PO names never
+	// appear in emitted BLIF (outputs are written by driver stem name),
+	// they only need to be unique.
+	m := &Model{Netlist: nl, NumInputs: len(inputs), NumOutputs: len(outputs)}
+	for i, ll := range latches {
+		l := ll.latch
+		id := nl.FindNode(l.Input)
+		if id == netlist.InvalidNode {
+			return nil, fmt.Errorf("blif line %d: latch input %q is not driven", l.Line, l.Input)
+		}
+		if err := nl.AddOutput(nextStatePOName(nl, i), id); err != nil {
+			return nil, fmt.Errorf("blif line %d: %v", l.Line, err)
+		}
+		m.Latches = append(m.Latches, l)
+	}
+	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("blif: parsed netlist invalid: %v", err)
 	}
-	return nl, nil
+	return m, nil
 }
 
-// Write emits the netlist as mapped BLIF in topological order.
+// nextStatePOName generates a unique pseudo-PO name for latch i's
+// next-state sink. The name is internal (never written to BLIF); the
+// loop only guards against a hostile real output named the same.
+func nextStatePOName(nl *netlist.Netlist, i int) string {
+	name := fmt.Sprintf("latch%d$ns", i)
+	for k := 0; hasPO(nl, name); k++ {
+		name = fmt.Sprintf("latch%d$ns%d", i, k)
+	}
+	return name
+}
+
+func hasPO(nl *netlist.Netlist, name string) bool {
+	for _, po := range nl.Outputs() {
+		if po.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Write emits a combinational netlist as mapped BLIF in topological order.
 func Write(w io.Writer, nl *netlist.Netlist) error {
+	return WriteModel(w, &Model{
+		Netlist:    nl,
+		NumInputs:  len(nl.Inputs()),
+		NumOutputs: len(nl.Outputs()),
+	})
+}
+
+// WriteModel emits the model as mapped BLIF, stitching the latches back
+// over the combinational core: state lines leave the .inputs list and
+// next-state sinks the .outputs list, reappearing as .latch declarations
+// connected to the sinks' current drivers.
+func WriteModel(w io.Writer, m *Model) error {
 	bw := bufio.NewWriter(w)
+	nl := m.Netlist
 	fmt.Fprintf(bw, ".model %s\n", nl.Name)
 
 	var inNames []string
-	for _, id := range nl.Inputs() {
+	for _, id := range nl.Inputs()[:m.NumInputs] {
 		if !nl.Node(id).Dead() {
 			inNames = append(inNames, nl.Node(id).Name())
 		}
@@ -243,7 +494,7 @@ func Write(w io.Writer, nl *netlist.Netlist) error {
 	// feeding several POs are emitted once.
 	var outNames []string
 	seenOut := make(map[string]bool)
-	for _, po := range nl.Outputs() {
+	for _, po := range nl.Outputs()[:m.NumOutputs] {
 		name := nl.Node(po.Driver).Name()
 		if !seenOut[name] {
 			seenOut[name] = true
@@ -251,6 +502,15 @@ func Write(w io.Writer, nl *netlist.Netlist) error {
 		}
 	}
 	writeWrapped(bw, ".outputs", outNames)
+
+	for i, l := range m.Latches {
+		d := nl.Node(m.NextStatePO(i).Driver).Name()
+		fmt.Fprintf(bw, ".latch %s %s", d, l.Output)
+		if l.Kind != "" {
+			fmt.Fprintf(bw, " %s %s", l.Kind, l.Control)
+		}
+		fmt.Fprintf(bw, " %d\n", l.Init)
+	}
 
 	for _, id := range nl.TopoOrder() {
 		n := nl.Node(id)

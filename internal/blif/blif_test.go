@@ -90,7 +90,7 @@ func TestReadErrors(t *testing.T) {
 		"driven twice":     ".model m\n.inputs a\n.outputs y\n.gate inv a=a O=y\n.gate inv a=a O=y\n",
 		"input collision":  ".model m\n.inputs a\n.outputs a\n.gate inv a=a O=a\n",
 		"names construct":  ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n",
-		"latch construct":  ".model m\n.inputs a\n.outputs y\n.latch a y re clk 0\n",
+		"latch via Read":   ".model m\n.inputs a\n.outputs q\n.latch a q re clk 0\n.end\n",
 		"unknown keyword":  ".model m\n.frobnicate\n",
 		"cycle":            ".model m\n.inputs a\n.outputs y\n.gate and2 a=a b=z O=y\n.gate inv a=y O=z\n",
 		"two gate outputs": ".model m\n.inputs a\n.outputs y\n.gate inv a=a O=y O=z\n",

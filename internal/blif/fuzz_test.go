@@ -11,8 +11,9 @@ import (
 )
 
 // FuzzRead throws arbitrary input at the BLIF parser. The parser must
-// never panic; whenever it accepts an input, the resulting netlist must
-// validate and survive a Write/Read round trip.
+// never panic; whenever it accepts an input, the resulting model must
+// validate and survive a WriteModel/ReadModel round trip that preserves
+// the latch count.
 func FuzzRead(f *testing.F) {
 	f.Add(fig2)
 	f.Add(".model m\n.end\n")
@@ -20,6 +21,14 @@ func FuzzRead(f *testing.F) {
 	f.Add(".model m\n.inputs a\n.outputs y\n.gate inv a=a O=y\n")
 	f.Add(".inputs a a\n.outputs y\n.end\n")
 	f.Add("# comment only\n")
+	// Sequential seeds: well-formed, truncated, bad init, unsupported
+	// clocking, self-loop state line.
+	f.Add(counter2)
+	f.Add(".model m\n.inputs a\n.outputs y\n.latch d q re clk 0\n.gate inv a=a O=d\n.gate inv a=q O=y\n.end\n")
+	f.Add(".model m\n.inputs a\n.outputs y\n.latch d q re clk")
+	f.Add(".model m\n.inputs a\n.outputs y\n.latch d q re clk 9\n.gate inv a=a O=d\n.gate inv a=q O=y\n.end\n")
+	f.Add(".model m\n.inputs a\n.outputs y\n.latch d q ah clk 1\n.gate inv a=a O=d\n.gate inv a=q O=y\n.end\n")
+	f.Add(".model m\n.inputs a\n.outputs q\n.latch q q\n.end\n")
 	seeds, err := filepath.Glob(filepath.Join("..", "..", "examples", "circuits", "*.blif"))
 	if err != nil {
 		f.Fatal(err)
@@ -34,19 +43,24 @@ func FuzzRead(f *testing.F) {
 
 	lib := cellib.Lib2()
 	f.Fuzz(func(t *testing.T, src string) {
-		nl, err := Read(strings.NewReader(src), lib)
+		m, err := ReadModel(strings.NewReader(src), lib)
 		if err != nil {
 			return
 		}
-		if verr := nl.Validate(); verr != nil {
-			t.Fatalf("accepted netlist fails Validate: %v\ninput: %q", verr, src)
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("accepted model fails Validate: %v\ninput: %q", verr, src)
 		}
 		var buf bytes.Buffer
-		if werr := Write(&buf, nl); werr != nil {
-			t.Fatalf("accepted netlist fails Write: %v\ninput: %q", werr, src)
+		if werr := WriteModel(&buf, m); werr != nil {
+			t.Fatalf("accepted model fails WriteModel: %v\ninput: %q", werr, src)
 		}
-		if _, rerr := Read(bytes.NewReader(buf.Bytes()), lib); rerr != nil {
+		back, rerr := ReadModel(bytes.NewReader(buf.Bytes()), lib)
+		if rerr != nil {
 			t.Fatalf("round trip unreadable: %v\nwrote:\n%s\ninput: %q", rerr, buf.String(), src)
+		}
+		if len(back.Latches) != len(m.Latches) {
+			t.Fatalf("round trip changed latch count %d -> %d\nwrote:\n%s\ninput: %q",
+				len(m.Latches), len(back.Latches), buf.String(), src)
 		}
 	})
 }

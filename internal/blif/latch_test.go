@@ -1,0 +1,236 @@
+package blif
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"powder/internal/cellib"
+	"powder/internal/netlist"
+)
+
+// counter2 is a mapped 2-bit counter: q0 toggles with en, q1 toggles with
+// the carry out of q0. wrap observes the carry out of q1.
+const counter2 = `
+.model counter2
+.inputs en
+.outputs wrap
+.latch n0 q0 re clk 0
+.latch n1 q1 re clk 0
+.gate xor2 a=q0 b=en O=n0
+.gate and2 a=en b=q0 O=c0
+.gate xor2 a=q1 b=c0 O=n1
+.gate and2 a=c0 b=q1 O=wrap
+.end
+`
+
+func TestReadModelLatches(t *testing.T) {
+	lib := cellib.Lib2()
+	m, err := ReadModel(strings.NewReader(counter2), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Sequential() {
+		t.Fatal("counter2 should be sequential")
+	}
+	if len(m.Latches) != 2 || m.NumInputs != 1 || m.NumOutputs != 1 {
+		t.Fatalf("cut shape: %d latches, %d inputs, %d outputs", len(m.Latches), m.NumInputs, m.NumOutputs)
+	}
+	// The cut: core inputs are [en q0 q1], core outputs are [wrap ns0 ns1].
+	if got := len(m.Netlist.Inputs()); got != 3 {
+		t.Errorf("core inputs = %d, want 3", got)
+	}
+	if got := len(m.Netlist.Outputs()); got != 3 {
+		t.Errorf("core outputs = %d, want 3", got)
+	}
+	for i, want := range []Latch{
+		{Input: "n0", Output: "q0", Kind: "re", Control: "clk", Init: 0, Line: 5},
+		{Input: "n1", Output: "q1", Kind: "re", Control: "clk", Init: 0, Line: 6},
+	} {
+		if m.Latches[i] != want {
+			t.Errorf("latch %d = %+v, want %+v", i, m.Latches[i], want)
+		}
+		// State line i is a pseudo-PI named after the latch output.
+		n := m.Netlist.Node(m.StateNode(i))
+		if n.Kind() != netlist.KindInput || n.Name() != want.Output {
+			t.Errorf("state node %d: kind %v name %q", i, n.Kind(), n.Name())
+		}
+		// Next-state sink i drives from the declared next-state signal.
+		po := m.NextStatePO(i)
+		if got := m.Netlist.Node(po.Driver).Name(); got != want.Input {
+			t.Errorf("next-state PO %d driven by %q, want %q", i, got, want.Input)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadModelCombinational pins that latch-free input yields an empty
+// latch list and the same cut counts as the plain reader.
+func TestReadModelCombinational(t *testing.T) {
+	lib := cellib.Lib2()
+	m, err := ReadModel(strings.NewReader(fig2), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sequential() {
+		t.Fatal("fig2 should be combinational")
+	}
+	if m.NumInputs != len(m.Netlist.Inputs()) || m.NumOutputs != len(m.Netlist.Outputs()) {
+		t.Errorf("combinational cut counts disagree with port lists")
+	}
+}
+
+func TestLatchForms(t *testing.T) {
+	lib := cellib.Lib2()
+	cases := map[string]Latch{
+		".latch d q":          {Input: "d", Output: "q", Init: 3},
+		".latch d q 1":        {Input: "d", Output: "q", Init: 1},
+		".latch d q 2":        {Input: "d", Output: "q", Init: 2},
+		".latch d q re clk":   {Input: "d", Output: "q", Kind: "re", Control: "clk", Init: 3},
+		".latch d q fe NIL 0": {Input: "d", Output: "q", Kind: "fe", Control: "NIL", Init: 0},
+	}
+	for decl, want := range cases {
+		src := ".model m\n.inputs a\n.outputs y\n" + decl + "\n.gate inv a=a O=d\n.gate inv a=q O=y\n.end\n"
+		m, err := ReadModel(strings.NewReader(src), lib)
+		if err != nil {
+			t.Errorf("%q: %v", decl, err)
+			continue
+		}
+		want.Line = 4
+		if len(m.Latches) != 1 || m.Latches[0] != want {
+			t.Errorf("%q: parsed %+v, want %+v", decl, m.Latches, want)
+		}
+	}
+}
+
+func TestLatchErrors(t *testing.T) {
+	lib := cellib.Lib2()
+	wrap := func(decl string) string {
+		return ".model m\n.inputs a\n.outputs y\n" + decl + "\n.gate inv a=a O=d\n.gate inv a=q O=y\n.end\n"
+	}
+	cases := map[string]struct {
+		src  string
+		want string // substring the error must contain
+	}{
+		"active-high":      {wrap(".latch d q ah clk 0"), "line 4"},
+		"active-low":       {wrap(".latch d q al clk 0"), "line 4"},
+		"asynchronous":     {wrap(".latch d q as clk 0"), "line 4"},
+		"unknown type":     {wrap(".latch d q zz clk 0"), "line 4"},
+		"bad init":         {wrap(".latch d q re clk 7"), "line 4"},
+		"init not numeric": {wrap(".latch d q re clk x"), "line 4"},
+		"too few operands": {wrap(".latch d"), "line 4"},
+		"too many":         {wrap(".latch d q re clk 0 extra"), "line 4"},
+		"undriven input":   {wrap(".latch nosuch q re clk 0"), "line 4"},
+		"duplicate output": {
+			".model m\n.inputs a\n.outputs y\n.latch a q\n.latch a q\n.gate inv a=q O=y\n.end\n", "line 5"},
+		"collides with PI": {
+			".model m\n.inputs a\n.outputs y\n.latch y a\n.gate inv a=a O=y\n.end\n", "line 4"},
+		"gate drives state line": {
+			".model m\n.inputs a\n.outputs y\n.latch y q\n.gate inv a=a O=q\n.gate inv a=q O=y\n.end\n", "line 5"},
+	}
+	for name, c := range cases {
+		_, err := ReadModel(strings.NewReader(c.src), lib)
+		if err == nil {
+			t.Errorf("%s: ReadModel should fail", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not name %s", name, err, c.want)
+		}
+	}
+}
+
+// TestReadRejectsSequentialWithLine pins that the combinational entry
+// point names the first .latch line when fed a sequential circuit.
+func TestReadRejectsSequentialWithLine(t *testing.T) {
+	lib := cellib.Lib2()
+	_, err := Read(strings.NewReader(counter2), lib)
+	if err == nil {
+		t.Fatal("Read should reject sequential input")
+	}
+	if !strings.Contains(err.Error(), "line 5") || !strings.Contains(err.Error(), "sequential") {
+		t.Errorf("error %q should name line 5 and say sequential", err)
+	}
+}
+
+func TestModelRoundTrip(t *testing.T) {
+	lib := cellib.Lib2()
+	m, err := ReadModel(strings.NewReader(counter2), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadModel(bytes.NewReader(buf.Bytes()), lib)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if len(back.Latches) != len(m.Latches) {
+		t.Fatalf("round trip lost latches: %d vs %d", len(back.Latches), len(m.Latches))
+	}
+	for i := range m.Latches {
+		a, b := m.Latches[i], back.Latches[i]
+		a.Line, b.Line = 0, 0 // line numbers shift with formatting
+		if a != b {
+			t.Errorf("latch %d changed: %+v vs %+v", i, b, a)
+		}
+	}
+	if back.Netlist.GateCount() != m.Netlist.GateCount() ||
+		back.NumInputs != m.NumInputs || back.NumOutputs != m.NumOutputs {
+		t.Errorf("round trip changed shape")
+	}
+	if back.Netlist.Area() != m.Netlist.Area() {
+		t.Errorf("round trip changed area")
+	}
+}
+
+// TestModelWriteObservedStateLine covers a state line that is also a
+// primary output: the .outputs list must keep it, and it must survive a
+// round trip.
+func TestModelWriteObservedStateLine(t *testing.T) {
+	lib := cellib.Lib2()
+	src := ".model obs\n.inputs a\n.outputs q\n.latch d q re clk 0\n.gate xor2 a=a b=q O=d\n.end\n"
+	m, err := ReadModel(strings.NewReader(src), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, ".outputs q") {
+		t.Errorf("observed state line missing from .outputs:\n%s", out)
+	}
+	if _, err := ReadModel(bytes.NewReader(buf.Bytes()), lib); err != nil {
+		t.Fatalf("round trip: %v\n%s", err, out)
+	}
+}
+
+// TestModelWriteAfterRedirect pins the writer contract that .latch lines
+// follow the pseudo-PO's current driver, not the parsed Input name.
+func TestModelWriteAfterRedirect(t *testing.T) {
+	lib := cellib.Lib2()
+	src := ".model rd\n.inputs a\n.outputs y\n.latch d q re clk 0\n" +
+		".gate inv a=a O=d\n.gate inv a=a O=e\n.gate inv a=q O=y\n.end\n"
+	m, err := ReadModel(strings.NewReader(src), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Redirect the next-state sink from d to the equivalent e.
+	poIdx := m.NumOutputs // latch 0's sink
+	if err := m.Netlist.RedirectOutput(poIdx, m.Netlist.FindNode("e")); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ".latch e q re clk 0") {
+		t.Errorf("latch should follow the redirected driver:\n%s", buf.String())
+	}
+}

@@ -13,32 +13,42 @@ import (
 	"powder/internal/synth"
 )
 
-// roundTrip reads a BLIF source, writes it back out, re-reads that, and
-// asserts the second write is byte-identical to the first (the writer is
-// a fixed point) and that the structure survived unchanged.
+// roundTrip reads a BLIF source (combinational or sequential), writes it
+// back out, re-reads that, and asserts the second write is byte-identical
+// to the first (the writer is a fixed point) and that the structure —
+// including latches — survived unchanged.
 func roundTrip(t *testing.T, name string, src []byte, lib *cellib.Library) {
 	t.Helper()
-	nl, err := blif.Read(bytes.NewReader(src), lib)
+	m, err := blif.ReadModel(bytes.NewReader(src), lib)
 	if err != nil {
 		t.Fatalf("%s: read: %v", name, err)
 	}
 	var first bytes.Buffer
-	if err := blif.Write(&first, nl); err != nil {
+	if err := blif.WriteModel(&first, m); err != nil {
 		t.Fatalf("%s: write: %v", name, err)
 	}
-	back, err := blif.Read(bytes.NewReader(first.Bytes()), lib)
+	back, err := blif.ReadModel(bytes.NewReader(first.Bytes()), lib)
 	if err != nil {
 		t.Fatalf("%s: reparse: %v\n%s", name, err, first.String())
 	}
 	var second bytes.Buffer
-	if err := blif.Write(&second, back); err != nil {
+	if err := blif.WriteModel(&second, back); err != nil {
 		t.Fatalf("%s: rewrite: %v", name, err)
 	}
 	if !bytes.Equal(first.Bytes(), second.Bytes()) {
 		t.Errorf("%s: writer is not a fixed point:\nfirst:\n%s\nsecond:\n%s",
 			name, first.String(), second.String())
 	}
-	assertSameShape(t, name, nl, back)
+	if len(m.Latches) != len(back.Latches) {
+		t.Fatalf("%s: latches %d -> %d", name, len(m.Latches), len(back.Latches))
+	}
+	for i, l := range m.Latches {
+		got := back.Latches[i]
+		if got.Output != l.Output || got.Kind != l.Kind || got.Control != l.Control || got.Init != l.Init {
+			t.Errorf("%s: latch %d changed: %+v -> %+v", name, i, l, got)
+		}
+	}
+	assertSameShape(t, name, m.Netlist, back.Netlist)
 }
 
 // assertSameShape compares the structural fingerprint of two netlists:

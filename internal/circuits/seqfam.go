@@ -1,0 +1,192 @@
+package circuits
+
+import (
+	"fmt"
+
+	"powder/internal/blif"
+	"powder/internal/cellib"
+	"powder/internal/logic"
+	"powder/internal/synth"
+)
+
+// SeqSpec is one sequential benchmark generator. Build compiles the
+// next-state and output logic through the ordinary synthesis flow and
+// returns the circuit as a register-boundary cut (blif.Model), the form
+// internal/seq consumes.
+type SeqSpec struct {
+	Name string
+	// Kind documents the family member's structure.
+	Kind string
+	// Latches is the register count.
+	Latches int
+	Build   func(lib *cellib.Library) (*blif.Model, error)
+}
+
+// seqDesign assembles a sequential circuit from a synth.Design whose
+// input list is the true primary inputs followed by the state lines, and
+// whose output list is the true primary outputs followed by the
+// next-state functions — the positional layout blif.Model mandates.
+// inits gives each latch's initial value in state order.
+func seqDesign(d *synth.Design, numIn, numOut int, inits []int) func(lib *cellib.Library) (*blif.Model, error) {
+	return func(lib *cellib.Library) (*blif.Model, error) {
+		nStates := len(d.Inputs) - numIn
+		if len(inits) != nStates || len(d.Outputs)-numOut != nStates {
+			return nil, fmt.Errorf("circuits: %s: inconsistent sequential shape", d.Name)
+		}
+		nl, err := synth.Compile(d, lib, synth.Options{Seed: seedOf(d.Name)})
+		if err != nil {
+			return nil, err
+		}
+		m := &blif.Model{Netlist: nl, NumInputs: numIn, NumOutputs: numOut}
+		for i := 0; i < nStates; i++ {
+			m.Latches = append(m.Latches, blif.Latch{
+				Input:  d.Outputs[numOut+i].Name,
+				Output: d.Inputs[numIn+i],
+				Kind:   "re",
+				// Generated circuits share one global clock.
+				Control: "clk",
+				Init:    inits[i],
+			})
+		}
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("circuits: %s: %v", d.Name, err)
+		}
+		return m, nil
+	}
+}
+
+func stateNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = "q" + itoa(i)
+	}
+	return names
+}
+
+func mux(sel, then, els *logic.Expr) *logic.Expr {
+	return logic.Or(logic.And(sel, then), logic.And(logic.Not(sel), els))
+}
+
+// seqCounter is an n-bit synchronous binary counter with enable: bit i
+// toggles on the carry out of the bits below, wrap observes the full
+// carry chain.
+func seqCounter(name string, bits int) SeqSpec {
+	d := synth.NewDesign(name, append([]string{"en"}, stateNames(bits)...)...)
+	en := logic.Var(0)
+	q := func(i int) *logic.Expr { return logic.Var(1 + i) }
+	carry := en
+	next := make([]*logic.Expr, bits)
+	for i := 0; i < bits; i++ {
+		next[i] = logic.Xor(q(i), carry)
+		carry = logic.And(carry, q(i))
+	}
+	d.AddOutput("wrap", carry)
+	for i, e := range next {
+		d.AddOutput("n"+itoa(i), e)
+	}
+	return SeqSpec{
+		Name: name, Kind: "counter", Latches: bits,
+		Build: seqDesign(d, 1, 1, make([]int, bits)), // init all-zero
+	}
+}
+
+// seqLFSR is a Fibonacci linear-feedback shift register with enable; taps
+// index the state bits XORed into the feedback. Init is the nonzero seed
+// state 1000… (the all-zero state is the LFSR's dead fixpoint).
+func seqLFSR(name string, bits int, taps []int) SeqSpec {
+	d := synth.NewDesign(name, append([]string{"en"}, stateNames(bits)...)...)
+	en := logic.Var(0)
+	q := func(i int) *logic.Expr { return logic.Var(1 + i) }
+	fb := q(taps[0])
+	for _, t := range taps[1:] {
+		fb = logic.Xor(fb, q(t))
+	}
+	d.AddOutput("sout", q(bits-1))
+	d.AddOutput("n0", mux(en, fb, q(0)))
+	for i := 1; i < bits; i++ {
+		d.AddOutput("n"+itoa(i), mux(en, q(i-1), q(i)))
+	}
+	inits := make([]int, bits)
+	inits[0] = 1
+	return SeqSpec{
+		Name: name, Kind: "lfsr", Latches: bits,
+		Build: seqDesign(d, 1, 1, inits),
+	}
+}
+
+// seqShift is an n-bit serial-in shift register with enable; outputs the
+// serial tap and the register parity (a wide observation cone).
+func seqShift(name string, bits int) SeqSpec {
+	d := synth.NewDesign(name, append([]string{"sin", "en"}, stateNames(bits)...)...)
+	sin, en := logic.Var(0), logic.Var(1)
+	q := func(i int) *logic.Expr { return logic.Var(2 + i) }
+	par := q(0)
+	for i := 1; i < bits; i++ {
+		par = logic.Xor(par, q(i))
+	}
+	d.AddOutput("sout", q(bits-1))
+	d.AddOutput("parity", par)
+	d.AddOutput("n0", mux(en, sin, q(0)))
+	for i := 1; i < bits; i++ {
+		d.AddOutput("n"+itoa(i), mux(en, q(i-1), q(i)))
+	}
+	inits := make([]int, bits)
+	for i := range inits {
+		inits[i] = 3 // power-up unknown
+	}
+	return SeqSpec{
+		Name: name, Kind: "shift", Latches: bits,
+		Build: seqDesign(d, 2, 2, inits),
+	}
+}
+
+// seqFSM1011 is the classic overlapping "1011" sequence detector, encoded
+// in two state bits (00 start, 01 saw 1, 10 saw 10, 11 saw 101).
+func seqFSM1011(name string) SeqSpec {
+	d := synth.NewDesign(name, "x", "q0", "q1")
+	x, s0, s1 := logic.Var(0), logic.Var(1), logic.Var(2)
+	d.AddOutput("detect", logic.And(s1, s0, x))
+	// On a 1 every state moves to an odd successor (…1 seen): n0 = x. On a
+	// 0: saw-1 and saw-101 fall back to saw-10, the rest restart.
+	d.AddOutput("n0", x)
+	d.AddOutput("n1", logic.Or(
+		logic.And(logic.Not(s1), s0, logic.Not(x)),
+		logic.And(s1, logic.Not(s0), x),
+		logic.And(s1, s0, logic.Not(x)),
+	))
+	return SeqSpec{
+		Name: name, Kind: "fsm", Latches: 2,
+		Build: seqDesign(d, 1, 1, []int{0, 0}),
+	}
+}
+
+// SeqAll returns the sequential benchmark family in size order.
+func SeqAll() []SeqSpec {
+	return []SeqSpec{
+		seqFSM1011("fsm1011"),
+		seqCounter("counter4", 4),
+		seqLFSR("lfsr5", 5, []int{4, 2}),
+		seqCounter("counter6", 6),
+		seqShift("shift8", 8),
+	}
+}
+
+// SeqByName returns the named sequential spec.
+func SeqByName(name string) (SeqSpec, error) {
+	for _, s := range SeqAll() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return SeqSpec{}, fmt.Errorf("circuits: unknown sequential circuit %q", name)
+}
+
+// SeqNames lists the sequential benchmark names.
+func SeqNames() []string {
+	specs := SeqAll()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}

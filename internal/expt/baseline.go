@@ -31,7 +31,7 @@ func RunBaseline(specs []circuits.Spec, opts RunOptions) ([]BaselineRow, error) 
 	opts.normalize()
 	rows := make([]BaselineRow, len(specs))
 	errs := make([]error, len(specs))
-	forEachSpec(specs, &opts, func(i int, spec circuits.Spec) {
+	forEach(specs, &opts, func(i int, spec circuits.Spec) {
 		row, err := baselineOne(spec, &opts)
 		if err != nil {
 			errs[i] = err

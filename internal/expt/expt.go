@@ -188,10 +188,12 @@ func compile(spec circuits.Spec, opts *RunOptions) (*netlist.Netlist, error) {
 	return nl, nil
 }
 
-// forEachSpec runs fn once per spec — sequentially, or fanned out over
-// a service.Pool when opts.Parallel > 1. fn receives the spec index so
-// callers collect results in deterministic circuit order.
-func forEachSpec(specs []circuits.Spec, opts *RunOptions, fn func(i int, spec circuits.Spec)) {
+// forEach runs fn once per spec — sequentially, or fanned out over a
+// service.Pool when opts.Parallel > 1. fn receives the spec index so
+// callers collect results in deterministic circuit order. It is generic
+// so the combinational (circuits.Spec) and sequential (circuits.SeqSpec)
+// suites share the fan-out machinery.
+func forEach[S any](specs []S, opts *RunOptions, fn func(i int, spec S)) {
 	if opts.Parallel > 1 {
 		pool := service.NewPool(opts.Parallel, 0)
 		for i, spec := range specs {
@@ -220,7 +222,7 @@ func RunSuite(specs []circuits.Spec, opts RunOptions) (*Suite, error) {
 	rows := make([]*Table1Row, len(specs))
 	classes := make([]map[transform.Kind]*core.ClassStats, len(specs))
 	errs := make([]error, len(specs))
-	forEachSpec(specs, &opts, func(i int, spec circuits.Spec) {
+	forEach(specs, &opts, func(i int, spec circuits.Spec) {
 		rows[i], classes[i], errs[i] = runOne(spec, &opts)
 		if errs[i] != nil {
 			return

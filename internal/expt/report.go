@@ -24,7 +24,12 @@ type Report struct {
 	Options ReportOptions `json:"options"`
 
 	Circuits []CircuitReport `json:"circuits"`
-	Totals   ReportTotals    `json:"totals"`
+	// Sequential optionally carries the sequential-family rows (fixpoint
+	// iterations, register counts, power at the register cut). Absent when
+	// the run was combinational-only, keeping the format backward
+	// compatible.
+	Sequential []SeqRow     `json:"sequential,omitempty"`
+	Totals     ReportTotals `json:"totals"`
 	// Class aggregates substitution-class contributions over the
 	// unconstrained runs (the paper's Table 2 data).
 	Class map[string]ClassReport `json:"class"`
@@ -121,6 +126,11 @@ func BuildReport(s *Suite, opts ReportOptions, metrics *obs.Snapshot) *Report {
 		}
 	}
 	return r
+}
+
+// AttachSeq adds a sequential-family run to the report.
+func (r *Report) AttachSeq(s *SeqSuite) {
+	r.Sequential = append(r.Sequential, s.Rows...)
 }
 
 func classReport(cs *core.ClassStats) ClassReport {

@@ -1,0 +1,97 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"powder/internal/circuits"
+)
+
+func seqSubset(t *testing.T, names ...string) []circuits.SeqSpec {
+	t.Helper()
+	var out []circuits.SeqSpec
+	for _, n := range names {
+		s, err := circuits.SeqByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestRunSeqSuite(t *testing.T) {
+	suite, err := RunSeqSuite(seqSubset(t, "fsm1011", "counter4"), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.Rows) != 2 {
+		t.Fatalf("rows = %d", len(suite.Rows))
+	}
+	for _, r := range suite.Rows {
+		if r.FinalPower > r.InitPower {
+			t.Errorf("%s: power increased %.4f -> %.4f", r.Circuit, r.InitPower, r.FinalPower)
+		}
+		if r.FixResidual > 1e-6 {
+			t.Errorf("%s: fixpoint residual %g above 1e-6", r.Circuit, r.FixResidual)
+		}
+		if r.Latches == 0 || r.Gates == 0 {
+			t.Errorf("%s: empty row %+v", r.Circuit, r)
+		}
+	}
+
+	var buf bytes.Buffer
+	RenderSeqTable(&buf, suite)
+	out := buf.String()
+	for _, want := range []string{"fsm1011", "counter4", "sum"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunSeqSuiteParallel pins that the fan-out path assembles the same
+// deterministic rows as the sequential path.
+func TestRunSeqSuiteParallel(t *testing.T) {
+	specs := seqSubset(t, "fsm1011", "counter4", "lfsr5")
+	seqRun, err := RunSeqSuite(specs, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRun, err := RunSeqSuite(specs, RunOptions{Parallel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqRun.Rows) != len(parRun.Rows) {
+		t.Fatalf("row counts differ")
+	}
+	for i := range seqRun.Rows {
+		a, b := seqRun.Rows[i], parRun.Rows[i]
+		a.CPUSeconds, b.CPUSeconds = 0, 0
+		if a != b {
+			t.Errorf("row %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestSeqSuiteEntireFamilyConverges is the acceptance check that the
+// fixpoint reaches 1e-6 on every circuit in the family and power never
+// increases.
+func TestSeqSuiteEntireFamilyConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full family in -short mode")
+	}
+	suite, err := RunSeqSuite(circuits.SeqAll(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range suite.Rows {
+		if r.FixResidual > 1e-6 {
+			t.Errorf("%s: residual %g", r.Circuit, r.FixResidual)
+		}
+		if r.FinalPower > r.InitPower {
+			t.Errorf("%s: power increased", r.Circuit)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"powder/internal/cellib"
+	"powder/internal/netlist"
+	"powder/internal/sim"
+)
+
+// randomMapped builds a seeded random DAG over lib2 cells: numIn inputs,
+// numGates gates with fanins drawn from everything built so far, and the
+// last few gates anchored as primary outputs.
+func randomMapped(t *testing.T, rng *rand.Rand, numIn, numGates int) *netlist.Netlist {
+	t.Helper()
+	lib := cellib.Lib2()
+	nl := netlist.New("randprop", lib)
+	var ids []netlist.NodeID
+	for i := 0; i < numIn; i++ {
+		id, err := nl.AddInput("x" + string(rune('0'+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	cells := []string{"inv", "nand2", "nor2", "and2", "or2", "xor2", "aoi21", "nand3"}
+	for i := 0; i < numGates; i++ {
+		cell := lib.Cell(cells[rng.Intn(len(cells))])
+		fanins := make([]netlist.NodeID, cell.NumPins())
+		for p := range fanins {
+			fanins[p] = ids[rng.Intn(len(ids))]
+		}
+		id, err := nl.AddGate("g"+itoa(i), cell, fanins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for i := 0; i < 4; i++ {
+		if err := nl.AddOutput("o"+itoa(i), ids[len(ids)-1-i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nl
+}
+
+func itoa(i int) string {
+	if i >= 10 {
+		return itoa(i/10) + itoa(i%10)
+	}
+	return string(rune('0' + i))
+}
+
+// TestRefreshMatchesReestimateProperty is the incremental-update
+// soundness property: after any sequence of ReplaceFanin edits, each
+// followed by the engine's Refresh on the touched gate, every cached
+// transition probability must match a from-scratch estimate over the
+// same input vectors to 1e-9 — for uniform and biased input
+// probabilities alike.
+func TestRefreshMatchesReestimateProperty(t *testing.T) {
+	const (
+		numIn, numGates = 6, 40
+		words           = 32
+		edits           = 60
+		seed            = 7
+	)
+	probSets := map[string][]float64{
+		"uniform": {0.5, 0.5, 0.5, 0.5, 0.5, 0.5},
+		"biased":  {0.9, 0.1, 0.5, 0.25, 0.75, 0.37},
+	}
+	for name, probs := range probSets {
+		t.Run(name, func(t *testing.T) {
+			for trial := 0; trial < 5; trial++ {
+				rng := rand.New(rand.NewSource(int64(seed + 100*trial)))
+				nl := randomMapped(t, rng, numIn, numGates)
+
+				s := sim.New(nl, words)
+				s.SetInputsRandom(seed, probs)
+				s.Run()
+				m := New(nl, s)
+
+				applied := 0
+				for i := 0; i < edits; i++ {
+					g := nl.Node(netlist.NodeID(numIn + rng.Intn(numGates)))
+					if g.Dead() {
+						continue
+					}
+					pin := rng.Intn(len(g.Fanins()))
+					to := netlist.NodeID(rng.Intn(numIn + numGates))
+					if nl.Node(to).Dead() {
+						continue
+					}
+					if err := nl.ReplaceFanin(g.ID(), pin, to); err != nil {
+						continue // cycle-forming rewire; the property only covers legal edits
+					}
+					m.Refresh(g.ID())
+					applied++
+				}
+				if applied < edits/4 {
+					t.Fatalf("trial %d: only %d/%d edits applied; generator too constrained", trial, applied, edits)
+				}
+
+				// From scratch: same netlist, same vectors, fresh simulator.
+				s2 := sim.New(nl, words)
+				s2.SetInputsRandom(seed, probs)
+				s2.Run()
+				fresh := New(nl, s2)
+
+				nl.LiveNodes(func(n *netlist.Node) {
+					got := m.TransitionProb(n.ID())
+					want := fresh.TransitionProb(n.ID())
+					if math.Abs(got-want) > 1e-9 {
+						t.Errorf("trial %d: node %s: incremental E=%.12f, from-scratch E=%.12f",
+							trial, n.Name(), got, want)
+					}
+				})
+				if got, want := m.Total(), fresh.Total(); math.Abs(got-want) > 1e-9 {
+					t.Errorf("trial %d: total %.12f vs from-scratch %.12f", trial, got, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,73 @@
+package seq
+
+import (
+	"context"
+	"io"
+
+	"powder/internal/blif"
+	"powder/internal/core"
+)
+
+// Options configures a sequential optimization run.
+type Options struct {
+	// Core configures the combinational engine run on the core.
+	// Core.Power.InputProbs is overwritten with the converged steady-state
+	// vector (true-input probabilities followed by state-line
+	// probabilities).
+	Core core.Options
+	// Fixpoint configures the steady-state probability iteration.
+	// Fixpoint.InputProbs carries the per-primary-input probabilities
+	// (e.g. from a -probs file); Fixpoint.Obs defaults to Core.Obs.
+	Fixpoint FixpointOptions
+}
+
+// Result bundles the fixpoint that seeded the run with the core
+// engine's result.
+type Result struct {
+	// Fixpoint is the converged steady state used for power estimation.
+	Fixpoint *FixpointResult
+	// Core is the combinational engine's result on the register-cut core;
+	// its power numbers are under the converged state probabilities.
+	Core *core.Result
+}
+
+// Optimize runs the POWDER engine on a sequential circuit. See
+// OptimizeCtx.
+func Optimize(c *Circuit, opts Options) (*Result, error) {
+	return OptimizeCtx(context.Background(), c, opts)
+}
+
+// OptimizeCtx computes the steady-state signal probabilities of the
+// state lines, seeds the power model with them, and optimizes the
+// combinational core in place. Permissibility is judged at the register
+// cut: latch inputs are primary outputs of the core, so the engine's ATPG
+// proofs guarantee the next-state and output functions — and therefore
+// the state transition structure — are preserved, with no sequential
+// reasoning needed. The caller's Circuit still holds the cut afterwards;
+// write it with blif.WriteModel to stitch the latches back.
+func OptimizeCtx(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
+	if opts.Fixpoint.Obs == nil {
+		opts.Fixpoint.Obs = opts.Core.Obs
+	}
+	fp, err := SteadyState(c, opts.Fixpoint)
+	if err != nil {
+		return nil, err
+	}
+	// Even an all-0.5 vector is passed explicitly: it forces the power
+	// model onto biased random vectors, keeping estimates comparable
+	// across circuits of the same family regardless of input count.
+	opts.Core.Power.InputProbs = fp.CoreInputProbs()
+	res, err := core.OptimizeCtx(ctx, c.Core(), opts.Core)
+	if res == nil {
+		return nil, err
+	}
+	// A failed engine run may still carry a partial result (ledger,
+	// progress so far); pass it through alongside the error.
+	return &Result{Fixpoint: fp, Core: res}, err
+}
+
+// WriteBLIF writes the optimized sequential circuit; it exists so callers
+// need not import blif alongside seq.
+func (c *Circuit) WriteBLIF(w io.Writer) error {
+	return blif.WriteModel(w, c.Model)
+}

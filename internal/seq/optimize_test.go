@@ -1,0 +1,112 @@
+package seq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"powder/internal/atpg"
+	"powder/internal/blif"
+	"powder/internal/cellib"
+	"powder/internal/core"
+)
+
+// redundant2 is a sequential circuit whose next-state cone contains
+// redundancy (n0 recomputes q0∧en twice), giving the optimizer room to
+// move while the counter structure keeps the fixpoint interesting.
+const redundant2 = `
+.model redundant2
+.inputs en
+.outputs obs
+.latch n0 q0 re clk 0
+.latch n1 q1 re clk 0
+.gate and2 a=en b=q0 O=t0
+.gate and2 a=q0 b=en O=t1
+.gate or2 a=t0 b=t1 O=n0
+.gate xor2 a=q1 b=t0 O=n1
+.gate or2 a=q1 b=t1 O=obs
+.end
+`
+
+func TestOptimizeSequential(t *testing.T) {
+	c := mustCircuit(t, redundant2)
+	before := c.Core().Clone()
+
+	res, err := Optimize(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fixpoint == nil || res.Fixpoint.Residual > 1e-6 {
+		t.Fatalf("fixpoint did not converge: %+v", res.Fixpoint)
+	}
+	if res.Core.Final.Power > res.Core.Initial.Power {
+		t.Errorf("power increased: %.4f -> %.4f", res.Core.Initial.Power, res.Core.Final.Power)
+	}
+
+	// The optimized core must stay combinationally equivalent at the
+	// register cut (outputs include the next-state pseudo-POs).
+	eq, err := atpg.Equivalent(before, c.Core(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq.Verdict != atpg.Permissible {
+		t.Fatalf("optimized core not equivalent at the cut: %+v", eq)
+	}
+
+	// The result must still write as valid sequential BLIF and round-trip.
+	var buf bytes.Buffer
+	if err := c.WriteBLIF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := blif.ReadModel(bytes.NewReader(buf.Bytes()), cellib.Lib2())
+	if err != nil {
+		t.Fatalf("optimized BLIF unreadable: %v\n%s", err, buf.String())
+	}
+	if len(back.Latches) != c.NumLatches() {
+		t.Errorf("latch count changed: %d -> %d", c.NumLatches(), len(back.Latches))
+	}
+}
+
+// TestOptimizeSeedsStateProbs pins that the converged state probabilities
+// actually reach the power model: with en=0 the counter freezes and every
+// state line has probability 0, so total power must be far below the
+// all-0.5 default.
+func TestOptimizeSeedsStateProbs(t *testing.T) {
+	frozen := mustCircuit(t, counter2)
+	resFrozen, err := Optimize(frozen, Options{
+		Fixpoint: FixpointOptions{InputProbs: []float64{0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := mustCircuit(t, counter2)
+	resFree, err := Optimize(free, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resFrozen.Core.Initial.Power >= resFree.Core.Initial.Power/4 {
+		t.Errorf("frozen counter power %.5f should be well below free-running %.5f",
+			resFrozen.Core.Initial.Power, resFree.Core.Initial.Power)
+	}
+}
+
+func TestOptimizeDivergencePropagates(t *testing.T) {
+	c := mustCircuit(t, crossCoupled)
+	_, err := Optimize(c, Options{Fixpoint: FixpointOptions{Damping: -1, MaxIter: 10}})
+	if err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("divergence should abort the run, got %v", err)
+	}
+}
+
+// TestOptimizeRespectsCoreOptions smoke-checks that caller core options
+// survive the seeding (ledger on, bounded substitutions).
+func TestOptimizeRespectsCoreOptions(t *testing.T) {
+	c := mustCircuit(t, redundant2)
+	res, err := Optimize(c, Options{Core: core.Options{MaxSubstitutions: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Core.Applied > 1 {
+		t.Errorf("MaxSubstitutions=1 ignored: applied %d", res.Core.Applied)
+	}
+}

@@ -1,0 +1,102 @@
+package seq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseProbs(t *testing.T) {
+	src := `
+# traffic profile
+en = 0.1
+rst=0   # cold
+mode =1
+`
+	entries, err := ParseProbs(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ProbEntry{
+		{Name: "en", P: 0.1, Line: 3},
+		{Name: "rst", P: 0, Line: 4},
+		{Name: "mode", P: 1, Line: 5},
+	}
+	if len(entries) != len(want) {
+		t.Fatalf("parsed %d entries, want %d", len(entries), len(want))
+	}
+	for i := range want {
+		if entries[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, entries[i], want[i])
+		}
+	}
+}
+
+func TestParseProbsErrors(t *testing.T) {
+	cases := map[string]struct {
+		src  string
+		want string
+	}{
+		"no equals":    {"en 0.5\n", "line 1"},
+		"empty name":   {"=0.5\n", "line 1"},
+		"not a number": {"\nen=high\n", "line 2"},
+		"above one":    {"en=0.5\nb=1.5\n", "line 2"},
+		"negative":     {"en=-0.1\n", "line 1"},
+		"nan":          {"en=NaN\n", "line 1"},
+	}
+	for name, c := range cases {
+		_, err := ParseProbs(strings.NewReader(c.src))
+		if err == nil {
+			t.Errorf("%s: ParseProbs should fail", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not name %s", name, err, c.want)
+		}
+	}
+}
+
+func TestResolveProbs(t *testing.T) {
+	c := mustCircuit(t, counter2) // true PI: en; state lines: q0 q1
+	entries, err := ParseProbs(strings.NewReader("en=0.25\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := ResolveProbs(entries, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 1 || probs[0] != 0.25 {
+		t.Errorf("resolved %v, want [0.25]", probs)
+	}
+
+	// Absent file resolves to nil (caller default).
+	if probs, err := ResolveProbs(nil, c); err != nil || probs != nil {
+		t.Errorf("empty entries: %v, %v", probs, err)
+	}
+}
+
+func TestResolveProbsErrors(t *testing.T) {
+	c := mustCircuit(t, counter2)
+	cases := map[string]struct {
+		src  string
+		want string
+	}{
+		"unknown input": {"en=0.5\nnosuch=0.5\n", "line 2"},
+		"duplicate":     {"en=0.5\nen=0.6\n", "line 2"},
+		"state line":    {"q0=0.5\n", "latch output"},
+	}
+	for name, cse := range cases {
+		entries, err := ParseProbs(strings.NewReader(cse.src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = ResolveProbs(entries, c)
+		if err == nil {
+			t.Errorf("%s: ResolveProbs should fail", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), cse.want) {
+			t.Errorf("%s: error %q does not contain %q", name, err, cse.want)
+		}
+	}
+}

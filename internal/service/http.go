@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"powder/internal/obs"
@@ -16,8 +17,13 @@ import (
 //
 //	POST   /v1/jobs                submit a BLIF circuit (body) with query
 //	                               options timeout, delay-limit, max-subs,
-//	                               verify; 202 + job status, 429 when the
-//	                               queue is full, 503 while draining
+//	                               verify, and probs (comma-separated
+//	                               name=p input probabilities); sequential
+//	                               circuits (.latch) are cut at their
+//	                               register boundaries and returned with
+//	                               the latches stitched back; 202 + job
+//	                               status, 429 when the queue is full, 503
+//	                               while draining
 //	GET    /v1/jobs                all job statuses in submission order
 //	GET    /v1/jobs/{id}           one job's status
 //	GET    /v1/jobs/{id}/result.blif  the optimized netlist
@@ -92,6 +98,11 @@ func parseJobOptions(r *http.Request) (JobOptions, error) {
 			return opts, fmt.Errorf("bad verify %q (want a boolean)", v)
 		}
 		opts.Verify = b
+	}
+	if v := q.Get("probs"); v != "" {
+		// Comma-separated name=p entries become the newline-separated
+		// powder -probs format; Submit validates names and ranges.
+		opts.Probs = strings.ReplaceAll(v, ",", "\n")
 	}
 	return opts, nil
 }

@@ -8,6 +8,7 @@ import (
 	"powder/internal/core"
 	"powder/internal/netlist"
 	"powder/internal/obs"
+	"powder/internal/seq"
 )
 
 // State is a job's lifecycle state.
@@ -50,6 +51,12 @@ type JobOptions struct {
 	// Verify re-proves the optimized circuit SAT-equivalent to the
 	// input after the run; a refuted proof fails the job.
 	Verify bool `json:"verify,omitempty"`
+	// Probs optionally carries per-primary-input signal probabilities as
+	// "name=p" lines (the powder -probs file format). Unknown names and
+	// out-of-range values reject the submission. For sequential circuits
+	// the names must be true primary inputs; latch outputs are ruled by
+	// the steady-state fixpoint.
+	Probs string `json:"probs,omitempty"`
 }
 
 // JobResult is the serialized outcome of a finished run.
@@ -70,6 +77,12 @@ type JobResult struct {
 	Verified       string         `json:"verified,omitempty"`
 	RuntimeSeconds float64        `json:"runtime_seconds"`
 	Rejects        map[string]int `json:"rejects,omitempty"`
+	// Latches is the register count of a sequential job (0 when the
+	// circuit was combinational); the fixpoint fields describe the
+	// steady-state probability iteration that seeded its power model.
+	Latches            int     `json:"latches,omitempty"`
+	FixpointIterations int     `json:"fixpoint_iterations,omitempty"`
+	FixpointResidual   float64 `json:"fixpoint_residual,omitempty"`
 }
 
 // Status is the JSON representation of a job returned by the API.
@@ -109,6 +122,8 @@ type Job struct {
 	cancelAsked bool
 
 	nl         *netlist.Netlist // input circuit, consumed by the worker
+	circ       *seq.Circuit     // the same circuit with its register cut
+	inputProbs []float64        // resolved JobOptions.Probs, or nil
 	original   *netlist.Netlist // pre-optimization clone (verify only)
 	resultBLIF []byte
 	ledger     *obs.LedgerSummary

@@ -1,0 +1,130 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"net/url"
+	"testing"
+
+	"powder/internal/blif"
+	"powder/internal/cellib"
+)
+
+// TestServiceSequentialJob submits a latch circuit end to end: the job
+// must report the register cut and its fixpoint, and the returned BLIF
+// must round-trip — parse with its latches intact and resubmit cleanly.
+func TestServiceSequentialJob(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 2, PowerWords: 16}, nil)
+	body := circuitBLIF(t, "counter3")
+
+	st, resp := submit(t, ts.URL, "?verify=true", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	if st.Circuit != "counter3" {
+		t.Errorf("circuit = %q", st.Circuit)
+	}
+	final := waitTerminal(t, ts.URL, st.ID)
+	if final.State != StateCompleted {
+		t.Fatalf("state = %s (error %q)", final.State, final.Error)
+	}
+	r := final.Result
+	if r == nil {
+		t.Fatal("no result")
+	}
+	if r.Latches != 3 {
+		t.Errorf("latches = %d, want 3", r.Latches)
+	}
+	if r.FixpointIterations == 0 || r.FixpointResidual > 1e-6 {
+		t.Errorf("fixpoint = %d iters, residual %g", r.FixpointIterations, r.FixpointResidual)
+	}
+	if r.FinalPower > r.InitialPower {
+		t.Errorf("power increased %.4f -> %.4f", r.InitialPower, r.FinalPower)
+	}
+	if r.Verified != "equivalent" {
+		t.Errorf("verified = %q", r.Verified)
+	}
+
+	// The result must be valid sequential BLIF with the latches stitched
+	// back...
+	hr, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result.blif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(hr.Body); err != nil {
+		t.Fatal(err)
+	}
+	m, err := blif.ReadModel(bytes.NewReader(out.Bytes()), cellib.Lib2())
+	if err != nil {
+		t.Fatalf("result BLIF unreadable: %v", err)
+	}
+	if len(m.Latches) != 3 {
+		t.Errorf("result has %d latches, want 3", len(m.Latches))
+	}
+
+	// ...and good enough to feed straight back into the service.
+	st2, resp2 := submit(t, ts.URL, "", out.Bytes())
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit: HTTP %d", resp2.StatusCode)
+	}
+	if again := waitTerminal(t, ts.URL, st2.ID); again.State != StateCompleted {
+		t.Fatalf("resubmitted job: state = %s (error %q)", again.State, again.Error)
+	}
+}
+
+// TestServiceProbsOption covers the probs query parameter: a biased
+// input distribution is accepted for sequential and combinational
+// circuits alike, and malformed lists are 400s naming the bad entry.
+func TestServiceProbsOption(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 1, PowerWords: 16}, nil)
+	seqBody := circuitBLIF(t, "counter3")
+	combBody := circuitBLIF(t, "fig2")
+
+	st, resp := submit(t, ts.URL, "?probs="+url.QueryEscape("en=0.25"), seqBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sequential probs submit: HTTP %d", resp.StatusCode)
+	}
+	if final := waitTerminal(t, ts.URL, st.ID); final.State != StateCompleted {
+		t.Fatalf("state = %s (error %q)", final.State, final.Error)
+	}
+
+	st, resp = submit(t, ts.URL, "?probs="+url.QueryEscape("a=0.9,b=0.1,c=0.5"), combBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("combinational probs submit: HTTP %d", resp.StatusCode)
+	}
+	if final := waitTerminal(t, ts.URL, st.ID); final.State != StateCompleted {
+		t.Fatalf("state = %s (error %q)", final.State, final.Error)
+	}
+
+	bad := map[string]string{
+		"out of range": "en=1.5",
+		"not a number": "en=lots",
+		"unknown name": "en=0.5,bogus=0.5",
+		"state line":   "q0=0.5",
+	}
+	for name, probs := range bad {
+		_, resp := submit(t, ts.URL, "?probs="+url.QueryEscape(probs), seqBody)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestServiceSequentialParseErrors pins the submission contract for bad
+// latch constructs: a 400 up front, not an asynchronous job failure.
+func TestServiceSequentialParseErrors(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 1, PowerWords: 16}, nil)
+	cases := map[string]string{
+		"level-sensitive": ".model m\n.inputs a\n.outputs q\n.latch a q ah clk 0\n.end\n",
+		"bad init":        ".model m\n.inputs a\n.outputs q\n.latch a q re clk 9\n.end\n",
+		"undriven input":  ".model m\n.inputs a\n.outputs q\n.latch n0 q re clk 0\n.end\n",
+	}
+	for name, src := range cases {
+		_, resp := submit(t, ts.URL, "", []byte(src))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", name, resp.StatusCode)
+		}
+	}
+}

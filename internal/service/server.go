@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"powder/internal/core"
 	"powder/internal/obs"
 	"powder/internal/power"
+	"powder/internal/seq"
 	"powder/internal/transform"
 )
 
@@ -106,9 +108,27 @@ func (s *Service) Submit(body []byte, opts JobOptions) (*Job, error) {
 	if s.draining.Load() {
 		return nil, ErrDraining
 	}
-	nl, err := blif.Read(bytes.NewReader(body), s.cfg.Library)
+	model, err := blif.ReadModel(bytes.NewReader(body), s.cfg.Library)
 	if err != nil {
 		return nil, &ParseError{Err: err}
+	}
+	circ, err := seq.FromModel(model)
+	if err != nil {
+		return nil, &ParseError{Err: err}
+	}
+	nl := model.Netlist
+	// Bad probability lists reject the submission up front, with the
+	// offending line, rather than failing the job asynchronously.
+	var inputProbs []float64
+	if opts.Probs != "" {
+		entries, perr := seq.ParseProbs(strings.NewReader(opts.Probs))
+		if perr != nil {
+			return nil, &ParseError{Err: perr}
+		}
+		inputProbs, perr = seq.ResolveProbs(entries, circ)
+		if perr != nil {
+			return nil, &ParseError{Err: perr}
+		}
 	}
 	if opts.Timeout <= 0 {
 		opts.Timeout = s.cfg.DefaultTimeout
@@ -129,6 +149,8 @@ func (s *Service) Submit(body []byte, opts JobOptions) (*Job, error) {
 		circuit:     nl.Name,
 		submittedAt: time.Now(),
 		nl:          nl,
+		circ:        circ,
+		inputProbs:  inputProbs,
 	}
 	if opts.Verify {
 		j.original = nl.Clone()
@@ -303,7 +325,28 @@ func (s *Service) optimize(j *Job) (*core.Result, error) {
 		opts.DelayFactor = 1 + j.opts.DelayLimitPct/100
 	}
 
-	res, err := core.OptimizeCtx(j.ctx, j.nl, opts)
+	var res *core.Result
+	var fp *seq.FixpointResult
+	var err error
+	if j.circ.Model.Sequential() {
+		// Sequential jobs run at the register cut: the fixpoint seeds the
+		// power model, the core engine sees the cut as a combinational
+		// circuit with the next-state cones anchored as outputs.
+		var sres *seq.Result
+		sres, err = seq.OptimizeCtx(j.ctx, j.circ, seq.Options{
+			Core:     opts,
+			Fixpoint: seq.FixpointOptions{InputProbs: j.inputProbs},
+		})
+		if sres != nil {
+			fp = sres.Fixpoint
+			res = sres.Core
+		}
+	} else {
+		if j.inputProbs != nil {
+			opts.Power.InputProbs = j.inputProbs
+		}
+		res, err = core.OptimizeCtx(j.ctx, j.nl, opts)
+	}
 	if res != nil && res.Ledger != nil {
 		// Publish the ledger even for failed or cancelled runs: partial
 		// provenance is exactly what a post-mortem needs.
@@ -334,12 +377,18 @@ func (s *Service) optimize(j *Job) (*core.Result, error) {
 	}
 
 	var buf bytes.Buffer
-	if werr := blif.Write(&buf, j.nl); werr != nil {
+	if werr := blif.WriteModel(&buf, j.circ.Model); werr != nil {
 		return res, fmt.Errorf("render result: %v", werr)
+	}
+	jr := resultJSON(res, verified)
+	if fp != nil {
+		jr.Latches = j.circ.NumLatches()
+		jr.FixpointIterations = fp.Iterations
+		jr.FixpointResidual = fp.Residual
 	}
 	j.mu.Lock()
 	j.resultBLIF = buf.Bytes()
-	j.result = resultJSON(res, verified)
+	j.result = jr
 	j.mu.Unlock()
 	return res, nil
 }
