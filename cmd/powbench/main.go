@@ -21,8 +21,10 @@
 // the newest entry of a committed baseline.
 //
 // Observability: -trace-json streams every core.Optimize run's structured
-// events as JSON Lines, -metrics prints the aggregated metrics registry to
-// stderr, and -cpuprofile/-memprofile write pprof profiles.
+// events as JSON Lines, -trace-perfetto records the Table 1 runs' span
+// traces as Chrome/Perfetto trace-event JSON, -metrics prints the
+// aggregated metrics registry to stderr, and -cpuprofile/-memprofile
+// write pprof profiles.
 package main
 
 import (
@@ -36,6 +38,7 @@ import (
 	"powder/internal/circuits"
 	"powder/internal/expt"
 	"powder/internal/obs"
+	"powder/internal/obs/trace"
 )
 
 func main() {
@@ -61,10 +64,11 @@ func main() {
 		retries       = flag.Int("max-retries", 0, "per-circuit budget-escalation retries for aborted proofs (0 = no escalation)")
 		parallel      = flag.Int("parallel", 1, "run circuits concurrently on this many workers (0 = GOMAXPROCS); output stays in circuit order")
 
-		traceJSON  = flag.String("trace-json", "", "write structured run events as JSON Lines to this file")
-		metrics    = flag.Bool("metrics", false, "collect a metrics registry over all runs and print it to stderr")
-		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		traceJSON     = flag.String("trace-json", "", "write structured run events as JSON Lines to this file")
+		tracePerfetto = flag.String("trace-perfetto", "", "write the Table 1 runs' span traces as Chrome/Perfetto trace-event JSON to this file")
+		metrics       = flag.Bool("metrics", false, "collect a metrics registry over all runs and print it to stderr")
+		cpuProfile    = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile    = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 
@@ -110,7 +114,15 @@ func main() {
 	}
 	observer := obs.New(obs.Multi(sinks...), reg)
 
-	opts := expt.RunOptions{MapArea: *mapArea, PreOptimize: *preOpt, Obs: observer}
+	var tracer *trace.Tracer
+	if *tracePerfetto != "" {
+		tracer = trace.New("powbench", trace.Options{
+			Obs:         observer,
+			DropCounter: reg.Counter("trace.dropped.spans"),
+		})
+	}
+
+	opts := expt.RunOptions{MapArea: *mapArea, PreOptimize: *preOpt, Obs: observer, Tracer: tracer}
 	opts.Core.Timeout = *timeout
 	opts.Core.MaxRetries = *retries
 	opts.Parallel = *parallel
@@ -256,6 +268,20 @@ func main() {
 			fail(err)
 		}
 		expt.RenderTradeoff(os.Stdout, points)
+	}
+
+	if tracer != nil {
+		f, err := os.Create(*tracePerfetto)
+		if err != nil {
+			fail(err)
+		}
+		spans := tracer.Snapshot()
+		if err := trace.WritePerfetto(f, spans); err != nil {
+			f.Close()
+			fail(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote %s (%d spans, %d dropped)\n", *tracePerfetto, len(spans), tracer.Dropped())
 	}
 
 	if reg != nil {

@@ -19,7 +19,10 @@
 // for both combinational and sequential circuits.
 //
 // Observability: -trace-json streams structured JSONL run events
-// (harvest, check, apply, reject, metrics), -ledger-json writes the run
+// (harvest, check, apply, reject, metrics), -trace-perfetto records a
+// hierarchical span trace (optimize → harvest/candidate → prove →
+// sat-solve, plus apply and escalation spans) as Chrome/Perfetto
+// trace-event JSON, -ledger-json writes the run
 // ledger (per-substitution provenance and power attribution), -report
 // renders a markdown run explanation to stdout, -metrics prints the
 // metrics registry and phase breakdown to stderr, and
@@ -44,6 +47,7 @@ import (
 	"powder/internal/core"
 	"powder/internal/netlist"
 	"powder/internal/obs"
+	"powder/internal/obs/trace"
 	"powder/internal/power"
 	"powder/internal/resize"
 	"powder/internal/seq"
@@ -80,12 +84,14 @@ type config struct {
 	verify      bool
 	verbose     bool
 
-	traceJSON  string
-	ledgerJSON string
-	report     bool
-	metrics    bool
-	cpuProfile string
-	memProfile string
+	traceJSON     string
+	tracePerfetto string
+	traceSample   int64
+	ledgerJSON    string
+	report        bool
+	metrics       bool
+	cpuProfile    string
+	memProfile    string
 }
 
 func main() {
@@ -114,6 +120,8 @@ func main() {
 	flag.BoolVar(&cfg.verify, "verify", false, "independently re-verify the optimized circuit against the original (SAT equivalence check)")
 	flag.BoolVar(&cfg.verbose, "v", false, "trace every performed substitution to stderr")
 	flag.StringVar(&cfg.traceJSON, "trace-json", "", "write structured run events as JSON Lines to this file")
+	flag.StringVar(&cfg.tracePerfetto, "trace-perfetto", "", "write the run's hierarchical span trace as Chrome/Perfetto trace-event JSON to this file (load in ui.perfetto.dev)")
+	flag.Int64Var(&cfg.traceSample, "trace-sample", 1, "span-trace one run in every N (1 = always, 0 = off); only meaningful with -trace-perfetto")
 	flag.StringVar(&cfg.ledgerJSON, "ledger-json", "", "write the run ledger (substitution provenance + power attribution) as JSON to this file")
 	flag.BoolVar(&cfg.report, "report", false, "print a markdown run report (attribution table, predicted-vs-realized, reject and proof stats) instead of the plain summary")
 	flag.BoolVar(&cfg.metrics, "metrics", false, "collect a metrics registry and print it to stderr")
@@ -269,6 +277,18 @@ func run(ctx context.Context, cfg config, stdout, stderr io.Writer) error {
 	}
 	defer closeTrace()
 
+	// The span tracer rides the context: the engine's "optimize" span is
+	// the trace root, so its duration is the optimization wall time. The
+	// completed spans also mirror onto the -trace-json event stream.
+	var tracer *trace.Tracer
+	if cfg.tracePerfetto != "" && trace.Every(cfg.traceSample).Sample() {
+		tracer = trace.New(nl.Name, trace.Options{
+			Obs:         observer,
+			DropCounter: reg.Counter("trace.dropped.spans"),
+		})
+		ctx = trace.NewContext(ctx, tracer)
+	}
+
 	opts := core.Options{
 		DelayConstraint:  cfg.delayAbs,
 		DelayFactor:      cfg.delayFactor,
@@ -334,6 +354,23 @@ func run(ctx context.Context, cfg config, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stderr, "phases: %s\n", res.Phases)
 			snap.WriteText(stderr)
 		}
+	}
+
+	if tracer != nil {
+		f, err := os.Create(cfg.tracePerfetto)
+		if err != nil {
+			return err
+		}
+		spans := tracer.Snapshot()
+		werr := trace.WritePerfetto(f, spans)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(stderr, "wrote trace to %s (%d spans, %d dropped)\n",
+			cfg.tracePerfetto, len(spans), tracer.Dropped())
 	}
 
 	if cfg.ledgerJSON != "" {

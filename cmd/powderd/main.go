@@ -12,9 +12,17 @@
 //	GET    /v1/jobs/{id}
 //	GET    /v1/jobs/{id}/result.blif
 //	GET    /v1/jobs/{id}/events        NDJSON progress stream
+//	GET    /v1/jobs/{id}/trace         span tree of a traced job
 //	DELETE /v1/jobs/{id}
 //	GET    /healthz
 //	GET    /metrics
+//	GET    /debug/status               live queue/worker/span introspection
+//
+// With -trace-sample N, one job in every N records a hierarchical span
+// trace (request → queue → run → engine phases → SAT solves); the trace
+// ID travels in the job status and the X-Powder-Trace response header,
+// and -v access logs carry it so a slow request correlates straight to
+// its span tree.
 //
 // On SIGTERM/SIGINT the daemon stops accepting submissions (503),
 // drains queued and in-flight jobs, and exits; jobs still running when
@@ -28,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -49,6 +58,8 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "default per-job wall-clock budget when the submission sets none (0 = unlimited)")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for queued and in-flight jobs before cancelling them")
 		eventBuffer  = flag.Int("event-buffer", 0, "per-job event replay buffer (0 = default 4096)")
+		traceSample  = flag.Int64("trace-sample", 0, "span-trace one job in every N submissions (1 = every job, 0 = off)")
+		traceLimit   = flag.Int("trace-limit", 0, "recorded spans kept per traced job (0 = default 65536)")
 		verbose      = flag.Bool("v", false, "log every HTTP request")
 	)
 	flag.Parse()
@@ -75,11 +86,13 @@ func main() {
 		DefaultTimeout: *jobTimeout,
 		EventBuffer:    *eventBuffer,
 		Registry:       obs.NewRegistry(),
+		TraceSample:    *traceSample,
+		TraceLimit:     *traceLimit,
 	})
 
 	handler := svc.Handler()
 	if *verbose {
-		handler = logRequests(handler)
+		handler = logRequests(slog.Default(), handler)
 	}
 	srv := &http.Server{Addr: *addr, Handler: handler}
 
@@ -111,12 +124,42 @@ func main() {
 	log.Printf("powderd: bye")
 }
 
-// logRequests is a minimal access-log middleware.
-func logRequests(next http.Handler) http.Handler {
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush keeps the NDJSON event stream flushable through the wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// logRequests is a structured access-log middleware; requests touching
+// a traced job log its trace ID (from the X-Powder-Trace response
+// header), so a slow request correlates to its span tree.
+func logRequests(logger *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		next.ServeHTTP(w, r)
-		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		attrs := []any{
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration", time.Since(start).Round(time.Microsecond).String(),
+		}
+		if id := sw.Header().Get(service.TraceHeader); id != "" {
+			attrs = append(attrs, "trace", id)
+		}
+		logger.Info("request", attrs...)
 	})
 }
 

@@ -8,6 +8,7 @@ import (
 	"powder/internal/logic"
 	"powder/internal/netlist"
 	"powder/internal/obs"
+	"powder/internal/obs/trace"
 	"powder/internal/sat"
 )
 
@@ -152,7 +153,21 @@ func (c *Checker) CheckStem(a netlist.NodeID, src Source) Verdict {
 func (c *Checker) check(kind string, changed []netlist.Branch, src Source) Verdict {
 	c.Stats.Checks++
 	start := time.Now()
-	v, conflicts, decisions := c.decide(changed, src)
+	// One "prove" span per permissibility proof; the SAT solve inside
+	// nests under it through the derived context.
+	ctx, sp := trace.StartSpan(c.Ctx, "prove")
+	v, conflicts, decisions := c.decide(ctx, changed, src)
+	if sp != nil {
+		sp.SetAttr("kind", kind)
+		sp.SetAttr("verdict", v.String())
+		sp.SetAttr("branches", len(changed))
+		sp.SetAttr("conflicts", conflicts)
+		sp.SetAttr("decisions", decisions)
+		if c.Budget > 0 {
+			sp.SetAttr("budget", c.Budget)
+		}
+		sp.End()
+	}
 	switch v {
 	case Permissible:
 		c.Stats.Permissible++
@@ -203,7 +218,7 @@ func (c *Checker) check(kind string, changed []netlist.Branch, src Source) Verdi
 // encoded once; every gate in the transitive fanout of a rewired pin is
 // duplicated with the rewired pins reading the source signal. The check
 // asks whether any primary output can differ; UNSAT proves permissibility.
-func (c *Checker) decide(changed []netlist.Branch, src Source) (verdict Verdict, conflicts, decisions int64) {
+func (c *Checker) decide(ctx context.Context, changed []netlist.Branch, src Source) (verdict Verdict, conflicts, decisions int64) {
 	nl := c.nl
 
 	changedPin := make(map[netlist.Branch]bool, len(changed))
@@ -235,7 +250,7 @@ func (c *Checker) decide(changed []netlist.Branch, src Source) (verdict Verdict,
 
 	s := sat.New()
 	s.SetBudget(c.Budget)
-	s.SetContext(c.Ctx)
+	s.SetContext(ctx)
 	b := newCNFBuilder(nl, s)
 
 	// Source variable.

@@ -29,6 +29,7 @@ import (
 	"powder/internal/faultinject"
 	"powder/internal/netlist"
 	"powder/internal/obs"
+	"powder/internal/obs/trace"
 	"powder/internal/power"
 	"powder/internal/sta"
 	"powder/internal/transform"
@@ -339,6 +340,21 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 	ph := obs.NewPhaseSet()
 	start := time.Now()
 
+	// Root span of the run; every phase, candidate, proof, and SAT solve
+	// below nests under it through the context. A context without a
+	// tracer makes all of this free.
+	ctx, optSpan := trace.StartSpan(ctx, "optimize")
+	optSpan.SetAttr("circuit", nl.Name)
+	defer func() {
+		if res != nil {
+			optSpan.SetAttr("applied", res.Applied)
+			optSpan.SetAttr("harvests", res.Harvests)
+			optSpan.SetAttr("stopped", string(res.Stopped))
+			optSpan.SetAttr("reduction_pct", res.PowerReductionPct())
+		}
+		optSpan.End()
+	}()
+
 	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
@@ -385,13 +401,17 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 		}
 	}()
 
+	_, estSpan := trace.StartSpan(ctx, "power-estimate")
 	stop := ph.Start("power-estimate")
 	pm := power.Estimate(nl, opts.Power)
 	res.Initial = pm.Snapshot()
 	stop()
+	estSpan.End()
+	_, staSpan := trace.StartSpan(ctx, "delay-analysis")
 	stop = ph.Start("delay-analysis")
 	res.InitialDelay = sta.NewObserved(nl, 0, opts.InputDrive, o).Delay()
 	stop()
+	staSpan.End()
 
 	constraint := opts.DelayConstraint
 	if opts.DelayFactor > 0 {
@@ -473,12 +493,16 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 	exhausted := false
 	for !exhausted && !stopRequested() {
 		an := transform.NewAnalyzer(nl, pm)
+		_, harvSpan := trace.StartSpan(ctx, "harvest")
 		stop = ph.Start("harvest")
 		cands := transform.Generate(nl, pm, opts.Transform)
 		stop()
 		res.Harvests++
 		res.Candidates += len(cands)
+		harvSpan.SetAttr("harvest", res.Harvests)
+		harvSpan.SetAttr("candidates", len(cands))
 		if len(cands) == 0 {
+			harvSpan.End()
 			break
 		}
 		stop = ph.Start("ab-analysis")
@@ -486,6 +510,7 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 			an.AnalyzeAB(s)
 		}
 		stop()
+		harvSpan.End()
 
 		var timing *sta.Analysis
 		if constraint > 0 {
@@ -539,15 +564,31 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 			// Drop the candidate from the pool whatever happens next.
 			cands = append(cands[:bestIdx], cands[bestIdx+1:]...)
 
+			// One span per selected candidate; the proof (with its SAT
+			// solves and escalation steps) and the apply nest under it.
+			// endCandidate stamps the outcome and detaches the checker
+			// from the candidate's span context.
+			cctx, cSpan := trace.StartSpan(ctx, "candidate")
+			cSpan.SetAttr("kind", best.Kind.String())
+			cSpan.SetAttr("sub", best.String())
+			cSpan.SetAttr("gain", best.Gain())
+			endCandidate := func(outcome string) {
+				cSpan.SetAttr("outcome", outcome)
+				cSpan.End()
+				checker.Ctx = ctx
+			}
+
 			if timing != nil {
 				stop = ph.Start("delay-check")
 				ok := transform.DelayOK(nl, best, timing)
 				stop()
 				if !ok {
 					reject(RejectDelay, best, nil)
+					endCandidate(RejectDelay)
 					continue // increases_delay -> discard, pick the next best
 				}
 			}
+			checker.Ctx = cctx
 			stop = ph.Start("atpg-check")
 			verdict := checkCandidate(checker, best)
 			stop()
@@ -562,14 +603,16 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 				verdict = atpg.Aborted
 			}
 			if verdict == atpg.Aborted && retriesLeft > 0 && ctx.Err() == nil {
-				verdict = escalate(ctx, checker, best, hooks, &retriesLeft, res, ph, o, proof)
+				verdict = escalate(cctx, checker, best, hooks, &retriesLeft, res, ph, o, proof)
 			}
 			proof.Verdict = verdict.String()
 			if verdict != atpg.Permissible {
 				if verdict == atpg.Aborted {
 					reject(RejectAborted, best, proof)
+					endCandidate(RejectAborted)
 				} else {
 					reject(RejectRefuted, best, proof)
+					endCandidate(RejectRefuted)
 				}
 				continue
 			}
@@ -595,6 +638,7 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 				perNodeBefore = pm.PerNode(perNodeBefore)
 			}
 			preSig := poSignatures(pm, nl)
+			_, aSpan := trace.StartSpan(cctx, "apply")
 			txn := nl.Begin()
 			stop = ph.Start("apply")
 			_, applyErr := transform.ApplySafe(nl, best)
@@ -625,6 +669,8 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 			}
 			if applyErr != nil {
 				txn.Rollback()
+				aSpan.SetAttr("outcome", reason)
+				aSpan.End()
 				stop = ph.Start("power-resync")
 				pm.Resync()
 				an = transform.NewAnalyzer(nl, pm)
@@ -633,9 +679,12 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 				if o.Tracing() {
 					o.Emit("rollback", obs.Fields{"sub": best.String(), "error": applyErr.Error()})
 				}
+				endCandidate(reason)
 				continue
 			}
 			txn.Commit()
+			aSpan.SetAttr("outcome", "applied")
+			aSpan.End()
 			if led != nil {
 				pAfter := pm.Total()
 				perNodeAfter = pm.PerNode(perNodeAfter)
@@ -679,6 +728,7 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 					"applied":    res.Applied,
 				})
 			}
+			endCandidate("applied")
 			reportProgress(false)
 			if opts.MaxSubstitutions > 0 && res.Applied >= opts.MaxSubstitutions {
 				res.Stopped = StopMaxSubs
@@ -690,9 +740,11 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 			// Runs after the substitution-cap check so a run that just hit
 			// its cap does not pay for a proof whose snapshot is never used.
 			if opts.VerifyEvery > 0 && res.Applied%opts.VerifyEvery == 0 && ctx.Err() == nil {
+				svctx, svSpan := trace.StartSpan(ctx, "safety-verify")
 				stop = ph.Start("safety-verify")
-				eq, eqErr := atpg.EquivalentCtx(ctx, input, nl, 0)
+				eq, eqErr := atpg.EquivalentCtx(svctx, input, nl, 0)
 				stop()
+				svSpan.End()
 				switch {
 				case eqErr == nil && eq.Verdict == atpg.Permissible:
 					lastGood = nl.Clone()
@@ -735,12 +787,16 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 		}
 	}
 
+	_, finSpan := trace.StartSpan(ctx, "power-estimate")
 	stop = ph.Start("power-estimate")
 	res.Final = pm.Snapshot()
 	stop()
+	finSpan.End()
+	_, finStaSpan := trace.StartSpan(ctx, "delay-analysis")
 	stop = ph.Start("delay-analysis")
 	res.FinalDelay = sta.NewObserved(nl, 0, opts.InputDrive, o).Delay()
 	stop()
+	finStaSpan.End()
 	res.CheckStats = checker.Stats
 	stop = ph.Start("validate")
 	vErr := nl.Validate()
@@ -794,9 +850,16 @@ func escalate(ctx context.Context, checker *atpg.Checker, s *transform.Substitut
 		res.Escalation.Retries++
 		o.Counter("core.escalation.retries").Inc()
 		checker.Budget = budget
+		// Each retry gets its own child span so an escalation ladder is
+		// visible as stacked re-proofs under the candidate.
+		ectx, eSpan := trace.StartSpan(ctx, "escalate")
+		eSpan.SetAttr("step", step+1)
+		eSpan.SetAttr("budget", budget)
+		checker.Ctx = ectx
 		stop := ph.Start("atpg-check")
 		verdict = checkCandidate(checker, s)
 		stop()
+		checker.Ctx = ctx
 		if proof != nil {
 			d := checker.LastCheck
 			proof.Conflicts += d.Conflicts
@@ -808,6 +871,8 @@ func escalate(ctx context.Context, checker *atpg.Checker, s *transform.Substitut
 		if hooks != nil && hooks.ForceAbort != nil && hooks.ForceAbort(checker.Stats.Checks) {
 			verdict = atpg.Aborted
 		}
+		eSpan.SetAttr("verdict", verdict.String())
+		eSpan.End()
 	}
 	switch verdict {
 	case atpg.Permissible:

@@ -5,6 +5,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"powder/internal/core"
 	"powder/internal/netlist"
 	"powder/internal/obs"
+	"powder/internal/obs/trace"
 	"powder/internal/redundancy"
 	"powder/internal/service"
 	"powder/internal/synth"
@@ -47,6 +49,12 @@ type RunOptions struct {
 	// Obs, when non-nil, receives experiment-level "progress" events and
 	// is threaded into every core.Optimize call (run events + metrics).
 	Obs *obs.Observer
+	// Tracer, when non-nil, records a hierarchical span trace of every
+	// Table 1 engine run: one "table1-free"/"table1-constr" root per
+	// circuit with the engine's optimize/harvest/prove/apply spans
+	// nested below (powbench -trace-perfetto). With Parallel > 1 the
+	// roots of concurrent circuits interleave on the shared trace.
+	Tracer *trace.Tracer
 	// Progress, when non-nil, receives one line per circuit step.
 	// Deprecated compatibility adapter over the event sink; prefer Obs.
 	Progress func(string)
@@ -256,6 +264,8 @@ func RunSuite(specs []circuits.Spec, opts RunOptions) (*Suite, error) {
 }
 
 func runOne(spec circuits.Spec, opts *RunOptions) (*Table1Row, map[transform.Kind]*core.ClassStats, error) {
+	ctx := trace.NewContext(context.Background(), opts.Tracer)
+
 	// Unconstrained run.
 	nlFree, err := compile(spec, opts)
 	if err != nil {
@@ -264,7 +274,10 @@ func runOne(spec circuits.Spec, opts *RunOptions) (*Table1Row, map[transform.Kin
 	freeOpts := opts.Core
 	freeOpts.DelayConstraint = 0
 	freeOpts.DelayFactor = 0
-	resFree, err := core.Optimize(nlFree, freeOpts)
+	fctx, fSpan := trace.StartSpan(ctx, "table1-free")
+	fSpan.SetAttr("circuit", spec.Name)
+	resFree, err := core.OptimizeCtx(fctx, nlFree, freeOpts)
+	fSpan.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -277,7 +290,10 @@ func runOne(spec circuits.Spec, opts *RunOptions) (*Table1Row, map[transform.Kin
 	start := time.Now()
 	cOpts := opts.Core
 	cOpts.DelayFactor = 1.0
-	resC, err := core.Optimize(nlC, cOpts)
+	cctx, cSpan := trace.StartSpan(ctx, "table1-constr")
+	cSpan.SetAttr("circuit", spec.Name)
+	resC, err := core.OptimizeCtx(cctx, nlC, cOpts)
+	cSpan.End()
 	if err != nil {
 		return nil, nil, err
 	}

@@ -124,3 +124,125 @@ func TestObserverConcurrentEmitToHub(t *testing.T) {
 		t.Fatalf("ticks = %d, want %d", got, 300*hammerGoroutines)
 	}
 }
+
+// TestHubConcurrentSubscribeReplayDrop hammers one Hub with parallel
+// emitters, churning subscribers (replay + cancel), drop-counter swaps,
+// and snapshot readers. The replay cap is tiny so the drop-accounting
+// paths run constantly.
+func TestHubConcurrentSubscribeReplayDrop(t *testing.T) {
+	const (
+		limit = 64
+		perG  = 500
+	)
+	hub := NewHub(limit)
+	reg := NewRegistry()
+	ctrA := reg.Counter("drops.a")
+	ctrB := reg.Counter("drops.b")
+
+	var wg sync.WaitGroup
+	for g := 0; g < hammerGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			switch g % 4 {
+			case 0, 1: // emitters
+				for i := 0; i < perG; i++ {
+					hub.Emit(Event{Name: "hammer", Time: time.Now(), Fields: Fields{"g": g, "i": i}})
+				}
+			case 2: // subscribers: replay a prefix, then cancel (twice — idempotent)
+				for i := 0; i < 50; i++ {
+					ch, cancel := hub.Subscribe()
+					for j := 0; j < 20; j++ {
+						if _, ok := <-ch; !ok {
+							break
+						}
+					}
+					cancel()
+					cancel()
+					// Drain whatever was buffered before the cancel closed it.
+					for range ch {
+					}
+				}
+			case 3: // drop-counter swaps + snapshot readers
+				for i := 0; i < 200; i++ {
+					switch i % 3 {
+					case 0:
+						hub.SetDropCounter(ctrA)
+					case 1:
+						hub.SetDropCounter(ctrB)
+					default:
+						hub.SetDropCounter(nil)
+					}
+					_ = hub.Events()
+					_ = hub.Dropped()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	emitters := 0
+	for g := 0; g < hammerGoroutines; g++ {
+		if g%4 <= 1 {
+			emitters++
+		}
+	}
+	emitted := emitters * perG
+	if got := len(hub.Events()); got != limit {
+		t.Fatalf("replay buffer holds %d events, want the cap %d", got, limit)
+	}
+	// Every emit past the cap is a counted drop; slow subscribers add more.
+	if hub.Dropped() < int64(emitted-limit) {
+		t.Fatalf("Dropped = %d, want >= %d", hub.Dropped(), emitted-limit)
+	}
+	// The registry counters mirror only the drops that happened while they
+	// were attached, so they can never exceed the hub's own count.
+	if ctrA.Value()+ctrB.Value() > hub.Dropped() {
+		t.Fatalf("mirrored drops %d+%d exceed hub total %d", ctrA.Value(), ctrB.Value(), hub.Dropped())
+	}
+
+	hub.Close()
+	hub.Emit(Event{Name: "after-close"}) // must be a silent no-op
+	ch, cancel := hub.Subscribe()
+	defer cancel()
+	n := 0
+	for range ch {
+		n++
+	}
+	if n != limit {
+		t.Fatalf("post-close subscriber replayed %d events, want %d", n, limit)
+	}
+}
+
+// TestHubCloseRace closes the hub while emitters and subscribers are
+// still running: every subscriber channel must terminate and nothing may
+// panic or race.
+func TestHubCloseRace(t *testing.T) {
+	hub := NewHub(32)
+	var wg sync.WaitGroup
+	for g := 0; g < hammerGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			switch g % 3 {
+			case 0:
+				for i := 0; i < 300; i++ {
+					hub.Emit(Event{Name: fmt.Sprintf("e%d", g), Time: time.Now()})
+				}
+			case 1:
+				for i := 0; i < 30; i++ {
+					ch, cancel := hub.Subscribe()
+					for range ch {
+					}
+					cancel()
+				}
+			default:
+				hub.Close() // idempotent, races with everything above
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(hub.Events()); got > 32 {
+		t.Fatalf("replay buffer overflowed its cap: %d > 32", got)
+	}
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// perfettoEvent is one Chrome trace-event ("X" = complete event with a
+// duration, "M" = metadata). The format is what chrome://tracing and
+// ui.perfetto.dev load directly.
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`            // microseconds
+	Dur  int64          `json:"dur,omitempty"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// perfettoFile is the JSON-object flavour of the trace-event format.
+type perfettoFile struct {
+	TraceEvents     []perfettoEvent `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+}
+
+// WritePerfetto renders spans (from one or several traces) as
+// Chrome/Perfetto trace-event JSON. Each trace gets its own tid, named
+// after the trace ID via a thread_name metadata event, so concurrent
+// jobs appear as parallel tracks; spans nest on a track by time
+// containment, which the recorder's parent links guarantee. Timestamps
+// are microseconds relative to the earliest span, keeping the JSON
+// stable under re-export.
+func WritePerfetto(w io.Writer, spans []Record) error {
+	ordered := append([]Record(nil), spans...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Trace != ordered[j].Trace {
+			return ordered[i].Trace < ordered[j].Trace
+		}
+		return ordered[i].ID < ordered[j].ID
+	})
+
+	var epoch time.Time
+	for _, s := range ordered {
+		if epoch.IsZero() || s.Start.Before(epoch) {
+			epoch = s.Start
+		}
+	}
+
+	tids := make(map[string]int)
+	file := perfettoFile{DisplayTimeUnit: "ms", TraceEvents: []perfettoEvent{}}
+	for _, s := range ordered {
+		tid, ok := tids[s.Trace]
+		if !ok {
+			tid = len(tids) + 1
+			tids[s.Trace] = tid
+			file.TraceEvents = append(file.TraceEvents, perfettoEvent{
+				Name: "thread_name",
+				Ph:   "M",
+				Pid:  1,
+				Tid:  tid,
+				Args: map[string]any{"name": s.Trace},
+			})
+		}
+		ev := perfettoEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   s.Start.Sub(epoch).Microseconds(),
+			Dur:  s.End.Sub(s.Start).Microseconds(),
+			Pid:  1,
+			Tid:  tid,
+			Cat:  "powder",
+		}
+		if len(s.Attrs) > 0 || s.Parent != 0 {
+			ev.Args = make(map[string]any, len(s.Attrs)+2)
+			for k, v := range s.Attrs {
+				ev.Args[k] = v
+			}
+			ev.Args["span"] = int64(s.ID)
+			if s.Parent != 0 {
+				ev.Args["parent"] = int64(s.Parent)
+			}
+		} else {
+			ev.Args = map[string]any{"span": int64(s.ID)}
+		}
+		file.TraceEvents = append(file.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(file)
+}
+
+// Validate checks a completed trace for well-formedness: every span
+// ended (End after Start), every non-zero parent exists, children
+// nested within their parent's interval, and no span ID repeated. It
+// returns nil for an empty trace and the first violation otherwise.
+// The service's trace endpoint and the CI smoke use it to certify the
+// span tree a job publishes.
+func Validate(spans []Record) error {
+	byID := make(map[SpanID]Record, len(spans))
+	for _, s := range spans {
+		if s.ID == 0 {
+			return fmt.Errorf("trace: span %q has ID 0", s.Name)
+		}
+		if _, dup := byID[s.ID]; dup {
+			return fmt.Errorf("trace: duplicate span ID %d (%q)", s.ID, s.Name)
+		}
+		byID[s.ID] = s
+	}
+	for _, s := range spans {
+		if s.End.IsZero() {
+			return fmt.Errorf("trace: span %d (%q) never ended", s.ID, s.Name)
+		}
+		if s.End.Before(s.Start) {
+			return fmt.Errorf("trace: span %d (%q) ends %v before it starts", s.ID, s.Name, s.Start.Sub(s.End))
+		}
+		if s.Parent == 0 {
+			continue
+		}
+		p, ok := byID[s.Parent]
+		if !ok {
+			// The recorder overwrites oldest-ended spans, and a parent
+			// always ends after its children, so a complete trace keeps
+			// parent closure under any drop pattern; a missing parent is
+			// a genuine defect.
+			return fmt.Errorf("trace: span %d (%q) references unknown parent %d", s.ID, s.Name, s.Parent)
+		}
+		if s.Start.Before(p.Start) || s.End.After(p.End) {
+			return fmt.Errorf("trace: span %d (%q) [%v..%v] escapes parent %d (%q) [%v..%v]",
+				s.ID, s.Name, s.Start, s.End, p.ID, p.Name, p.Start, p.End)
+		}
+	}
+	return nil
+}
+
+// Roots returns the root spans (Parent == 0) of a snapshot.
+func Roots(spans []Record) []Record {
+	var roots []Record
+	for _, s := range spans {
+		if s.Parent == 0 {
+			roots = append(roots, s)
+		}
+	}
+	return roots
+}

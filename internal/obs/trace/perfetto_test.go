@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixedSpans is a two-trace forest built from constants so the exporter
+// output is byte-stable: trace "job-1" has root→child, trace "job-2" a
+// single root with attrs.
+func fixedSpans() []Record {
+	t0 := time.Unix(100, 0)
+	return []Record{
+		{Trace: "job-2", ID: 1, Name: "run", Start: t0.Add(5 * time.Millisecond), End: t0.Add(9 * time.Millisecond),
+			Attrs: map[string]any{"circuit": "comp"}},
+		{Trace: "job-1", ID: 1, Name: "job", Start: t0, End: t0.Add(10 * time.Millisecond)},
+		{Trace: "job-1", ID: 2, Parent: 1, Name: "queue", Start: t0.Add(time.Millisecond), End: t0.Add(3 * time.Millisecond)},
+	}
+}
+
+const goldenPerfetto = `{
+ "traceEvents": [
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 1,
+   "args": {
+    "name": "job-1"
+   }
+  },
+  {
+   "name": "job",
+   "ph": "X",
+   "ts": 0,
+   "dur": 10000,
+   "pid": 1,
+   "tid": 1,
+   "cat": "powder",
+   "args": {
+    "span": 1
+   }
+  },
+  {
+   "name": "queue",
+   "ph": "X",
+   "ts": 1000,
+   "dur": 2000,
+   "pid": 1,
+   "tid": 1,
+   "cat": "powder",
+   "args": {
+    "parent": 1,
+    "span": 2
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 2,
+   "args": {
+    "name": "job-2"
+   }
+  },
+  {
+   "name": "run",
+   "ph": "X",
+   "ts": 5000,
+   "dur": 4000,
+   "pid": 1,
+   "tid": 2,
+   "cat": "powder",
+   "args": {
+    "circuit": "comp",
+    "span": 1
+   }
+  }
+ ],
+ "displayTimeUnit": "ms"
+}
+`
+
+func TestWritePerfettoGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, fixedSpans()); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+	if got := buf.String(); got != goldenPerfetto {
+		t.Errorf("Perfetto output drifted from golden.\ngot:\n%s\nwant:\n%s", got, goldenPerfetto)
+	}
+}
+
+func TestWritePerfettoParsesAndStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, fixedSpans()); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", file.DisplayTimeUnit)
+	}
+	meta, complete := 0, 0
+	tids := map[int]bool{}
+	for _, ev := range file.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			tids[ev.Tid] = true
+			if ev.Dur < 0 || ev.Ts < 0 {
+				t.Errorf("event %q has negative ts/dur", ev.Name)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if meta != 2 || complete != 3 {
+		t.Errorf("got %d metadata + %d complete events, want 2 + 3", meta, complete)
+	}
+	if len(tids) != 2 {
+		t.Errorf("spans spread over %d tids, want 2 (one per trace)", len(tids))
+	}
+}
+
+func TestWritePerfettoEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, nil); err != nil {
+		t.Fatalf("WritePerfetto(nil): %v", err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents": []`) {
+		t.Errorf("empty export should still emit a traceEvents array, got %s", buf.String())
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+
+	"powder/internal/obs/trace"
 )
 
 // Lit is a literal: variable index shifted left once, low bit = negated.
@@ -431,6 +433,27 @@ func (s *Solver) bumpClause(c *clause) {
 // Solve determines satisfiability under the given assumptions. On Sat the
 // model is readable via Value. Assumption conflicts yield Unsat.
 func (s *Solver) Solve(assumptions ...Lit) Result {
+	// One span per solve when the solver's context carries a tracer: the
+	// proof's exact CDCL effort (conflicts, decisions, propagations)
+	// becomes visible in the run's flamegraph. Without a tracer this is
+	// two context lookups, nothing else.
+	_, sp := trace.StartSpan(s.ctx, "sat-solve")
+	if sp == nil {
+		return s.solve(assumptions...)
+	}
+	c0, d0, p0 := s.Conflicts, s.Decisions, s.Propagations
+	res := s.solve(assumptions...)
+	sp.SetAttr("result", res.String())
+	sp.SetAttr("conflicts", s.Conflicts-c0)
+	sp.SetAttr("decisions", s.Decisions-d0)
+	sp.SetAttr("propagations", s.Propagations-p0)
+	sp.SetAttr("vars", len(s.assign))
+	sp.SetAttr("clauses", len(s.clauses))
+	sp.End()
+	return res
+}
+
+func (s *Solver) solve(assumptions ...Lit) Result {
 	s.interrupted = false
 	if !s.ok {
 		return Unsat

@@ -49,7 +49,7 @@ func OptimizeCtx(ctx context.Context, c *Circuit, opts Options) (*Result, error)
 	if opts.Fixpoint.Obs == nil {
 		opts.Fixpoint.Obs = opts.Core.Obs
 	}
-	fp, err := SteadyState(c, opts.Fixpoint)
+	fp, err := SteadyStateCtx(ctx, c, opts.Fixpoint)
 	if err != nil {
 		return nil, err
 	}

@@ -20,6 +20,7 @@
 package seq
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -27,6 +28,7 @@ import (
 	"powder/internal/blif"
 	"powder/internal/netlist"
 	"powder/internal/obs"
+	"powder/internal/obs/trace"
 )
 
 // Circuit is a sequential circuit: a validated register-boundary cut.
@@ -129,11 +131,24 @@ func (r *FixpointResult) CoreInputProbs() []float64 {
 }
 
 // SteadyState iterates the core's input→next-state probability map to a
-// fixpoint and returns the converged state-line probabilities. State
+// fixpoint and returns the converged state-line probabilities. It is
+// SteadyStateCtx under a background context.
+func SteadyState(c *Circuit, opts FixpointOptions) (*FixpointResult, error) {
+	return SteadyStateCtx(context.Background(), c, opts)
+}
+
+// SteadyStateCtx iterates the core's input→next-state probability map to
+// a fixpoint and returns the converged state-line probabilities. State
 // probabilities start from the declared latch init values (0→0, 1→1,
 // don't-care/unknown→0.5). Divergence (iteration cap) returns the last
 // iterate wrapped in ErrDiverged so callers can still inspect it.
-func SteadyState(c *Circuit, opts FixpointOptions) (*FixpointResult, error) {
+//
+// The iteration is observable: a "fixpoint" span (with per-iteration
+// child spans) nests under any tracer on ctx, and when the observer's
+// event stream is on, every Picard step emits a "seq.fixpoint.iter"
+// event with its residual — the convergence trajectory, not just the
+// converged point.
+func SteadyStateCtx(ctx context.Context, c *Circuit, opts FixpointOptions) (*FixpointResult, error) {
 	if err := opts.normalize(c); err != nil {
 		return nil, err
 	}
@@ -166,8 +181,20 @@ func SteadyState(c *Circuit, opts FixpointOptions) (*FixpointResult, error) {
 		return res, nil
 	}
 
+	fctx, fpSpan := trace.StartSpan(ctx, "fixpoint")
+	fpSpan.SetAttr("circuit", m.Netlist.Name)
+	fpSpan.SetAttr("latches", len(m.Latches))
+	fpSpan.SetAttr("damping", opts.Damping)
+	endFixpoint := func(outcome string) {
+		fpSpan.SetAttr("outcome", outcome)
+		fpSpan.SetAttr("iterations", res.Iterations)
+		fpSpan.SetAttr("residual", res.Residual)
+		fpSpan.End()
+	}
+
 	next := make([]float64, len(state))
 	for iter := 1; iter <= opts.MaxIter; iter++ {
+		_, iterSpan := trace.StartSpan(fctx, "fixpoint-iter")
 		prop.run(inProbs, state)
 		residual := 0.0
 		for i := range state {
@@ -182,6 +209,17 @@ func SteadyState(c *Circuit, opts FixpointOptions) (*FixpointResult, error) {
 		res.StateProbs = state
 		res.Iterations = iter
 		res.Residual = residual
+		iterSpan.SetAttr("iteration", iter)
+		iterSpan.SetAttr("residual", residual)
+		iterSpan.End()
+		if opts.Obs.Tracing() {
+			opts.Obs.Emit("seq.fixpoint.iter", obs.Fields{
+				"circuit":   m.Netlist.Name,
+				"iteration": iter,
+				"residual":  residual,
+				"damping":   opts.Damping,
+			})
+		}
 		if residual <= opts.Tol {
 			opts.Obs.Counter("seq.fixpoint.converged").Inc()
 			opts.Obs.Histogram("seq.fixpoint.iterations").Observe(float64(iter))
@@ -191,9 +229,11 @@ func SteadyState(c *Circuit, opts FixpointOptions) (*FixpointResult, error) {
 				"iterations": iter,
 				"residual":   residual,
 			})
+			endFixpoint("converged")
 			return res, nil
 		}
 	}
+	endFixpoint("diverged")
 	opts.Obs.Counter("seq.fixpoint.diverged").Inc()
 	opts.Obs.Emit("seq.fixpoint.diverged", obs.Fields{
 		"circuit":  m.Netlist.Name,

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"powder/internal/obs"
+	"powder/internal/obs/trace"
 )
 
 // Handler returns the service's HTTP API:
@@ -31,11 +32,22 @@ import (
 //	GET    /v1/jobs/{id}/ledger    the run ledger (substitution provenance
 //	                               + per-node power attribution) of a
 //	                               finished job; 409 while running
+//	GET    /v1/jobs/{id}/trace     the span tree of a traced job
+//	                               (Config.TraceSample); 409 while
+//	                               running, ?format=perfetto renders
+//	                               Chrome/Perfetto trace-event JSON
 //	DELETE /v1/jobs/{id}           cancel a queued or running job
 //	GET    /healthz                liveness + drain state
 //	GET    /metrics                Prometheus text exposition (counters,
 //	                               histograms, runtime collectors);
 //	                               ?format=json keeps the JSON snapshot
+//	GET    /debug/status           live introspection: queue depth,
+//	                               per-worker current job, active jobs
+//	                               with their open span stacks, drop
+//	                               counters
+//
+// Responses for traced jobs carry the trace ID in an X-Powder-Trace
+// header, correlating access logs with span trees.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -44,10 +56,22 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result.blif", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/ledger", s.handleLedger)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/status", s.handleDebugStatus)
 	return mux
+}
+
+// TraceHeader is the response header carrying a traced job's trace ID.
+const TraceHeader = "X-Powder-Trace"
+
+// setTraceHeader stamps a traced job's ID onto the response.
+func setTraceHeader(w http.ResponseWriter, j *Job) {
+	if id := j.TraceID(); id != "" {
+		w.Header().Set(TraceHeader, id)
+	}
 }
 
 // apiError is the JSON error envelope.
@@ -126,6 +150,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.Submit(body, opts)
 	switch {
 	case err == nil:
+		setTraceHeader(w, j)
 		writeJSON(w, http.StatusAccepted, j.Status())
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
@@ -157,6 +182,7 @@ func (s *Service) jobOr404(w http.ResponseWriter, r *http.Request) (*Job, bool) 
 
 func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if j, ok := s.jobOr404(w, r); ok {
+		setTraceHeader(w, j)
 		writeJSON(w, http.StatusOK, j.Status())
 	}
 }
@@ -225,6 +251,39 @@ func (s *Service) handleLedger(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// traceJSON is the GET /v1/jobs/{id}/trace payload.
+type traceJSON struct {
+	Trace   string         `json:"trace"`
+	Spans   []trace.Record `json:"spans"`
+	Dropped int64          `json:"dropped,omitempty"`
+}
+
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	st := j.Status()
+	tr := j.Tracer()
+	switch {
+	case tr == nil:
+		writeError(w, http.StatusNotFound, "job %s was not traced; start powderd with -trace-sample", j.ID())
+	case !st.State.Terminal():
+		// A running job's tree is still growing; /debug/status shows the
+		// live span stack instead.
+		writeError(w, http.StatusConflict, "job %s is %s; trace not complete", j.ID(), st.State)
+	default:
+		setTraceHeader(w, j)
+		spans := tr.Snapshot()
+		if r.URL.Query().Get("format") == "perfetto" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = trace.WritePerfetto(w, spans)
+			return
+		}
+		writeJSON(w, http.StatusOK, traceJSON{Trace: tr.ID(), Spans: spans, Dropped: tr.Dropped()})
+	}
+}
+
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobOr404(w, r)
 	if !ok {
@@ -272,6 +331,71 @@ type metricsJSON struct {
 	Workers    int          `json:"workers"`
 	PoolPanics int64        `json:"pool_panics"`
 	Metrics    obs.Snapshot `json:"metrics"`
+}
+
+// debugWorker is one worker's row in /debug/status.
+type debugWorker struct {
+	Worker int `json:"worker"`
+	// Job is the running job's ID, "" for an idle worker.
+	Job string `json:"job,omitempty"`
+}
+
+// debugJob is one active (queued or running) job in /debug/status; for
+// traced jobs SpanStack holds the currently open spans root-first — the
+// live "where is this job right now" view.
+type debugJob struct {
+	ID        string         `json:"id"`
+	State     State          `json:"state"`
+	Circuit   string         `json:"circuit"`
+	TraceID   string         `json:"trace_id,omitempty"`
+	SpanStack []trace.Record `json:"span_stack,omitempty"`
+}
+
+// debugStatus is the GET /debug/status payload.
+type debugStatus struct {
+	Draining      bool          `json:"draining"`
+	Workers       []debugWorker `json:"workers"`
+	QueueDepth    int           `json:"queue_depth"`
+	InFlight      int64         `json:"in_flight"`
+	ActiveJobs    []debugJob    `json:"active_jobs"`
+	PoolPanics    int64         `json:"pool_panics"`
+	DroppedEvents int64         `json:"dropped_events"`
+	DroppedSpans  int64         `json:"dropped_spans"`
+}
+
+func (s *Service) handleDebugStatus(w http.ResponseWriter, r *http.Request) {
+	st := debugStatus{
+		Draining:      s.Draining(),
+		QueueDepth:    s.QueueDepth(),
+		InFlight:      s.InFlight(),
+		ActiveJobs:    []debugJob{},
+		PoolPanics:    s.pool.Panics(),
+		DroppedEvents: s.reg.Counter("obs.dropped.events").Value(),
+		DroppedSpans:  s.reg.Counter("trace.dropped.spans").Value(),
+	}
+	for i, label := range s.pool.WorkerStatus() {
+		st.Workers = append(st.Workers, debugWorker{Worker: i, Job: label})
+	}
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		js := j.Status()
+		if js.State.Terminal() {
+			continue
+		}
+		st.ActiveJobs = append(st.ActiveJobs, debugJob{
+			ID:        js.ID,
+			State:     js.State,
+			Circuit:   js.Circuit,
+			TraceID:   js.TraceID,
+			SpanStack: j.Tracer().ActiveStack(),
+		})
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -8,6 +8,7 @@ import (
 	"powder/internal/core"
 	"powder/internal/netlist"
 	"powder/internal/obs"
+	"powder/internal/obs/trace"
 	"powder/internal/seq"
 )
 
@@ -97,6 +98,9 @@ type Status struct {
 	Progress    core.Progress `json:"progress"`
 	Result      *JobResult    `json:"result,omitempty"`
 	Error       string        `json:"error,omitempty"`
+	// TraceID is set on traced jobs (Config.TraceSample); the span tree
+	// is served at GET /v1/jobs/{id}/trace.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Job is one queued or running optimization. All mutable fields are
@@ -127,6 +131,14 @@ type Job struct {
 	original   *netlist.Netlist // pre-optimization clone (verify only)
 	resultBLIF []byte
 	ledger     *obs.LedgerSummary
+
+	// tracer and the submit-time spans are set once in Submit on sampled
+	// jobs and immutable afterwards (the spans themselves are
+	// concurrency-safe); tctx carries tracer + root span for the worker.
+	tracer    *trace.Tracer
+	jobSpan   *trace.Span
+	queueSpan *trace.Span
+	tctx      context.Context
 }
 
 // ID returns the job identifier.
@@ -134,6 +146,21 @@ func (j *Job) ID() string { return j.id }
 
 // Hub returns the job's event stream.
 func (j *Job) Hub() *obs.Hub { return j.hub }
+
+// Tracer returns the job's span tracer (nil on an unsampled job).
+func (j *Job) Tracer() *trace.Tracer { return j.tracer }
+
+// TraceID returns the job's trace identifier ("" on an unsampled job).
+func (j *Job) TraceID() string { return j.tracer.ID() }
+
+// traceCtx returns the context the worker should run under: the span
+// context of a traced job, the plain cancellation context otherwise.
+func (j *Job) traceCtx() context.Context {
+	if j.tctx != nil {
+		return j.tctx
+	}
+	return j.ctx
+}
 
 // Status snapshots the job for serialization.
 func (j *Job) Status() Status {
@@ -148,6 +175,7 @@ func (j *Job) Status() Status {
 		Progress:    j.progress,
 		Result:      j.result,
 		Error:       j.errMsg,
+		TraceID:     j.tracer.ID(),
 	}
 	if !j.startedAt.IsZero() {
 		t := j.startedAt

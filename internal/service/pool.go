@@ -14,6 +14,13 @@ import (
 // it is a caller bug, not a runtime condition.
 const errPoolClosed = "service: Submit on closed Pool"
 
+// task is one queued unit of work; the label names it (conventionally
+// the job ID) for live introspection at /debug/status.
+type task struct {
+	label string
+	fn    func()
+}
+
 // Pool is a fixed-size worker pool over a bounded task queue. It is the
 // shared execution substrate of the serving layer: powderd runs jobs on
 // it, and powbench -parallel reuses it to fan the benchmark suite out
@@ -24,11 +31,14 @@ const errPoolClosed = "service: Submit on closed Pool"
 // pool-level recover is the backstop that keeps the pool draining).
 type Pool struct {
 	mu      sync.RWMutex // serializes sends against Close
-	tasks   chan func()
+	tasks   chan task
 	closed  bool
 	wg      sync.WaitGroup
 	workers int
 	panics  atomic.Int64
+	// current[i] holds worker i's running task label ("" when idle),
+	// published for WorkerStatus.
+	current []atomic.Value
 }
 
 // NewPool starts a pool of the given number of workers over a queue
@@ -42,18 +52,21 @@ func NewPool(workers, queue int) *Pool {
 	if queue < 0 {
 		queue = 0
 	}
-	p := &Pool{tasks: make(chan func(), queue), workers: workers}
+	p := &Pool{tasks: make(chan task, queue), workers: workers, current: make([]atomic.Value, workers)}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
-		go p.work()
+		p.current[i].Store("")
+		go p.work(i)
 	}
 	return p
 }
 
-func (p *Pool) work() {
+func (p *Pool) work(i int) {
 	defer p.wg.Done()
-	for fn := range p.tasks {
-		p.run(fn)
+	for t := range p.tasks {
+		p.current[i].Store(t.label)
+		p.run(t.fn)
+		p.current[i].Store("")
 	}
 }
 
@@ -77,20 +90,26 @@ func (p *Pool) Submit(fn func()) {
 	if p.closed {
 		panic(errPoolClosed)
 	}
-	p.tasks <- fn
+	p.tasks <- task{fn: fn}
 }
 
 // TrySubmit enqueues a task without blocking; it reports false when the
 // queue is full or the pool is closed (the caller's backpressure
 // signal).
 func (p *Pool) TrySubmit(fn func()) bool {
+	return p.TrySubmitLabeled("", fn)
+}
+
+// TrySubmitLabeled is TrySubmit with a task label (conventionally the
+// job ID) that WorkerStatus reports while the task runs.
+func (p *Pool) TrySubmitLabeled(label string, fn func()) bool {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
 		return false
 	}
 	select {
-	case p.tasks <- fn:
+	case p.tasks <- task{label: label, fn: fn}:
 		return true
 	default:
 		return false
@@ -102,6 +121,16 @@ func (p *Pool) QueueDepth() int { return len(p.tasks) }
 
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return p.workers }
+
+// WorkerStatus returns each worker's running task label, "" for an idle
+// worker, indexed by worker.
+func (p *Pool) WorkerStatus() []string {
+	out := make([]string, len(p.current))
+	for i := range p.current {
+		out[i], _ = p.current[i].Load().(string)
+	}
+	return out
+}
 
 // Panics returns how many tasks panicked (and were recovered).
 func (p *Pool) Panics() int64 { return p.panics.Load() }

@@ -15,6 +15,7 @@ import (
 	"powder/internal/cellib"
 	"powder/internal/core"
 	"powder/internal/obs"
+	"powder/internal/obs/trace"
 	"powder/internal/power"
 	"powder/internal/seq"
 	"powder/internal/transform"
@@ -43,14 +44,23 @@ type Config struct {
 	// job (<= 0: engine defaults of 64 words, seed 1).
 	PowerWords int
 	PowerSeed  int64
+	// TraceSample enables per-job span tracing for one job in every
+	// TraceSample submissions (1 = every job, 0 = off, the default for
+	// an always-on daemon). A traced job carries a trace ID in its
+	// status and serves its span tree at GET /v1/jobs/{id}/trace.
+	TraceSample int64
+	// TraceLimit bounds each traced job's recorded spans
+	// (<= 0: trace.DefaultLimit).
+	TraceLimit int
 }
 
 // Service owns the job store, the worker pool, and the HTTP handlers of
 // one powderd instance.
 type Service struct {
-	cfg  Config
-	pool *Pool
-	reg  *obs.Registry
+	cfg     Config
+	pool    *Pool
+	reg     *obs.Registry
+	sampler *trace.Sampler
 
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
@@ -87,6 +97,7 @@ func New(cfg Config) *Service {
 	s := &Service{
 		cfg:        cfg,
 		reg:        cfg.Registry,
+		sampler:    trace.Every(cfg.TraceSample),
 		jobs:       make(map[string]*Job),
 		rootCtx:    ctx,
 		rootCancel: cancel,
@@ -155,13 +166,29 @@ func (s *Service) Submit(body []byte, opts JobOptions) (*Job, error) {
 	if opts.Verify {
 		j.original = nl.Clone()
 	}
+	if s.sampler.Sample() {
+		// The tracer mirrors completed spans onto the job's event stream
+		// and bounds its recorder; drops surface at /metrics.
+		j.tracer = trace.New(j.id, trace.Options{
+			Limit:       s.cfg.TraceLimit,
+			DropCounter: s.reg.Counter("trace.dropped.spans"),
+			Obs:         obs.New(hub, nil),
+		})
+		tctx := trace.NewContext(ctx, j.tracer)
+		tctx, j.jobSpan = trace.StartSpan(tctx, "job")
+		j.jobSpan.SetAttr("circuit", j.circuit)
+		// The queue span measures submission → worker pickup; runJob ends
+		// it when the job leaves the queue.
+		_, j.queueSpan = trace.StartSpan(tctx, "queue")
+		j.tctx = tctx
+	}
 
 	s.mu.Lock()
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.mu.Unlock()
 
-	if !s.pool.TrySubmit(func() { s.runJob(j) }) {
+	if !s.pool.TrySubmitLabeled(j.id, func() { s.runJob(j) }) {
 		s.mu.Lock()
 		delete(s.jobs, j.id)
 		// Concurrent submissions may have appended after us; remove by ID.
@@ -285,12 +312,18 @@ func (s *Service) runJob(j *Job) {
 	}
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
+	j.queueSpan.End()
+	// The run span brackets the worker's part of the job; the engine's
+	// "optimize" span nests under it through the context.
+	rctx, runSpan := trace.StartSpan(j.traceCtx(), "run")
 	j.hub.Emit(obs.Event{Time: time.Now(), Name: "job-started", Fields: obs.Fields{
 		"job": j.id, "circuit": j.circuit,
 	}})
 
 	defer func() {
 		if r := recover(); r != nil {
+			runSpan.SetAttr("panic", fmt.Sprint(r))
+			runSpan.End()
 			s.finishJob(j, StateFailed, nil, fmt.Errorf("panic: %v", r))
 		}
 	}()
@@ -299,20 +332,23 @@ func (s *Service) runJob(j *Job) {
 		s.testBeforeRun(j.ctx, j)
 	}
 
-	res, err := s.optimize(j)
+	res, err := s.optimize(rctx, j)
+	to := StateCompleted
 	switch {
 	case err != nil:
-		s.finishJob(j, StateFailed, res, err)
+		to = StateFailed
 	case res.Stopped == core.StopCancelled:
-		s.finishJob(j, StateCancelled, res, nil)
-	default:
-		s.finishJob(j, StateCompleted, res, nil)
+		to = StateCancelled
 	}
+	runSpan.SetAttr("state", string(to))
+	runSpan.End()
+	s.finishJob(j, to, res, err)
 }
 
 // optimize runs the engine and, when requested, the SAT equivalence
-// re-verification; it also renders the optimized netlist to BLIF.
-func (s *Service) optimize(j *Job) (*core.Result, error) {
+// re-verification; it also renders the optimized netlist to BLIF. ctx
+// carries the job's cancellation and, for traced jobs, its span context.
+func (s *Service) optimize(ctx context.Context, j *Job) (*core.Result, error) {
 	opts := core.Options{
 		Timeout:          j.opts.Timeout,
 		MaxSubstitutions: j.opts.MaxSubstitutions,
@@ -333,7 +369,7 @@ func (s *Service) optimize(j *Job) (*core.Result, error) {
 		// power model, the core engine sees the cut as a combinational
 		// circuit with the next-state cones anchored as outputs.
 		var sres *seq.Result
-		sres, err = seq.OptimizeCtx(j.ctx, j.circ, seq.Options{
+		sres, err = seq.OptimizeCtx(ctx, j.circ, seq.Options{
 			Core:     opts,
 			Fixpoint: seq.FixpointOptions{InputProbs: j.inputProbs},
 		})
@@ -345,7 +381,7 @@ func (s *Service) optimize(j *Job) (*core.Result, error) {
 		if j.inputProbs != nil {
 			opts.Power.InputProbs = j.inputProbs
 		}
-		res, err = core.OptimizeCtx(j.ctx, j.nl, opts)
+		res, err = core.OptimizeCtx(ctx, j.nl, opts)
 	}
 	if res != nil && res.Ledger != nil {
 		// Publish the ledger even for failed or cancelled runs: partial
@@ -409,6 +445,13 @@ func (s *Service) finishJob(j *Job, to State, res *core.Result, err error) {
 	}
 	j.mu.Unlock()
 	s.finishStats(j, to)
+	// Close out the trace before the hub: the queue span is still open
+	// when a queued job is cancelled, and the job root span always is.
+	j.queueSpan.End()
+	if j.jobSpan != nil {
+		j.jobSpan.SetAttr("state", string(to))
+		j.jobSpan.End()
+	}
 	f := obs.Fields{"job": j.id, "state": string(to)}
 	if res != nil {
 		f["applied"] = res.Applied
