@@ -64,6 +64,9 @@ func main() {
 		retries       = flag.Int("max-retries", 0, "per-circuit budget-escalation retries for aborted proofs (0 = no escalation)")
 		parallel      = flag.Int("parallel", 1, "run circuits concurrently on this many workers (0 = GOMAXPROCS); output stays in circuit order")
 
+		server     = flag.String("server", "", "run the suite against a powderd daemon at this base URL instead of in-process (honors -circuits, -timeout, -quiet)")
+		srvNoCache = flag.Bool("no-cache", false, "with -server: bypass the daemon's content-addressed result cache")
+
 		traceJSON     = flag.String("trace-json", "", "write structured run events as JSON Lines to this file")
 		tracePerfetto = flag.String("trace-perfetto", "", "write the Table 1 runs' span traces as Chrome/Perfetto trace-event JSON to this file")
 		metrics       = flag.Bool("metrics", false, "collect a metrics registry over all runs and print it to stderr")
@@ -78,6 +81,12 @@ func main() {
 		}
 		for _, s := range circuits.SeqAll() {
 			fmt.Printf("%-10s %s (sequential, %d latches)\n", s.Name, s.Kind, s.Latches)
+		}
+		return
+	}
+	if *server != "" {
+		if err := runRemote(*server, *subset, *timeout, *srvNoCache, *quiet); err != nil {
+			fail(err)
 		}
 		return
 	}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/url"
+	"os"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"powder/internal/blif"
+	"powder/internal/cellib"
+	"powder/internal/circuits"
+	"powder/internal/client"
+	"powder/internal/service"
+	"powder/internal/synth"
+)
+
+// remoteRow is one circuit's outcome from a powderd run.
+type remoteRow struct {
+	name   string
+	status service.Status
+	err    error
+}
+
+// runRemote is powbench's -server mode: the Table 1 circuit set (or
+// the -circuits subset) is compiled, submitted to a powderd daemon
+// concurrently, and rendered as a compact table once every job
+// finishes. Repeat runs exercise the daemon's result cache — the
+// "cached" column shows which rows came back without an optimization
+// — which is how EXPERIMENTS.md measures cache-hit latency against a
+// full run.
+func runRemote(server, subset string, timeout time.Duration, noCache, quiet bool) error {
+	specs := circuits.All()
+	if subset != "" {
+		specs = specs[:0]
+		for _, name := range strings.Split(subset, ",") {
+			s, err := circuits.ByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			specs = append(specs, s)
+		}
+	}
+
+	lib := cellib.Lib2()
+	q := url.Values{}
+	if timeout > 0 {
+		q.Set("timeout", timeout.String())
+	}
+	if noCache {
+		q.Set("no-cache", "1")
+	}
+	c := client.New(server, client.Options{})
+	ctx := context.Background()
+
+	rows := make([]remoteRow, len(specs))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, spec := range specs {
+		rows[i].name = spec.Name
+		nl, err := synth.Compile(spec.Build(), lib, synth.Options{Mode: synth.CostPower})
+		if err != nil {
+			rows[i].err = err
+			continue
+		}
+		var buf bytes.Buffer
+		if err := blif.WriteModel(&buf, &blif.Model{
+			Netlist: nl, NumInputs: len(nl.Inputs()), NumOutputs: len(nl.Outputs()),
+		}); err != nil {
+			rows[i].err = err
+			continue
+		}
+		body := buf.Bytes()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := c.Submit(ctx, body, q)
+			if err != nil {
+				rows[i].err = err
+				return
+			}
+			if !quiet {
+				fmt.Fprintf(os.Stderr, "%-10s job %s (cached %t)\n", rows[i].name, st.ID, st.Cached)
+			}
+			rows[i].status, rows[i].err = c.Wait(ctx, st.ID, 100*time.Millisecond)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "circuit\tpower\topt.\tred. %\tsubs\tserver s\tcached")
+	var failed int
+	for _, r := range rows {
+		if r.err != nil {
+			fmt.Fprintf(w, "%s\terror: %v\n", r.name, r.err)
+			failed++
+			continue
+		}
+		res := r.status.Result
+		if r.status.State != service.StateCompleted || res == nil {
+			fmt.Fprintf(w, "%s\t%s: %s\n", r.name, r.status.State, r.status.Error)
+			failed++
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\t%d\t%.2f\t%t\n",
+			r.name, res.InitialPower, res.FinalPower, res.ReductionPct,
+			res.Applied, res.RuntimeSeconds, r.status.Cached)
+	}
+	w.Flush()
+	fmt.Printf("%d circuits via %s in %s\n", len(rows), server, wall.Round(time.Millisecond))
+	if failed > 0 {
+		return fmt.Errorf("%d of %d circuits failed", failed, len(rows))
+	}
+	return nil
+}

@@ -31,6 +31,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -84,6 +85,9 @@ type config struct {
 	verify      bool
 	verbose     bool
 
+	server  string
+	noCache bool
+
 	traceJSON     string
 	tracePerfetto string
 	traceSample   int64
@@ -115,6 +119,8 @@ func main() {
 	flag.IntVar(&cfg.maxSubs, "max-subs", 0, "stop after this many substitutions (0 = unlimited)")
 	flag.IntVar(&cfg.maxRetries, "max-retries", 0, "budget-escalation retries for aborted proofs across the run (0 = no escalation)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "wall-clock budget, e.g. 30s; on expiry the best netlist so far is emitted (0 = none)")
+	flag.StringVar(&cfg.server, "server", "", "submit to a powderd daemon at this base URL (e.g. http://localhost:8844) instead of optimizing locally")
+	flag.BoolVar(&cfg.noCache, "no-cache", false, "with -server: bypass the daemon's content-addressed result cache")
 	noInv := flag.Bool("no-inverted", false, "disable inverted-source substitutions")
 	flag.BoolVar(&cfg.resize, "resize", false, "run the gate re-sizing pass after POWDER")
 	flag.BoolVar(&cfg.verify, "verify", false, "independently re-verify the optimized circuit against the original (SAT equivalence check)")
@@ -176,6 +182,36 @@ func buildObserver(cfg config, stderr io.Writer) (o *obs.Observer, reg *obs.Regi
 	return obs.New(obs.Multi(sinks...), reg), reg, cleanup, nil
 }
 
+// loadModel resolves the input circuit: a mapped BLIF file (-in) or a
+// built-in benchmark (-circuit) compiled against the library.
+func loadModel(cfg config, lib *cellib.Library) (*blif.Model, error) {
+	switch {
+	case cfg.inPath != "" && cfg.circuit != "":
+		return nil, fmt.Errorf("use either -in or -circuit, not both")
+	case cfg.inPath != "":
+		f, err := os.Open(cfg.inPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return blif.ReadModel(f, lib)
+	case cfg.circuit != "":
+		if spec, err := circuits.ByName(cfg.circuit); err == nil {
+			nl, err := synth.Compile(spec.Build(), lib, synth.Options{Mode: synth.CostPower})
+			if err != nil {
+				return nil, err
+			}
+			return &blif.Model{Netlist: nl, NumInputs: len(nl.Inputs()), NumOutputs: len(nl.Outputs())}, nil
+		} else if spec, err := circuits.SeqByName(cfg.circuit); err == nil {
+			return spec.Build(lib)
+		}
+		return nil, fmt.Errorf("unknown circuit %q (combinational: %v; sequential: %v)",
+			cfg.circuit, circuits.Names(), circuits.SeqNames())
+	default:
+		return nil, fmt.Errorf("need -in FILE or -circuit NAME (see -h)")
+	}
+}
+
 func run(ctx context.Context, cfg config, stdout, stderr io.Writer) error {
 	if cfg.words <= 0 {
 		return fmt.Errorf("-words must be positive, got %d", cfg.words)
@@ -210,39 +246,21 @@ func run(ctx context.Context, cfg config, stdout, stderr io.Writer) error {
 		}
 	}
 
-	var model *blif.Model
-	switch {
-	case cfg.inPath != "" && cfg.circuit != "":
-		return fmt.Errorf("use either -in or -circuit, not both")
-	case cfg.inPath != "":
-		f, err := os.Open(cfg.inPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		model, err = blif.ReadModel(f, lib)
-		if err != nil {
-			return err
-		}
-	case cfg.circuit != "":
-		if spec, err := circuits.ByName(cfg.circuit); err == nil {
-			nl, err := synth.Compile(spec.Build(), lib, synth.Options{Mode: synth.CostPower})
-			if err != nil {
-				return err
-			}
-			model = &blif.Model{Netlist: nl, NumInputs: len(nl.Inputs()), NumOutputs: len(nl.Outputs())}
-		} else if spec, err := circuits.SeqByName(cfg.circuit); err == nil {
-			model, err = spec.Build(lib)
-			if err != nil {
-				return err
-			}
-		} else {
-			return fmt.Errorf("unknown circuit %q (combinational: %v; sequential: %v)",
-				cfg.circuit, circuits.Names(), circuits.SeqNames())
-		}
-	default:
-		return fmt.Errorf("need -in FILE or -circuit NAME (see -h)")
+	model, err := loadModel(cfg, lib)
+	if err != nil {
+		return err
 	}
+
+	if cfg.server != "" {
+		// Remote mode: ship the circuit to a powderd daemon. The model is
+		// serialized back to BLIF so -circuit works remotely too.
+		var buf bytes.Buffer
+		if err := blif.WriteModel(&buf, model); err != nil {
+			return err
+		}
+		return runRemote(ctx, cfg, buf.Bytes(), stdout, stderr)
+	}
+
 	circ, err := seq.FromModel(model)
 	if err != nil {
 		return err

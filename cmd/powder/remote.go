@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"strconv"
+	"time"
+
+	"powder/internal/client"
+)
+
+// runRemote is powder's -server mode: instead of optimizing locally,
+// the circuit is submitted to a powderd daemon, waited on, and the
+// result (summary, optimized BLIF, ledger) is fetched back. Duplicate
+// submissions are answered from the daemon's result cache; -no-cache
+// forces a fresh run. Transient rejections (429 backpressure, daemon
+// restarts) are retried with backoff by the client.
+func runRemote(ctx context.Context, cfg config, body []byte, stdout, stderr io.Writer) error {
+	if cfg.delayAbs != 0 {
+		return fmt.Errorf("-delay (absolute) is not supported with -server; use -delay-factor")
+	}
+	q := url.Values{}
+	if cfg.timeout > 0 {
+		q.Set("timeout", cfg.timeout.String())
+	}
+	if cfg.delayFactor > 0 {
+		// The API takes a percentage over the initial delay; -delay-factor
+		// is a multiple of it.
+		q.Set("delay-limit", strconv.FormatFloat((cfg.delayFactor-1)*100, 'g', -1, 64))
+	}
+	if cfg.maxSubs > 0 {
+		q.Set("max-subs", strconv.Itoa(cfg.maxSubs))
+	}
+	if cfg.verify {
+		q.Set("verify", "1")
+	}
+	if cfg.noCache {
+		q.Set("no-cache", "1")
+	}
+	if cfg.probsPath != "" {
+		pb, err := os.ReadFile(cfg.probsPath)
+		if err != nil {
+			return err
+		}
+		// The query form is comma-separated name=p entries.
+		q.Set("probs", string(bytes.Join(bytes.Fields(pb), []byte(","))))
+	}
+
+	c := client.New(cfg.server, client.Options{})
+	st, err := c.Submit(ctx, body, q)
+	if err != nil {
+		return err
+	}
+	if st.Cached {
+		fmt.Fprintf(stderr, "job %s: served from the result cache\n", st.ID)
+	} else {
+		fmt.Fprintf(stderr, "job %s: submitted to %s (state %s)\n", st.ID, cfg.server, st.State)
+	}
+	fin, err := c.Wait(ctx, st.ID, 250*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	if fin.Error != "" {
+		return fmt.Errorf("job %s %s: %s", fin.ID, fin.State, fin.Error)
+	}
+	res := fin.Result
+	if res == nil {
+		return fmt.Errorf("job %s finished %s without a result", fin.ID, fin.State)
+	}
+
+	fmt.Fprintf(stdout, "circuit: %s\n", fin.Circuit)
+	fmt.Fprintf(stdout, "  power: %10.3f -> %10.3f  (%.1f%% reduction)\n",
+		res.InitialPower, res.FinalPower, res.ReductionPct)
+	fmt.Fprintf(stdout, "  area:  %10.0f -> %10.0f\n", res.InitialArea, res.FinalArea)
+	fmt.Fprintf(stdout, "  delay: %10.2f -> %10.2f\n", res.InitialDelay, res.FinalDelay)
+	fmt.Fprintf(stdout, "  substitutions: %d in %.2fs (server), stopped: %s\n",
+		res.Applied, res.RuntimeSeconds, res.Stopped)
+	if res.Verified != "" {
+		fmt.Fprintf(stdout, "  verify: %s\n", res.Verified)
+	}
+	if fin.Cached {
+		fmt.Fprintf(stdout, "  cached: result served from the daemon's content-addressed cache\n")
+	}
+
+	if cfg.outPath != "" {
+		blif, err := c.ResultBLIF(ctx, fin.ID)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.outPath, blif, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "  wrote %s\n", cfg.outPath)
+	}
+	if cfg.ledgerJSON != "" {
+		ledger, err := c.Ledger(ctx, fin.ID)
+		if err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(ledger, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(cfg.ledgerJSON, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote ledger to %s\n", cfg.ledgerJSON)
+	}
+	return nil
+}

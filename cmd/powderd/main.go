@@ -5,6 +5,14 @@
 // Usage:
 //
 //	powderd [-addr :8844] [-workers N] [-queue N] [-lib cells.genlib]
+//	        [-store-dir DIR] [-cache-max N]
+//
+// With -store-dir, every job transition is journaled to a write-ahead
+// log under DIR: a crashed or restarted daemon recovers its job table,
+// serves finished results, and re-enqueues work that was queued or
+// running. The content-addressed result cache answers duplicate
+// submissions (same structural circuit, same options) instantly;
+// ?no-cache=1 on a submission bypasses it.
 //
 // API (see the README "Serving" section for curl examples):
 //
@@ -40,12 +48,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"powder/internal/cellib"
 	"powder/internal/obs"
 	"powder/internal/service"
+	"powder/internal/store"
 )
 
 func main() {
@@ -60,6 +70,8 @@ func main() {
 		eventBuffer  = flag.Int("event-buffer", 0, "per-job event replay buffer (0 = default 4096)")
 		traceSample  = flag.Int64("trace-sample", 0, "span-trace one job in every N submissions (1 = every job, 0 = off)")
 		traceLimit   = flag.Int("trace-limit", 0, "recorded spans kept per traced job (0 = default 65536)")
+		storeDir     = flag.String("store-dir", "", "persist jobs and results here (WAL + snapshots); restarts recover the job table and re-enqueue interrupted work")
+		cacheMax     = flag.Int("cache-max", 0, "content-addressed result-cache entries kept, LRU-evicted (0 = default 1024; needs -store-dir or runs in memory)")
 		verbose      = flag.Bool("v", false, "log every HTTP request")
 	)
 	flag.Parse()
@@ -78,6 +90,31 @@ func main() {
 		lib = parsed
 	}
 
+	reg := obs.NewRegistry()
+	logger := slog.Default()
+
+	// The durability layer: a WAL-backed job store under -store-dir plus
+	// a content-addressed result cache (persisted next to the store, or
+	// memory-only without one). A write failure inside the store degrades
+	// the daemon to in-memory operation instead of killing it.
+	var (
+		jobStore *store.Store
+		cache    *store.Cache
+		cacheDir string
+	)
+	if *storeDir != "" {
+		st, err := store.Open(store.Options{Dir: *storeDir, Registry: reg, Log: logger})
+		if err != nil {
+			fail(err)
+		}
+		jobStore = st
+		cacheDir = filepath.Join(*storeDir, "cache")
+	}
+	cache, err := store.OpenCache(cacheDir, *cacheMax, reg, logger)
+	if err != nil {
+		fail(err)
+	}
+
 	svc := service.New(service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -85,10 +122,17 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		DefaultTimeout: *jobTimeout,
 		EventBuffer:    *eventBuffer,
-		Registry:       obs.NewRegistry(),
+		Registry:       reg,
 		TraceSample:    *traceSample,
 		TraceLimit:     *traceLimit,
+		Store:          jobStore,
+		Cache:          cache,
 	})
+	if jobStore != nil {
+		requeued, served := svc.Restore()
+		log.Printf("powderd: store %s recovered: %d finished jobs served, %d interrupted jobs re-enqueued",
+			*storeDir, served, requeued)
+	}
 
 	handler := svc.Handler()
 	if *verbose {
@@ -120,6 +164,13 @@ func main() {
 	}
 	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("powderd: shutdown: %v", err)
+	}
+	// The store closes after the drain so every finished job's terminal
+	// record is journaled (and fsynced) before the process exits.
+	if jobStore != nil {
+		if err := jobStore.Close(); err != nil {
+			log.Printf("powderd: store close: %v", err)
+		}
 	}
 	log.Printf("powderd: bye")
 }

@@ -1,0 +1,305 @@
+// Package client is the Go client of the powderd HTTP API, used by the
+// powder and powbench commands' -server mode. It wraps the job
+// endpoints (submit, status, wait, result, ledger, cancel) and retries
+// transient failures — transport errors, 5xx, and 429 backpressure —
+// with exponential backoff, full jitter, and honoring the server's
+// Retry-After hint, so a herd of rejected clients spreads out instead
+// of resynchronizing on the daemon.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"powder/internal/obs"
+	"powder/internal/service"
+)
+
+// Options configure a Client; the zero value is usable.
+type Options struct {
+	// HTTPClient is the underlying transport (nil: http.DefaultClient).
+	HTTPClient *http.Client
+	// MaxAttempts bounds tries per request, first attempt included
+	// (<= 0: 5).
+	MaxAttempts int
+	// BaseDelay is the first backoff step (<= 0: 200ms); step k waits
+	// up to BaseDelay * 2^k, jittered.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff step (<= 0: 10s). A larger
+	// Retry-After from the server overrides the cap: the server knows
+	// its backlog better than the client's schedule.
+	MaxDelay time.Duration
+}
+
+// Client talks to one powderd base URL.
+type Client struct {
+	base        string
+	hc          *http.Client
+	maxAttempts int
+	baseDelay   time.Duration
+	maxDelay    time.Duration
+
+	// sleep and jitter are the retry loop's time and randomness sources,
+	// injectable for deterministic tests.
+	sleep  func(ctx context.Context, d time.Duration) error
+	jitter func(d time.Duration) time.Duration
+}
+
+// New returns a client for the daemon at base (e.g.
+// "http://localhost:8080"); a trailing slash is tolerated.
+func New(base string, opts Options) *Client {
+	c := &Client{
+		base:        strings.TrimRight(base, "/"),
+		hc:          opts.HTTPClient,
+		maxAttempts: opts.MaxAttempts,
+		baseDelay:   opts.BaseDelay,
+		maxDelay:    opts.MaxDelay,
+	}
+	if c.hc == nil {
+		c.hc = http.DefaultClient
+	}
+	if c.maxAttempts <= 0 {
+		c.maxAttempts = 5
+	}
+	if c.baseDelay <= 0 {
+		c.baseDelay = 200 * time.Millisecond
+	}
+	if c.maxDelay <= 0 {
+		c.maxDelay = 10 * time.Second
+	}
+	c.sleep = sleepCtx
+	// Full jitter: a uniform draw over [0, d] decorrelates retry storms
+	// better than d/2 + rand(d/2) (the AWS architecture-blog result).
+	c.jitter = func(d time.Duration) time.Duration {
+		if d <= 0 {
+			return 0
+		}
+		return time.Duration(rand.Int64N(int64(d) + 1))
+	}
+	return c
+}
+
+// APIError is a non-retryable (or retries-exhausted) HTTP failure.
+type APIError struct {
+	Status int
+	Body   string
+}
+
+func (e *APIError) Error() string {
+	msg := strings.TrimSpace(e.Body)
+	if msg == "" {
+		msg = http.StatusText(e.Status)
+	}
+	return fmt.Sprintf("powderd: HTTP %d: %s", e.Status, msg)
+}
+
+// retryable reports whether an HTTP status is worth another attempt:
+// backpressure (429), and gateway/availability 5xx. Other 4xx are
+// caller bugs and fail immediately.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusBadGateway, http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// retryAfter extracts the server's Retry-After hint in seconds form
+// (powderd always sends seconds); 0 means absent or unparsable.
+func retryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return time.Duration(n) * time.Second
+}
+
+// do runs one request with retries and returns the body of the first
+// 2xx response. Requests are rebuilt per attempt (the body is a fresh
+// reader each time), so retrying a POST is safe.
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, body []byte, contentType string) ([]byte, error) {
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, c.backoff(attempt-1, lastErr)); err != nil {
+				return nil, err
+			}
+		}
+		var r io.Reader
+		if body != nil {
+			r = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, u, r)
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err // transport failure: retryable
+			continue
+		}
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			if rerr != nil {
+				lastErr = rerr
+				continue
+			}
+			return data, nil
+		}
+		apiErr := &APIError{Status: resp.StatusCode, Body: string(data)}
+		if !retryable(resp.StatusCode) {
+			return nil, apiErr
+		}
+		lastErr = &retryableError{err: apiErr, retryAfter: retryAfter(resp)}
+	}
+	return nil, fmt.Errorf("powderd: giving up after %d attempts: %w", c.maxAttempts, unwrapRetryable(lastErr))
+}
+
+// retryableError carries the server's Retry-After hint alongside the
+// API error through the retry loop.
+type retryableError struct {
+	err        error
+	retryAfter time.Duration
+}
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+func unwrapRetryable(err error) error {
+	var re *retryableError
+	if errors.As(err, &re) {
+		return re.err
+	}
+	return err
+}
+
+// backoff computes the wait before retry step (0-based): the jittered
+// exponential schedule, except that a server Retry-After hint sets the
+// floor — the server's estimate of when capacity frees up wins over a
+// shorter local schedule.
+func (c *Client) backoff(step int, lastErr error) time.Duration {
+	d := c.baseDelay << uint(step)
+	if d > c.maxDelay || d <= 0 {
+		d = c.maxDelay
+	}
+	d = c.jitter(d)
+	var re *retryableError
+	if errors.As(lastErr, &re) && re.retryAfter > d {
+		d = re.retryAfter
+	}
+	return d
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Submit posts a BLIF circuit with the given submission query options
+// (timeout, delay-limit, verify, no-cache, ... — the /v1/jobs query
+// parameters) and returns the accepted job's status. A cache-served
+// job comes back already completed with Cached set.
+func (c *Client) Submit(ctx context.Context, blif []byte, query url.Values) (service.Status, error) {
+	var st service.Status
+	data, err := c.do(ctx, http.MethodPost, "/v1/jobs", query, blif, "text/plain")
+	if err != nil {
+		return st, err
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		return st, fmt.Errorf("powderd: bad submit response: %w", err)
+	}
+	return st, nil
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(ctx context.Context, id string) (service.Status, error) {
+	var st service.Status
+	data, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, nil, "")
+	if err != nil {
+		return st, err
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		return st, fmt.Errorf("powderd: bad status response: %w", err)
+	}
+	return st, nil
+}
+
+// Wait polls the job until it reaches a terminal state (poll <= 0:
+// 250ms between polls) or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (service.Status, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		if err := c.sleep(ctx, poll); err != nil {
+			return st, err
+		}
+	}
+}
+
+// ResultBLIF downloads a finished job's optimized netlist.
+func (c *Client) ResultBLIF(ctx context.Context, id string) ([]byte, error) {
+	return c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/result.blif", nil, nil, "")
+}
+
+// Ledger downloads a finished job's run ledger.
+func (c *Client) Ledger(ctx context.Context, id string) (*obs.LedgerSummary, error) {
+	data, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/ledger", nil, nil, "")
+	if err != nil {
+		return nil, err
+	}
+	var ls obs.LedgerSummary
+	if err := json.Unmarshal(data, &ls); err != nil {
+		return nil, fmt.Errorf("powderd: bad ledger response: %w", err)
+	}
+	return &ls, nil
+}
+
+// Cancel requests cancellation of a job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	_, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, nil, "")
+	return err
+}

@@ -1,0 +1,187 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"powder/internal/service"
+)
+
+// newTestClient wraps a handler in an httptest server and returns a
+// client with deterministic (identity) jitter and a recording sleep.
+func newTestClient(t *testing.T, h http.Handler, opts Options) (*Client, *[]time.Duration) {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	c := New(ts.URL, opts)
+	var slept []time.Duration
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return ctx.Err()
+	}
+	c.jitter = func(d time.Duration) time.Duration { return d }
+	return c, &slept
+}
+
+func TestSubmitRetriesOn429HonoringRetryAfter(t *testing.T) {
+	var calls int
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls <= 2 {
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"j000001","state":"queued","circuit":"fig2","options":{"delay_limit_pct":-1},"submitted_at":"2026-01-01T00:00:00Z","progress":{}}`))
+	})
+	c, slept := newTestClient(t, h, Options{BaseDelay: 100 * time.Millisecond})
+
+	st, err := c.Submit(context.Background(), []byte(".model x\n.end\n"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "j000001" || st.State != service.StateQueued {
+		t.Fatalf("submit status = %+v", st)
+	}
+	if calls != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls)
+	}
+	// Both waits must honor the server's 7s hint over the shorter local
+	// exponential schedule (100ms, 200ms).
+	if len(*slept) != 2 {
+		t.Fatalf("slept %d times, want 2 (%v)", len(*slept), *slept)
+	}
+	for i, d := range *slept {
+		if d != 7*time.Second {
+			t.Fatalf("sleep %d = %v, want 7s (Retry-After wins)", i, d)
+		}
+	}
+}
+
+func TestBackoffGrowsExponentiallyAndCaps(t *testing.T) {
+	var calls int
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	c, slept := newTestClient(t, h, Options{
+		MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, MaxDelay: 400 * time.Millisecond,
+	})
+
+	_, err := c.Status(context.Background(), "j000001")
+	if err == nil {
+		t.Fatal("want an error after exhausting retries")
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("error = %v, want APIError 503", err)
+	}
+	if calls != 5 {
+		t.Fatalf("server saw %d calls, want 5", calls)
+	}
+	want := []time.Duration{100, 200, 400, 400} // ms, capped at MaxDelay
+	if len(*slept) != len(want) {
+		t.Fatalf("slept %v, want %d steps", *slept, len(want))
+	}
+	for i, ms := range want {
+		if (*slept)[i] != ms*time.Millisecond {
+			t.Fatalf("sleep %d = %v, want %v", i, (*slept)[i], ms*time.Millisecond)
+		}
+	}
+}
+
+func TestBadRequestFailsWithoutRetry(t *testing.T) {
+	var calls int
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		http.Error(w, `{"error":"bad blif"}`, http.StatusBadRequest)
+	})
+	c, slept := newTestClient(t, h, Options{})
+
+	_, err := c.Submit(context.Background(), []byte("junk"), nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("error = %v, want APIError 400", err)
+	}
+	if calls != 1 || len(*slept) != 0 {
+		t.Fatalf("calls = %d, sleeps = %d; a 4xx must not retry", calls, len(*slept))
+	}
+}
+
+func TestWaitPollsUntilTerminal(t *testing.T) {
+	var calls int
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		state := "running"
+		if calls >= 3 {
+			state = "completed"
+		}
+		w.Write([]byte(`{"id":"j000001","state":"` + state + `","circuit":"fig2","options":{"delay_limit_pct":-1},"submitted_at":"2026-01-01T00:00:00Z","progress":{}}`))
+	})
+	c, slept := newTestClient(t, h, Options{})
+
+	st, err := c.Wait(context.Background(), "j000001", 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateCompleted {
+		t.Fatalf("state = %s, want completed", st.State)
+	}
+	if calls != 3 || len(*slept) != 2 {
+		t.Fatalf("calls = %d, sleeps = %d, want 3 polls with 2 waits", calls, len(*slept))
+	}
+}
+
+// TestClientAgainstRealService runs the full client flow — submit,
+// wait, download result and ledger — against an in-process powderd.
+func TestClientAgainstRealService(t *testing.T) {
+	svc := service.New(service.Config{Workers: 2, QueueDepth: 8})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	c := New(ts.URL, Options{})
+
+	blif, err := os.ReadFile(filepath.Join("..", "..", "examples", "circuits", "fig2.blif"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	st, err := c.Submit(ctx, blif, url.Values{"verify": {"1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != service.StateCompleted {
+		t.Fatalf("job state %s (error %q)", fin.State, fin.Error)
+	}
+	if fin.Result == nil || fin.Result.Verified != "equivalent" {
+		t.Fatalf("result = %+v, want verified equivalent", fin.Result)
+	}
+	out, err := c.ResultBLIF(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty result BLIF")
+	}
+	ledger, err := c.Ledger(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ledger == nil {
+		t.Fatal("nil ledger")
+	}
+}

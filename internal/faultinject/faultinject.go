@@ -12,6 +12,7 @@
 package faultinject
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -99,5 +100,38 @@ func PanicAfter(n int) func(int) bool {
 			return true
 		}
 		return false
+	}
+}
+
+// ErrNoSpace is the injected write failure returned by FailWritesAfter:
+// the moral equivalent of ENOSPC, without tying tests to a platform
+// errno. The durability layer must react to it exactly as it would to
+// the real thing — degrade to in-memory mode, never crash.
+var ErrNoSpace = errors.New("faultinject: injected ENOSPC")
+
+// FailWritesAfter returns a store.Hooks.AppendErr hook: the first n
+// appends succeed, every later one fails with ErrNoSpace. Pass n = 0 to
+// fail from the first append (a full disk at startup).
+func FailWritesAfter(n int) func(string) error {
+	var calls atomic.Int64
+	return func(string) error {
+		if calls.Add(1) > int64(n) {
+			return ErrNoSpace
+		}
+		return nil
+	}
+}
+
+// ShortWriteOnNth returns a store.Hooks.ShortWrite hook: append number n
+// (1-based) is torn after keep bytes — the on-disk state a crash in the
+// middle of a journal write leaves behind — while every other append
+// goes through untouched.
+func ShortWriteOnNth(n, keep int) func(string) int {
+	var calls atomic.Int64
+	return func(string) int {
+		if calls.Add(1) == int64(n) {
+			return keep
+		}
+		return -1
 	}
 }

@@ -1,0 +1,78 @@
+package netlist
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// StructuralHash returns a canonical content hash of the circuit: a hex
+// SHA-256 over a strash-style bottom-up signature of the DAG. Two
+// netlists hash equal exactly when they have the same primary-input
+// names (in declared order), the same primary-output names (in declared
+// order), and structurally identical cones — the same cells wired the
+// same way, pin for pin.
+//
+// Internal gate names and node numbering do NOT contribute: a circuit
+// re-read from a reformatted, reordered, or gate-renamed BLIF file
+// hashes identically, which is what makes the hash usable as a
+// content-addressed cache key for optimization results (the interface —
+// PI/PO names and functions — is what a cached result must match;
+// internal names are free to differ).
+//
+// The signature of a node is
+//
+//	input:  H("i" | name)
+//	gate:   H("g" | cell name | sig(fanin_0) | ... | sig(fanin_k))
+//
+// computed in topological order, and the final hash folds in the input
+// list, the output list (name + driver signature), and each driver's
+// PO load, length-prefixing every field so adjacent fields cannot alias.
+func (nl *Netlist) StructuralHash() string {
+	sigs := make(map[NodeID][32]byte, nl.NumNodes())
+	for _, id := range nl.TopoOrder() {
+		n := nl.Node(id)
+		h := sha256.New()
+		if n.IsInput() {
+			writeField(h, []byte("i"))
+			writeField(h, []byte(n.Name()))
+		} else {
+			writeField(h, []byte("g"))
+			writeField(h, []byte(n.Cell().Name))
+			for _, f := range n.Fanins() {
+				s := sigs[f]
+				writeField(h, s[:])
+			}
+		}
+		var sig [32]byte
+		h.Sum(sig[:0])
+		sigs[id] = sig
+	}
+
+	top := sha256.New()
+	writeField(top, []byte("netlist/v1"))
+	var count [8]byte
+	binary.LittleEndian.PutUint64(count[:], uint64(len(nl.Inputs())))
+	writeField(top, count[:])
+	for _, id := range nl.Inputs() {
+		writeField(top, []byte(nl.Node(id).Name()))
+	}
+	binary.LittleEndian.PutUint64(count[:], uint64(len(nl.Outputs())))
+	writeField(top, count[:])
+	for _, po := range nl.Outputs() {
+		writeField(top, []byte("o"))
+		writeField(top, []byte(po.Name))
+		s := sigs[po.Driver]
+		writeField(top, s[:])
+	}
+	return hex.EncodeToString(top.Sum(nil))
+}
+
+// writeField writes a length-prefixed field into a running hash, so that
+// ("ab","c") and ("a","bc") produce different digests.
+func writeField(h interface{ Write([]byte) (int, error) }, b []byte) {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(b)))
+	_, _ = h.Write(n[:])
+	_, _ = h.Write(b)
+}

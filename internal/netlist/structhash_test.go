@@ -1,0 +1,134 @@
+package netlist
+
+import (
+	"testing"
+
+	"powder/internal/cellib"
+)
+
+// buildNamed builds the same two-output circuit as buildExample but with
+// the given internal gate names, declaring gates in the given order.
+func buildNamed(t *testing.T, gateOrder []string, names map[string]string) *Netlist {
+	t.Helper()
+	lib := cellib.Lib2()
+	nl := New("fig2", lib)
+	ids := make(map[string]NodeID)
+	for _, in := range []string{"a", "b", "c"} {
+		id, err := nl.AddInput(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[in] = id
+	}
+	add := func(key, cell string, fanins ...string) {
+		t.Helper()
+		fids := make([]NodeID, len(fanins))
+		for i, f := range fanins {
+			fids[i] = ids[f]
+		}
+		id, err := nl.AddGate(names[key], nl.Lib.Cell(cell), fids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[key] = id
+	}
+	for _, g := range gateOrder {
+		switch g {
+		case "e":
+			add("e", "and2", "a", "b")
+		case "d":
+			add("d", "xor2", "a", "c")
+		case "f":
+			add("f", "and2", "d", "b")
+		}
+	}
+	if err := nl.AddOutput("f", ids["f"]); err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.AddOutput("e", ids["e"]); err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestStructuralHashInvariance(t *testing.T) {
+	base := buildNamed(t, []string{"e", "d", "f"},
+		map[string]string{"e": "e", "d": "d", "f": "f"})
+	h := base.StructuralHash()
+	if len(h) != 64 {
+		t.Fatalf("hash %q is not a hex sha256", h)
+	}
+
+	// Internal gate names must not contribute.
+	renamed := buildNamed(t, []string{"e", "d", "f"},
+		map[string]string{"e": "gate77", "d": "n1", "f": "n2"})
+	if got := renamed.StructuralHash(); got != h {
+		t.Errorf("internal renaming changed hash: %s vs %s", got, h)
+	}
+
+	// Declaration order of independent gates must not contribute.
+	reordered := buildNamed(t, []string{"d", "e", "f"},
+		map[string]string{"e": "e", "d": "d", "f": "f"})
+	if got := reordered.StructuralHash(); got != h {
+		t.Errorf("gate declaration order changed hash: %s vs %s", got, h)
+	}
+
+	// Clones hash identically.
+	if got := base.Clone().StructuralHash(); got != h {
+		t.Errorf("clone changed hash: %s vs %s", got, h)
+	}
+}
+
+func TestStructuralHashSensitivity(t *testing.T) {
+	base := buildNamed(t, []string{"e", "d", "f"},
+		map[string]string{"e": "e", "d": "d", "f": "f"})
+	h := base.StructuralHash()
+
+	// A different cell in one gate must change the hash.
+	lib := cellib.Lib2()
+	other := New("fig2", lib)
+	ids := map[string]NodeID{}
+	for _, in := range []string{"a", "b", "c"} {
+		ids[in], _ = other.AddInput(in)
+	}
+	e, _ := other.AddGate("e", lib.Cell("or2"), []NodeID{ids["a"], ids["b"]})
+	d, _ := other.AddGate("d", lib.Cell("xor2"), []NodeID{ids["a"], ids["c"]})
+	f, _ := other.AddGate("f", lib.Cell("and2"), []NodeID{d, ids["b"]})
+	_ = other.AddOutput("f", f)
+	_ = other.AddOutput("e", e)
+	if got := other.StructuralHash(); got == h {
+		t.Error("changing a cell did not change the hash")
+	}
+
+	// Swapped fanin pins must change the hash (pins are positional).
+	swapped := New("fig2", lib)
+	ids = map[string]NodeID{}
+	for _, in := range []string{"a", "b", "c"} {
+		ids[in], _ = swapped.AddInput(in)
+	}
+	e, _ = swapped.AddGate("e", lib.Cell("and2"), []NodeID{ids["b"], ids["a"]})
+	d, _ = swapped.AddGate("d", lib.Cell("xor2"), []NodeID{ids["a"], ids["c"]})
+	f, _ = swapped.AddGate("f", lib.Cell("and2"), []NodeID{d, ids["b"]})
+	_ = swapped.AddOutput("f", f)
+	_ = swapped.AddOutput("e", e)
+	if got := swapped.StructuralHash(); got == h {
+		t.Error("swapping fanin pins did not change the hash")
+	}
+
+	// A renamed primary output must change the hash: the interface is
+	// part of the key.
+	lib2 := cellib.Lib2()
+	ponl := New("fig2", lib2)
+	ids = map[string]NodeID{}
+	for _, in := range []string{"a", "b", "c"} {
+		ids[in], _ = ponl.AddInput(in)
+	}
+	e, _ = ponl.AddGate("e", lib2.Cell("and2"), []NodeID{ids["a"], ids["b"]})
+	d, _ = ponl.AddGate("d", lib2.Cell("xor2"), []NodeID{ids["a"], ids["c"]})
+	f, _ = ponl.AddGate("f", lib2.Cell("and2"), []NodeID{d, ids["b"]})
+	_ = ponl.AddOutput("fx", f)
+	_ = ponl.AddOutput("e", e)
+	if got := ponl.StructuralHash(); got == h {
+		t.Error("renaming a primary output did not change the hash")
+	}
+}

@@ -1,0 +1,325 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"powder/internal/obs"
+	"powder/internal/store"
+)
+
+// This file is the service's durability seam: cache-key derivation,
+// journal persistence at every job transition, cache-hit completion
+// without a pool dispatch, and startup recovery (Restore). Everything
+// here is a no-op when Config.Store and Config.Cache are nil, so a
+// memory-only service pays nothing.
+
+// cacheKey derives the content address of a submission: the structural
+// hash of the parsed core netlist (invariant to formatting, gate order,
+// and internal names), the register boundary, and every option that can
+// change the produced result — the effective timeout, the delay
+// constraint, the substitution cap, verification, the resolved input
+// probabilities, and the service-wide power-estimation configuration.
+// It returns "" (no caching, no persistence key) when neither a store
+// nor a cache is configured, keeping the memory-only path free.
+func (s *Service) cacheKey(sub *submission, opts JobOptions) string {
+	if s.cfg.Store == nil && s.cfg.Cache == nil {
+		return ""
+	}
+	h := sha256.New()
+	io.WriteString(h, "powder-cache/v1\n")
+	io.WriteString(h, sub.nl.StructuralHash())
+	fmt.Fprintf(h, "\nports %d %d\n", sub.model.NumInputs, sub.model.NumOutputs)
+	for _, l := range sub.model.Latches {
+		fmt.Fprintf(h, "latch %s %s %s %d\n", l.Output, l.Kind, l.Control, l.Init)
+	}
+	fmt.Fprintf(h, "opts %s %g %d %t\n", opts.Timeout, opts.DelayLimitPct, opts.MaxSubstitutions, opts.Verify)
+	fmt.Fprintf(h, "probs %v\n", sub.inputProbs)
+	fmt.Fprintf(h, "power %d %d\n", s.cfg.PowerWords, s.cfg.PowerSeed)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// jobFromCache completes a duplicate submission instantly from a cache
+// entry: the job is born terminal, carries the cached result, BLIF, and
+// ledger, and never touches the worker pool.
+func (s *Service) jobFromCache(e *store.CacheEntry, opts JobOptions, key string) *Job {
+	now := time.Now()
+	hub := obs.NewHub(s.cfg.EventBuffer)
+	hub.SetDropCounter(s.reg.Counter("obs.dropped.events"))
+	j := &Job{
+		id:          fmt.Sprintf("j%06d", s.seq.Add(1)),
+		opts:        opts,
+		hub:         hub,
+		state:       StateCompleted,
+		circuit:     e.Circuit,
+		submittedAt: now,
+		finishedAt:  now,
+		cached:      true,
+		cacheKey:    key,
+		resultBLIF:  append([]byte(nil), e.ResultBLIF...),
+	}
+	// The job needs no cancellation: it is already terminal. A closed
+	// context keeps ctx-consumers (none today) from leaking.
+	j.ctx, j.cancel = cancelledContext()
+	if len(e.Result) > 0 {
+		var jr JobResult
+		if err := json.Unmarshal(e.Result, &jr); err == nil {
+			j.result = &jr
+		}
+	}
+	if len(e.Ledger) > 0 {
+		var ls obs.LedgerSummary
+		if err := json.Unmarshal(e.Ledger, &ls); err == nil {
+			j.ledger = &ls
+		}
+	}
+	s.registerJob(j)
+	s.reg.Counter("service.jobs.cached").Inc()
+	s.finishStats(j, StateCompleted)
+	hub.Emit(obs.Event{Time: now, Name: "job-cached", Fields: obs.Fields{
+		"job": j.id, "circuit": j.circuit, "key": key,
+	}})
+	hub.Emit(obs.Event{Time: now, Name: "job-finished", Fields: obs.Fields{
+		"job": j.id, "state": string(StateCompleted), "cached": true,
+	}})
+	hub.Close()
+	// Persist the terminal job so the listing survives a restart; the
+	// input is not stored (the job will never re-run).
+	if st := s.cfg.Store; st != nil {
+		ob, _ := json.Marshal(opts)
+		st.AppendSubmit(store.JobRecord{
+			ID: j.id, State: store.StateCompleted, Circuit: j.circuit,
+			CacheKey: key, Options: ob, SubmittedAt: now, FinishedAt: now,
+			Result: e.Result, ResultBLIF: e.ResultBLIF, Ledger: e.Ledger,
+		})
+	}
+	return j
+}
+
+// persistSubmit journals a freshly accepted job, input BLIF included,
+// before it is handed to the pool: replay must know the job before any
+// worker can race it with a start record.
+func (s *Service) persistSubmit(j *Job, body []byte) {
+	st := s.cfg.Store
+	if st == nil {
+		return
+	}
+	ob, _ := json.Marshal(j.opts)
+	st.AppendSubmit(store.JobRecord{
+		ID: j.id, State: store.StateQueued, Circuit: j.circuit,
+		CacheKey: j.cacheKey, Options: ob, Input: body, SubmittedAt: j.submittedAt,
+	})
+}
+
+// persistStart journals the queued -> running transition.
+func (s *Service) persistStart(j *Job) {
+	if st := s.cfg.Store; st != nil {
+		st.AppendStart(j.id)
+	}
+}
+
+// persistCancelPurge journals the cancellation of a job that never ran
+// (still queued, or rejected by a full queue after its submit record was
+// written). The record purges the job from the store so replay does not
+// resurrect abandoned work.
+func (s *Service) persistCancelPurge(id string) {
+	if st := s.cfg.Store; st != nil {
+		st.AppendCancel(id)
+	}
+}
+
+// persistFinish journals a job's terminal state with its outcome.
+func (s *Service) persistFinish(j *Job) {
+	st := s.cfg.Store
+	if st == nil {
+		return
+	}
+	j.mu.Lock()
+	state := j.state
+	finishedAt := j.finishedAt
+	result := j.result
+	resultBLIF := j.resultBLIF
+	ledger := j.ledger
+	errMsg := j.errMsg
+	j.mu.Unlock()
+	var rb, lb json.RawMessage
+	if result != nil {
+		rb, _ = json.Marshal(result)
+	}
+	if ledger != nil {
+		lb, _ = json.Marshal(ledger)
+	}
+	st.AppendFinish(j.id, string(state), finishedAt, rb, resultBLIF, lb, errMsg)
+}
+
+// maybeCacheResult publishes a completing job's outcome into the result
+// cache. Runs stopped early (deadline, cancellation, panic recovery)
+// are wall-clock-dependent and are never cached; a deterministic rerun
+// of the same submission would not reproduce them. It runs before the
+// job's terminal state is published, so `to` carries the state the job
+// is about to enter rather than j.state (still "running" here).
+func (s *Service) maybeCacheResult(j *Job, to State, stoppedEarly bool) {
+	c := s.cfg.Cache
+	if c == nil || j.cacheKey == "" || j.opts.NoCache || stoppedEarly {
+		return
+	}
+	j.mu.Lock()
+	result := j.result
+	resultBLIF := j.resultBLIF
+	ledger := j.ledger
+	circuit := j.circuit
+	j.mu.Unlock()
+	if to != StateCompleted || result == nil || resultBLIF == nil {
+		return
+	}
+	rb, _ := json.Marshal(result)
+	var lb json.RawMessage
+	if ledger != nil {
+		lb, _ = json.Marshal(ledger)
+	}
+	c.Put(&store.CacheEntry{
+		Key: j.cacheKey, Circuit: circuit,
+		Result: rb, ResultBLIF: resultBLIF, Ledger: lb,
+	})
+}
+
+// Restore rebuilds the job table from the configured store: terminal
+// jobs are served immediately (and completed ones re-warm the cache),
+// jobs that were queued or running at crash time are re-enqueued from
+// their persisted input under their original IDs. The job-ID sequence
+// resumes past the highest recovered ID. Call once, after New and
+// before serving HTTP.
+func (s *Service) Restore() (requeued, served int) {
+	st := s.cfg.Store
+	if st == nil {
+		return 0, 0
+	}
+	recs := st.Jobs()
+	var maxSeq int64
+	for _, rec := range recs {
+		if n, err := strconv.ParseInt(rec.ID[1:], 10, 64); err == nil && rec.ID[0] == 'j' && n > maxSeq {
+			maxSeq = n
+		}
+	}
+	s.seq.Store(maxSeq)
+	var pending []*Job
+	for _, rec := range recs {
+		if rec.Terminal() {
+			s.restoreTerminal(rec)
+			served++
+			continue
+		}
+		if j := s.requeue(rec); j != nil {
+			pending = append(pending, j)
+			requeued++
+		}
+	}
+	if len(pending) > 0 {
+		// Re-enqueue in the background with blocking submits: recovered
+		// backlogs larger than the queue bound must not deadlock startup,
+		// and submission order is preserved.
+		go func() {
+			for _, j := range pending {
+				j := j
+				if !s.pool.SubmitLabeled(j.id, func() { s.runJob(j) }) {
+					// Pool closed mid-recovery (immediate shutdown): the
+					// job stays queued in memory and in the store, and the
+					// next restart re-enqueues it again.
+					return
+				}
+				s.reg.Counter("service.jobs.requeued").Inc()
+				j.hub.Emit(obs.Event{Time: time.Now(), Name: "job-requeued", Fields: obs.Fields{
+					"job": j.id, "circuit": j.circuit,
+				}})
+			}
+		}()
+	}
+	return requeued, served
+}
+
+// restoreTerminal rebuilds a finished job from its record: status,
+// result, BLIF, and ledger are served exactly as before the restart.
+func (s *Service) restoreTerminal(rec store.JobRecord) {
+	hub := obs.NewHub(1)
+	hub.Close()
+	j := &Job{
+		id:          rec.ID,
+		hub:         hub,
+		state:       State(rec.State),
+		circuit:     rec.Circuit,
+		cacheKey:    rec.CacheKey,
+		submittedAt: rec.SubmittedAt,
+		finishedAt:  rec.FinishedAt,
+		errMsg:      rec.Error,
+		resultBLIF:  rec.ResultBLIF,
+	}
+	j.ctx, j.cancel = cancelledContext()
+	if len(rec.Options) > 0 {
+		_ = json.Unmarshal(rec.Options, &j.opts)
+	}
+	if len(rec.Result) > 0 {
+		var jr JobResult
+		if err := json.Unmarshal(rec.Result, &jr); err == nil {
+			j.result = &jr
+		}
+	}
+	if len(rec.Ledger) > 0 {
+		var ls obs.LedgerSummary
+		if err := json.Unmarshal(rec.Ledger, &ls); err == nil {
+			j.ledger = &ls
+		}
+	}
+	s.registerJob(j)
+	if s.cfg.Cache != nil && j.state == StateCompleted && rec.CacheKey != "" &&
+		len(rec.ResultBLIF) > 0 && !j.opts.NoCache {
+		s.cfg.Cache.Put(&store.CacheEntry{
+			Key: rec.CacheKey, Circuit: rec.Circuit,
+			Result: rec.Result, ResultBLIF: rec.ResultBLIF, Ledger: rec.Ledger,
+		})
+	}
+}
+
+// requeue rebuilds an interrupted job (queued or running at crash time)
+// from its persisted input. The returned job is registered but not yet
+// on the pool; Restore submits the whole batch in order. A job whose
+// input no longer parses (e.g. the daemon restarted with a different
+// library) finishes as failed instead of crashing recovery.
+func (s *Service) requeue(rec store.JobRecord) *Job {
+	var opts JobOptions
+	opts.DelayLimitPct = -1
+	if len(rec.Options) > 0 {
+		_ = json.Unmarshal(rec.Options, &opts)
+	}
+	sub, err := s.parseSubmission(rec.Input, opts)
+	if err != nil {
+		s.restoreTerminal(store.JobRecord{
+			ID: rec.ID, State: store.StateFailed, Circuit: rec.Circuit,
+			CacheKey: rec.CacheKey, Options: rec.Options,
+			SubmittedAt: rec.SubmittedAt, FinishedAt: time.Now(),
+			Error: fmt.Sprintf("recovery: input no longer parses: %v", err),
+		})
+		if j, ok := s.Job(rec.ID); ok {
+			s.persistFinish(j)
+		}
+		return nil
+	}
+	j := s.newJob(rec.ID, sub, opts, rec.CacheKey)
+	j.submittedAt = rec.SubmittedAt
+	s.registerJob(j)
+	return j
+}
+
+// cancelledContext returns an already-cancelled context: restored and
+// cache-served jobs are terminal at birth and must not hold a live
+// child of the service root context.
+func cancelledContext() (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx, cancel
+}

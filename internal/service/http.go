@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
@@ -18,13 +19,17 @@ import (
 //
 //	POST   /v1/jobs                submit a BLIF circuit (body) with query
 //	                               options timeout, delay-limit, max-subs,
-//	                               verify, and probs (comma-separated
-//	                               name=p input probabilities); sequential
-//	                               circuits (.latch) are cut at their
-//	                               register boundaries and returned with
-//	                               the latches stitched back; 202 + job
-//	                               status, 429 when the queue is full, 503
-//	                               while draining
+//	                               verify, probs (comma-separated name=p
+//	                               input probabilities), and no-cache
+//	                               (bypass the content-addressed result
+//	                               cache); sequential circuits (.latch)
+//	                               are cut at their register boundaries
+//	                               and returned with the latches stitched
+//	                               back; 202 + job status (completed on
+//	                               arrival with "cached" set when served
+//	                               from the cache), 429 + a queue-depth-
+//	                               derived Retry-After when the queue is
+//	                               full, 503 while draining
 //	GET    /v1/jobs                all job statuses in submission order
 //	GET    /v1/jobs/{id}           one job's status
 //	GET    /v1/jobs/{id}/result.blif  the optimized netlist
@@ -128,7 +133,34 @@ func parseJobOptions(r *http.Request) (JobOptions, error) {
 		// powder -probs format; Submit validates names and ranges.
 		opts.Probs = strings.ReplaceAll(v, ",", "\n")
 	}
+	if v := q.Get("no-cache"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return opts, fmt.Errorf("bad no-cache %q (want a boolean)", v)
+		}
+		opts.NoCache = b
+	}
 	return opts, nil
+}
+
+// retryAfterSeconds derives the 429 Retry-After hint from the current
+// backlog: roughly the queued-jobs-per-worker count, jittered uniformly
+// up to twice that so a thundering herd of rejected clients does not
+// resynchronize on a constant. intn is the jitter source (injectable
+// for tests); the result is in [1, 60].
+func retryAfterSeconds(depth, workers int, intn func(int) int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	base := 1 + depth/workers
+	if base > 30 {
+		base = 30
+	}
+	ra := base + intn(base)
+	if ra > 60 {
+		ra = 60
+	}
+	return ra
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -155,7 +187,8 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		ra := retryAfterSeconds(s.QueueDepth(), s.Workers(), rand.IntN)
+		w.Header().Set("Retry-After", strconv.Itoa(ra))
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 	default:
 		var pe *ParseError
@@ -305,6 +338,9 @@ type health struct {
 	Workers    int    `json:"workers"`
 	QueueDepth int    `json:"queue_depth"`
 	InFlight   int64  `json:"in_flight"`
+	// Store is "" without a persistent store, "ok" while durable, and
+	// "degraded" once a write failure forced in-memory-only operation.
+	Store string `json:"store,omitempty"`
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -314,6 +350,12 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Workers:    s.Workers(),
 		QueueDepth: s.QueueDepth(),
 		InFlight:   s.InFlight(),
+	}
+	if st := s.cfg.Store; st != nil {
+		h.Store = "ok"
+		if st.Degraded() {
+			h.Store = "degraded"
+		}
 	}
 	code := http.StatusOK
 	if h.Draining {
@@ -414,6 +456,16 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.PromGauge(w, "powder_service_jobs_inflight", float64(s.InFlight()))
 	obs.PromGauge(w, "powder_service_workers", float64(s.Workers()))
 	obs.PromCounter(w, "powder_pool_panics_total", float64(s.pool.Panics()))
+	if st := s.cfg.Store; st != nil {
+		degraded := 0.0
+		if st.Degraded() {
+			degraded = 1
+		}
+		obs.PromGauge(w, "powder_store_degraded", degraded)
+	}
+	if c := s.cfg.Cache; c != nil {
+		obs.PromGauge(w, "powder_store_cache_entries", float64(c.Len()))
+	}
 	obs.WriteRuntimeMetrics(w)
 	s.reg.WritePrometheus(w, "powder_")
 }

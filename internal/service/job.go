@@ -58,6 +58,10 @@ type JobOptions struct {
 	// the names must be true primary inputs; latch outputs are ruled by
 	// the steady-state fixpoint.
 	Probs string `json:"probs,omitempty"`
+	// NoCache bypasses the content-addressed result cache entirely: the
+	// job is neither served from it nor published into it (the ?no-cache
+	// escape hatch for forcing a fresh optimization).
+	NoCache bool `json:"no_cache,omitempty"`
 }
 
 // JobResult is the serialized outcome of a finished run.
@@ -101,6 +105,9 @@ type Status struct {
 	// TraceID is set on traced jobs (Config.TraceSample); the span tree
 	// is served at GET /v1/jobs/{id}/trace.
 	TraceID string `json:"trace_id,omitempty"`
+	// Cached reports that the job was answered from the content-
+	// addressed result cache without running the optimizer.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // Job is one queued or running optimization. All mutable fields are
@@ -117,6 +124,8 @@ type Job struct {
 	mu          sync.Mutex
 	state       State
 	circuit     string
+	cacheKey    string // content address of the submission ("" = uncacheable)
+	cached      bool   // served from the result cache, never ran
 	submittedAt time.Time
 	startedAt   time.Time
 	finishedAt  time.Time
@@ -176,6 +185,7 @@ func (j *Job) Status() Status {
 		Result:      j.result,
 		Error:       j.errMsg,
 		TraceID:     j.tracer.ID(),
+		Cached:      j.cached,
 	}
 	if !j.startedAt.IsZero() {
 		t := j.startedAt

@@ -100,6 +100,20 @@ func (p *Pool) TrySubmit(fn func()) bool {
 	return p.TrySubmitLabeled("", fn)
 }
 
+// SubmitLabeled enqueues a labeled task, blocking while the queue is
+// full; it reports false (without panicking) when the pool is closed.
+// Recovery re-enqueues use it: a restored backlog may legitimately
+// exceed the queue bound, and shutdown during recovery is not a bug.
+func (p *Pool) SubmitLabeled(label string, fn func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	p.tasks <- task{label: label, fn: fn}
+	return true
+}
+
 // TrySubmitLabeled is TrySubmit with a task label (conventionally the
 // job ID) that WorkerStatus reports while the task runs.
 func (p *Pool) TrySubmitLabeled(label string, fn func()) bool {

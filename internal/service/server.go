@@ -14,10 +14,12 @@ import (
 	"powder/internal/blif"
 	"powder/internal/cellib"
 	"powder/internal/core"
+	"powder/internal/netlist"
 	"powder/internal/obs"
 	"powder/internal/obs/trace"
 	"powder/internal/power"
 	"powder/internal/seq"
+	"powder/internal/store"
 	"powder/internal/transform"
 )
 
@@ -52,6 +54,13 @@ type Config struct {
 	// TraceLimit bounds each traced job's recorded spans
 	// (<= 0: trace.DefaultLimit).
 	TraceLimit int
+	// Store, when non-nil, persists every job transition to a write-
+	// ahead journal so jobs survive daemon restarts (see Restore).
+	Store *store.Store
+	// Cache, when non-nil, serves duplicate submissions (same structural
+	// circuit + same options) from cached results without a pool
+	// dispatch.
+	Cache *store.Cache
 }
 
 // Service owns the job store, the worker pool, and the HTTP handlers of
@@ -112,13 +121,17 @@ func (s *Service) Registry() *obs.Registry { return s.reg }
 // Workers returns the worker-pool size.
 func (s *Service) Workers() int { return s.pool.Workers() }
 
-// Submit parses a BLIF circuit and enqueues it as a job. It returns
-// ErrDraining while the service drains and ErrQueueFull when the
-// bounded queue has no room (the HTTP layer maps these to 503 and 429).
-func (s *Service) Submit(body []byte, opts JobOptions) (*Job, error) {
-	if s.draining.Load() {
-		return nil, ErrDraining
-	}
+// submission is a parsed, validated job input ready to become a Job.
+type submission struct {
+	model      *blif.Model
+	circ       *seq.Circuit
+	nl         *netlist.Netlist
+	inputProbs []float64
+}
+
+// parseSubmission parses and validates a BLIF body plus its options
+// into a submission; every failure is a *ParseError (HTTP 400).
+func (s *Service) parseSubmission(body []byte, opts JobOptions) (*submission, error) {
 	model, err := blif.ReadModel(bytes.NewReader(body), s.cfg.Library)
 	if err != nil {
 		return nil, &ParseError{Err: err}
@@ -127,7 +140,6 @@ func (s *Service) Submit(body []byte, opts JobOptions) (*Job, error) {
 	if err != nil {
 		return nil, &ParseError{Err: err}
 	}
-	nl := model.Netlist
 	// Bad probability lists reject the submission up front, with the
 	// offending line, rather than failing the job asynchronously.
 	var inputProbs []float64
@@ -141,30 +153,33 @@ func (s *Service) Submit(body []byte, opts JobOptions) (*Job, error) {
 			return nil, &ParseError{Err: perr}
 		}
 	}
-	if opts.Timeout <= 0 {
-		opts.Timeout = s.cfg.DefaultTimeout
-	}
+	return &submission{model: model, circ: circ, nl: model.Netlist, inputProbs: inputProbs}, nil
+}
 
+// newJob builds a queued Job (with event hub and optional span tracer)
+// from a parsed submission; the caller registers and enqueues it.
+func (s *Service) newJob(id string, sub *submission, opts JobOptions, cacheKey string) *Job {
 	ctx, cancel := context.WithCancel(s.rootCtx)
 	hub := obs.NewHub(s.cfg.EventBuffer)
 	// Slow event consumers must never stall a worker: the hub drops
 	// instead, and the drops surface at /metrics.
 	hub.SetDropCounter(s.reg.Counter("obs.dropped.events"))
 	j := &Job{
-		id:          fmt.Sprintf("j%06d", s.seq.Add(1)),
+		id:          id,
 		opts:        opts,
 		hub:         hub,
 		ctx:         ctx,
 		cancel:      cancel,
 		state:       StateQueued,
-		circuit:     nl.Name,
+		circuit:     sub.nl.Name,
+		cacheKey:    cacheKey,
 		submittedAt: time.Now(),
-		nl:          nl,
-		circ:        circ,
-		inputProbs:  inputProbs,
+		nl:          sub.nl,
+		circ:        sub.circ,
+		inputProbs:  sub.inputProbs,
 	}
 	if opts.Verify {
-		j.original = nl.Clone()
+		j.original = sub.nl.Clone()
 	}
 	if s.sampler.Sample() {
 		// The tracer mirrors completed spans onto the job's event stream
@@ -182,24 +197,66 @@ func (s *Service) Submit(body []byte, opts JobOptions) (*Job, error) {
 		_, j.queueSpan = trace.StartSpan(tctx, "queue")
 		j.tctx = tctx
 	}
+	return j
+}
 
+// registerJob inserts a job into the table in submission order.
+func (s *Service) registerJob(j *Job) {
 	s.mu.Lock()
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.mu.Unlock()
+}
+
+// unregisterJob removes a job rejected before it ever ran.
+func (s *Service) unregisterJob(id string) {
+	s.mu.Lock()
+	delete(s.jobs, id)
+	// Concurrent submissions may have appended after us; remove by ID.
+	for i := len(s.order) - 1; i >= 0; i-- {
+		if s.order[i] == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Submit parses a BLIF circuit and enqueues it as a job — or, when the
+// result cache already holds the outcome for a structurally identical
+// circuit under the same options, returns a job that is complete on
+// arrival without touching the worker pool. It returns ErrDraining
+// while the service drains and ErrQueueFull when the bounded queue has
+// no room (the HTTP layer maps these to 503 and 429).
+func (s *Service) Submit(body []byte, opts JobOptions) (*Job, error) {
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	sub, err := s.parseSubmission(body, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = s.cfg.DefaultTimeout
+	}
+	key := s.cacheKey(sub, opts)
+	if key != "" && !opts.NoCache && s.cfg.Cache != nil {
+		if e, ok := s.cfg.Cache.Get(key); ok {
+			s.reg.Counter("service.jobs.submitted").Inc()
+			return s.jobFromCache(e, opts, key), nil
+		}
+	}
+
+	j := s.newJob(fmt.Sprintf("j%06d", s.seq.Add(1)), sub, opts, key)
+	s.registerJob(j)
+	// The submit record is journaled before the pool sees the job, so a
+	// crash at any later point replays it as at-least queued.
+	s.persistSubmit(j, body)
 
 	if !s.pool.TrySubmitLabeled(j.id, func() { s.runJob(j) }) {
-		s.mu.Lock()
-		delete(s.jobs, j.id)
-		// Concurrent submissions may have appended after us; remove by ID.
-		for i := len(s.order) - 1; i >= 0; i-- {
-			if s.order[i] == j.id {
-				s.order = append(s.order[:i], s.order[i+1:]...)
-				break
-			}
-		}
-		s.mu.Unlock()
-		cancel()
+		s.unregisterJob(j.id)
+		s.persistCancelPurge(j.id)
+		j.cancel()
 		s.reg.Counter("service.jobs.rejected").Inc()
 		return nil, ErrQueueFull
 	}
@@ -250,6 +307,9 @@ func (s *Service) Cancel(id string) (cancelled, found bool) {
 	// A job still queued finishes right here; the worker skips it when
 	// it eventually pops. A running job is finished by its worker.
 	if j.transition(StateQueued, StateCancelled) {
+		// The job never ran: purge its journal entry instead of writing a
+		// terminal record, so a restart does not resurrect abandoned work.
+		s.persistCancelPurge(j.id)
 		s.finishStats(j, StateCancelled)
 		j.hub.Emit(obs.Event{Time: time.Now(), Name: "job-finished", Fields: obs.Fields{
 			"job": j.id, "state": string(StateCancelled), "queued_only": true,
@@ -312,6 +372,7 @@ func (s *Service) runJob(j *Job) {
 	}
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
+	s.persistStart(j)
 	j.queueSpan.End()
 	// The run span brackets the worker's part of the job; the engine's
 	// "optimize" span nests under it through the context.
@@ -342,6 +403,12 @@ func (s *Service) runJob(j *Job) {
 	}
 	runSpan.SetAttr("state", string(to))
 	runSpan.End()
+	// Fill the cache before the terminal state becomes visible: a client
+	// that polls the job to completion and immediately resubmits the
+	// same circuit must hit the entry, not race past the fill.
+	if res != nil {
+		s.maybeCacheResult(j, to, res.StoppedEarly())
+	}
 	s.finishJob(j, to, res, err)
 }
 
@@ -444,6 +511,7 @@ func (s *Service) finishJob(j *Job, to State, res *core.Result, err error) {
 		}
 	}
 	j.mu.Unlock()
+	s.persistFinish(j)
 	s.finishStats(j, to)
 	// Close out the trace before the hub: the queue span is still open
 	// when a queued job is cancelled, and the job root span always is.

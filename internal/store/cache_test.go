@@ -1,0 +1,159 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"powder/internal/obs"
+)
+
+func entry(key string) *CacheEntry {
+	return &CacheEntry{
+		Key:        key,
+		Circuit:    "c17",
+		Result:     json.RawMessage(`{"reduction_pct":7.5}`),
+		ResultBLIF: []byte(".model c17\n.end\n"),
+		Ledger:     json.RawMessage(`{"moves":2}`),
+	}
+}
+
+func TestCacheMemoryOnly(t *testing.T) {
+	reg := obs.NewRegistry()
+	c, err := OpenCache("", 2, reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(entry("k1"))
+	c.Put(entry("k2"))
+	if e, ok := c.Get("k1"); !ok || string(e.ResultBLIF) == "" {
+		t.Fatal("k1 should hit with content")
+	}
+	// k1 is now most recent; inserting k3 evicts k2.
+	c.Put(entry("k3"))
+	if _, ok := c.Get("k2"); ok {
+		t.Error("k2 should have been evicted (LRU)")
+	}
+	if _, ok := c.Get("k1"); !ok {
+		t.Error("k1 should survive eviction")
+	}
+	if got := reg.Counter("store.cache.evictions").Value(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	if got := reg.Counter("store.cache.hits").Value(); got != 2 {
+		t.Errorf("hits = %d, want 2", got)
+	}
+	if got := reg.Counter("store.cache.misses").Value(); got != 2 {
+		t.Errorf("misses = %d, want 2", got)
+	}
+}
+
+func TestCachePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 8, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(entry("aaaa"))
+	c.Put(entry("bbbb"))
+
+	re, err := OpenCache(dir, 8, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("reloaded %d entries, want 2", re.Len())
+	}
+	e, ok := re.Get("aaaa")
+	if !ok {
+		t.Fatal("aaaa lost across reopen")
+	}
+	if string(e.ResultBLIF) != ".model c17\n.end\n" {
+		t.Errorf("entry content corrupted: %q", e.ResultBLIF)
+	}
+	if e.CreatedAt.IsZero() {
+		t.Error("CreatedAt not persisted")
+	}
+}
+
+func TestCacheLRUOrderSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 8, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(entry("old"))
+	// Ensure distinct mtimes even on coarse filesystems.
+	past := time.Now().Add(-time.Hour)
+	os.Chtimes(filepath.Join(dir, "old.json"), past, past)
+	c.Put(entry("new"))
+
+	re, err := OpenCache(dir, 1, nil, nil) // reload with a tighter bound
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := re.Get("old"); ok {
+		t.Error("oldest entry should be evicted when reopening over a smaller bound")
+	}
+	if _, ok := re.Get("new"); !ok {
+		t.Error("newest entry should survive")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "old.json")); !os.IsNotExist(err) {
+		t.Error("evicted entry file not removed")
+	}
+}
+
+func TestCacheDamagedEntryRemoved(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 8, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(entry("good"))
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenCache(dir, 8, nil, nil)
+	if err != nil {
+		t.Fatalf("damaged entry must not fail OpenCache: %v", err)
+	}
+	if re.Len() != 1 {
+		t.Errorf("loaded %d entries, want 1 (damaged removed)", re.Len())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "bad.json")); !os.IsNotExist(err) {
+		t.Error("damaged entry file should be deleted")
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c, err := OpenCache("", 32, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (g*7+i)%40)
+				if i%3 == 0 {
+					c.Put(entry(k))
+				} else {
+					c.Get(k)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if c.Len() > 32 {
+		t.Errorf("cache exceeded its bound: %d", c.Len())
+	}
+}

@@ -1,0 +1,512 @@
+// Package store is powderd's durability layer: an append-only,
+// CRC-framed write-ahead journal plus periodic snapshots that persist
+// job metadata, submitted BLIF, and completed results across daemon
+// restarts, and a content-addressed cache of optimization results keyed
+// by the structural hash of the input.
+//
+// The package is deliberately dumb about what it stores: options,
+// results, and ledgers travel as raw JSON so the serving layer above
+// owns the schema and no import cycle forms.
+//
+// Durability model
+//
+//   - Every state transition (submit, start, finish, cancel) is one
+//     framed record appended to journal.wal and fsynced before the
+//     caller proceeds.
+//   - Every SnapshotEvery records the full job table is written to
+//     snapshot.json via temp-file + fsync + atomic rename, and the
+//     journal is reset. Replaying stale journal records over a fresh
+//     snapshot is harmless: application is idempotent.
+//   - On Open the snapshot is loaded, the journal replayed on top, and
+//     a corrupt journal tail (torn write from a crash) is truncated and
+//     counted — corruption degrades to data loss of the torn record
+//     only, never a startup failure. An unreadable snapshot is
+//     quarantined aside (snapshot.corrupt) rather than trusted.
+//   - A failed append (disk full, I/O error) flips the store into
+//     degraded mode: persistence stops, the daemon keeps serving from
+//     memory, and the condition is logged once and exported as a
+//     metric.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"powder/internal/obs"
+)
+
+// Job states persisted in records. They mirror the serving layer's
+// states but are plain strings so the store stays schema-agnostic.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateCompleted = "completed"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// terminal reports whether a persisted state is final.
+func terminal(state string) bool {
+	return state == StateCompleted || state == StateFailed || state == StateCancelled
+}
+
+// JobRecord is the persisted form of one job. Options, Result, and
+// Ledger are opaque JSON owned by the serving layer.
+type JobRecord struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Circuit string `json:"circuit,omitempty"`
+	// CacheKey is the content-addressed key of the submission (structural
+	// hash + options), used to warm the result cache from recovered jobs.
+	CacheKey    string          `json:"cache_key,omitempty"`
+	Options     json.RawMessage `json:"options,omitempty"`
+	Input       []byte          `json:"input,omitempty"`
+	SubmittedAt time.Time       `json:"submitted_at"`
+	FinishedAt  time.Time       `json:"finished_at"`
+	Result      json.RawMessage `json:"result,omitempty"`
+	ResultBLIF  []byte          `json:"result_blif,omitempty"`
+	Ledger      json.RawMessage `json:"ledger,omitempty"`
+	Error       string          `json:"error,omitempty"`
+}
+
+// Terminal reports whether the record's state is final.
+func (r *JobRecord) Terminal() bool { return terminal(r.State) }
+
+// walRecord is one journal entry.
+type walRecord struct {
+	Type string     `json:"t"`
+	Job  *JobRecord `json:"job,omitempty"` // submit
+	ID   string     `json:"id,omitempty"`  // start / finish / cancel
+	// finish fields
+	State      string          `json:"state,omitempty"`
+	FinishedAt time.Time       `json:"finished_at,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+	ResultBLIF []byte          `json:"result_blif,omitempty"`
+	Ledger     json.RawMessage `json:"ledger,omitempty"`
+	Error      string          `json:"error,omitempty"`
+}
+
+// Hooks are the store's fault-injection points; all fields may be nil
+// (the production configuration). See internal/faultinject for ready-
+// made constructors.
+type Hooks struct {
+	// AppendErr, when non-nil, is consulted before each journal append;
+	// a non-nil error is treated exactly like the underlying write
+	// failing with it (e.g. a simulated ENOSPC), driving the store into
+	// degraded mode.
+	AppendErr func(recType string) error
+	// ShortWrite, when non-nil, is consulted before each journal append;
+	// a value n >= 0 makes the store write only the first n bytes of the
+	// frame while still reporting success — a torn write, as left behind
+	// by a crash mid-append. Return a negative value for a full write.
+	ShortWrite func(recType string) int
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the store directory; created if missing.
+	Dir string
+	// SnapshotEvery is the number of journal records between snapshots
+	// (<= 0: 64).
+	SnapshotEvery int
+	// Registry receives the store metrics (nil: metrics are dropped).
+	Registry *obs.Registry
+	// Log receives recovery and degradation warnings (nil: slog.Default).
+	Log *slog.Logger
+	// Hooks inject faults for tests; nil for production.
+	Hooks *Hooks
+}
+
+// Store is a durable job table: a write-ahead journal plus periodic
+// snapshots under one directory. All methods are safe for concurrent
+// use.
+type Store struct {
+	dir       string
+	snapEvery int
+	log       *slog.Logger
+	hooks     *Hooks
+
+	mu        sync.Mutex
+	wal       *os.File
+	jobs      map[string]*JobRecord
+	order     []string
+	sinceSnap int
+	degraded  bool
+	closed    bool
+
+	appends     *obs.Counter
+	replayed    *obs.Counter
+	truncations *obs.Counter
+	snapshots   *obs.Counter
+	degradedCnt *obs.Counter
+}
+
+// Open loads (or creates) the store in opts.Dir: the snapshot is read,
+// the journal replayed on top with tail-corruption truncation, and the
+// journal opened for appending. Open fails only on genuine I/O errors
+// (unreadable directory), never on corrupted contents.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("store: Dir is required")
+	}
+	if opts.SnapshotEvery <= 0 {
+		opts.SnapshotEvery = 64
+	}
+	if opts.Log == nil {
+		opts.Log = slog.Default()
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %v", err)
+	}
+	s := &Store{
+		dir:         opts.Dir,
+		snapEvery:   opts.SnapshotEvery,
+		log:         opts.Log,
+		hooks:       opts.Hooks,
+		jobs:        make(map[string]*JobRecord),
+		appends:     reg.Counter("store.wal.records"),
+		replayed:    reg.Counter("store.wal.replayed"),
+		truncations: reg.Counter("store.wal.truncations"),
+		snapshots:   reg.Counter("store.snapshots"),
+		degradedCnt: reg.Counter("store.degraded"),
+	}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.replayJournal(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) walPath() string      { return filepath.Join(s.dir, "journal.wal") }
+func (s *Store) snapshotPath() string { return filepath.Join(s.dir, "snapshot.json") }
+
+// snapshotFile is the snapshot.json schema.
+type snapshotFile struct {
+	Version int          `json:"version"`
+	Jobs    []*JobRecord `json:"jobs"`
+}
+
+// loadSnapshot reads snapshot.json into the job table. A missing file is
+// a fresh store; an unreadable one is quarantined, not fatal.
+func (s *Store) loadSnapshot() error {
+	b, err := os.ReadFile(s.snapshotPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: reading snapshot: %v", err)
+	}
+	var snap snapshotFile
+	if jerr := json.Unmarshal(b, &snap); jerr != nil {
+		s.truncations.Inc()
+		s.log.Warn("store: quarantining unreadable snapshot", "path", s.snapshotPath(), "err", jerr)
+		// Keep the bytes for post-mortem; rebuild from the journal alone.
+		_ = os.Rename(s.snapshotPath(), s.snapshotPath()+".corrupt")
+		return nil
+	}
+	for _, j := range snap.Jobs {
+		if j == nil || j.ID == "" {
+			continue
+		}
+		s.insert(j)
+	}
+	return nil
+}
+
+// replayJournal applies journal.wal on top of the snapshot, truncating a
+// corrupt tail, and leaves the file open for appending.
+func (s *Store) replayJournal() error {
+	f, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: opening journal: %v", err)
+	}
+	var replayed int
+	good, corrupt := readFrames(f, func(payload []byte) bool {
+		var rec walRecord
+		if jerr := json.Unmarshal(payload, &rec); jerr != nil {
+			return false // framed but unparsable: treat as tail damage
+		}
+		s.apply(&rec)
+		replayed++
+		return true
+	})
+	s.replayed.Add(int64(replayed))
+	s.sinceSnap = replayed
+	if corrupt {
+		st, _ := f.Stat()
+		s.truncations.Inc()
+		var total int64
+		if st != nil {
+			total = st.Size()
+		}
+		s.log.Warn("store: truncating corrupt journal tail",
+			"path", s.walPath(), "kept_bytes", good, "dropped_bytes", total-good)
+		if terr := f.Truncate(good); terr != nil {
+			f.Close()
+			return fmt.Errorf("store: truncating corrupt journal tail: %v", terr)
+		}
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return fmt.Errorf("store: seeking journal end: %v", err)
+	}
+	s.wal = f
+	return nil
+}
+
+// insert adds or replaces a job record, keeping insertion order.
+func (s *Store) insert(j *JobRecord) {
+	if _, ok := s.jobs[j.ID]; !ok {
+		s.order = append(s.order, j.ID)
+	}
+	s.jobs[j.ID] = j
+}
+
+// remove purges a job record.
+func (s *Store) remove(id string) {
+	if _, ok := s.jobs[id]; !ok {
+		return
+	}
+	delete(s.jobs, id)
+	for i, o := range s.order {
+		if o == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// apply folds one journal record into the job table. Application is
+// idempotent (a snapshot taken after a record may be replayed together
+// with it) and tolerant of records for unknown jobs (dropped by an
+// earlier cancel purge).
+func (s *Store) apply(rec *walRecord) {
+	switch rec.Type {
+	case "submit":
+		if rec.Job == nil || rec.Job.ID == "" {
+			return
+		}
+		j := *rec.Job
+		s.insert(&j)
+	case "start":
+		if j, ok := s.jobs[rec.ID]; ok && !j.Terminal() {
+			j.State = StateRunning
+		}
+	case "finish":
+		j, ok := s.jobs[rec.ID]
+		if !ok {
+			return
+		}
+		if !terminal(rec.State) {
+			return
+		}
+		j.State = rec.State
+		j.FinishedAt = rec.FinishedAt
+		j.Result = rec.Result
+		j.ResultBLIF = rec.ResultBLIF
+		j.Ledger = rec.Ledger
+		j.Error = rec.Error
+	case "cancel":
+		// A cancel of a queued job purges it outright: replay must not
+		// resurrect work the user already abandoned.
+		s.remove(rec.ID)
+	}
+}
+
+// append journals one record and folds it into the in-memory table. The
+// in-memory update always happens; persistence is skipped in degraded
+// mode. A write failure degrades the store instead of failing the
+// caller: the daemon must keep serving even with a dead disk.
+func (s *Store) append(rec *walRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.apply(rec)
+	if s.degraded || s.closed {
+		return
+	}
+	if err := s.appendLocked(rec); err != nil {
+		s.degraded = true
+		s.degradedCnt.Inc()
+		s.log.Warn("store: journal append failed; degrading to in-memory mode (durability lost)",
+			"err", err)
+		return
+	}
+	s.appends.Inc()
+	s.sinceSnap++
+	if s.sinceSnap >= s.snapEvery {
+		if err := s.snapshotLocked(); err != nil {
+			// A failed snapshot is not fatal: the journal still has
+			// everything. Try again after the next batch.
+			s.log.Warn("store: snapshot failed; continuing on journal alone", "err", err)
+			s.sinceSnap = 0
+		}
+	}
+}
+
+// appendLocked frames, writes, and fsyncs one record. Callers hold mu.
+func (s *Store) appendLocked(rec *walRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if h := s.hooks; h != nil && h.AppendErr != nil {
+		if herr := h.AppendErr(rec.Type); herr != nil {
+			return herr
+		}
+	}
+	var buf bytes.Buffer
+	if err := appendFrame(&buf, payload); err != nil {
+		return err
+	}
+	frame := buf.Bytes()
+	if h := s.hooks; h != nil && h.ShortWrite != nil {
+		if n := h.ShortWrite(rec.Type); n >= 0 && n < len(frame) {
+			// A torn write: the bytes land but the caller believes the
+			// append succeeded, exactly like a crash between write and
+			// the next append.
+			_, _ = s.wal.Write(frame[:n])
+			return nil
+		}
+	}
+	if _, err := s.wal.Write(frame); err != nil {
+		return err
+	}
+	return s.wal.Sync()
+}
+
+// snapshotLocked writes the full job table to snapshot.json atomically
+// and resets the journal. Callers hold mu.
+func (s *Store) snapshotLocked() error {
+	snap := snapshotFile{Version: 1, Jobs: make([]*JobRecord, 0, len(s.order))}
+	for _, id := range s.order {
+		snap.Jobs = append(snap.Jobs, s.jobs[id])
+	}
+	b, err := json.Marshal(&snap)
+	if err != nil {
+		return err
+	}
+	tmp := s.snapshotPath() + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, s.snapshotPath()); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(s.dir)
+	// The snapshot is durable; the journal can restart from empty. A
+	// crash before the truncate replays journal records over a snapshot
+	// that already contains them, which apply tolerates.
+	if err := s.wal.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := s.wal.Seek(0, 0); err != nil {
+		return err
+	}
+	s.sinceSnap = 0
+	s.snapshots.Inc()
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable. Errors are ignored: some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// AppendSubmit persists a newly submitted job.
+func (s *Store) AppendSubmit(j JobRecord) {
+	if j.State == "" {
+		j.State = StateQueued
+	}
+	s.append(&walRecord{Type: "submit", Job: &j})
+}
+
+// AppendStart persists a job's queued -> running transition.
+func (s *Store) AppendStart(id string) {
+	s.append(&walRecord{Type: "start", ID: id})
+}
+
+// AppendFinish persists a job's terminal transition with its outcome.
+func (s *Store) AppendFinish(id, state string, finishedAt time.Time, result json.RawMessage, resultBLIF []byte, ledger json.RawMessage, errMsg string) {
+	s.append(&walRecord{
+		Type: "finish", ID: id, State: state, FinishedAt: finishedAt,
+		Result: result, ResultBLIF: resultBLIF, Ledger: ledger, Error: errMsg,
+	})
+}
+
+// AppendCancel persists the cancellation of a still-queued job by
+// purging it: replay will not resurrect it.
+func (s *Store) AppendCancel(id string) {
+	s.append(&walRecord{Type: "cancel", ID: id})
+}
+
+// Jobs returns the current job table in insertion order (deep enough
+// copies that callers may hold them across store mutations). Right
+// after Open this is the recovered state.
+func (s *Store) Jobs() []JobRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobRecord, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, *s.jobs[id])
+	}
+	return out
+}
+
+// Degraded reports whether persistence has been lost to a write failure.
+func (s *Store) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
+
+// Close snapshots the final state and closes the journal.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if !s.degraded && s.sinceSnap > 0 {
+		err = s.snapshotLocked()
+	}
+	if s.wal != nil {
+		if cerr := s.wal.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -1,0 +1,42 @@
+//go:build ignore
+
+// emit_mapped writes a built-in benchmark circuit's *initial*
+// technology-mapped BLIF (power-aware mapping against the built-in
+// lib2, no optimization) to stdout — the exact submission body powder
+// -server sends. The crash-recovery e2e script uses it so the baseline
+// and crash runs post byte-identical inputs.
+//
+// Usage: go run scripts/emit_mapped.go <circuit-name>
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"powder/internal/blif"
+	"powder/internal/cellib"
+	"powder/internal/circuits"
+	"powder/internal/synth"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: go run scripts/emit_mapped.go <circuit-name>")
+		os.Exit(2)
+	}
+	spec, err := circuits.ByName(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	nl, err := synth.Compile(spec.Build(), cellib.Lib2(), synth.Options{Mode: synth.CostPower})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	model := &blif.Model{Netlist: nl, NumInputs: len(nl.Inputs()), NumOutputs: len(nl.Outputs())}
+	if err := blif.WriteModel(os.Stdout, model); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
