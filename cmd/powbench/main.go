@@ -63,6 +63,7 @@ func main() {
 		timeout       = flag.Duration("timeout", 0, "per-circuit wall-clock budget; expired runs report their best result (0 = none)")
 		retries       = flag.Int("max-retries", 0, "per-circuit budget-escalation retries for aborted proofs (0 = no escalation)")
 		parallel      = flag.Int("parallel", 1, "run circuits concurrently on this many workers (0 = GOMAXPROCS); output stays in circuit order")
+		par           = flag.Int("par", 1, "per-circuit engine parallelism: fanout-region workers inside each optimization (<=1 = sequential engine)")
 
 		server     = flag.String("server", "", "run the suite against a powderd daemon at this base URL instead of in-process (honors -circuits, -timeout, -quiet)")
 		srvNoCache = flag.Bool("no-cache", false, "with -server: bypass the daemon's content-addressed result cache")
@@ -134,6 +135,7 @@ func main() {
 	opts := expt.RunOptions{MapArea: *mapArea, PreOptimize: *preOpt, Obs: observer, Tracer: tracer}
 	opts.Core.Timeout = *timeout
 	opts.Core.MaxRetries = *retries
+	opts.Core.Parallelism = *par
 	opts.Parallel = *parallel
 	if *parallel <= 0 {
 		opts.Parallel = runtime.GOMAXPROCS(0)
@@ -239,6 +241,7 @@ func main() {
 		}
 		if *trajectory != "" || *benchBaseline != "" {
 			entry := expt.BuildTrajectoryEntry(suite, suiteWall)
+			entry.Par = *par
 			if *benchBaseline != "" {
 				// The regression gate runs before the append so a CI job
 				// pointing both flags at the same file never compares the

@@ -79,6 +79,7 @@ type config struct {
 	budget      int64
 	maxSubs     int
 	maxRetries  int
+	par         int
 	timeout     time.Duration
 	inverted    bool
 	resize      bool
@@ -118,6 +119,7 @@ func main() {
 	flag.Int64Var(&cfg.budget, "budget", 0, "ATPG/SAT conflict budget per check (0 = default)")
 	flag.IntVar(&cfg.maxSubs, "max-subs", 0, "stop after this many substitutions (0 = unlimited)")
 	flag.IntVar(&cfg.maxRetries, "max-retries", 0, "budget-escalation retries for aborted proofs across the run (0 = no escalation)")
+	flag.IntVar(&cfg.par, "par", 1, "parallel fanout-region workers inside the optimization (<=1 = sequential engine, byte-identical to pre-parallel builds)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "wall-clock budget, e.g. 30s; on expiry the best netlist so far is emitted (0 = none)")
 	flag.StringVar(&cfg.server, "server", "", "submit to a powderd daemon at this base URL (e.g. http://localhost:8844) instead of optimizing locally")
 	flag.BoolVar(&cfg.noCache, "no-cache", false, "with -server: bypass the daemon's content-addressed result cache")
@@ -314,6 +316,7 @@ func run(ctx context.Context, cfg config, stdout, stderr io.Writer) error {
 		PreselectK:       cfg.preselect,
 		MaxSubstitutions: cfg.maxSubs,
 		MaxRetries:       cfg.maxRetries,
+		Parallelism:      cfg.par,
 		Timeout:          cfg.timeout,
 		CheckBudget:      cfg.budget,
 		Power:            power.Options{Words: cfg.words, Seed: cfg.seed},
@@ -429,6 +432,10 @@ func run(ctx context.Context, cfg config, stdout, stderr io.Writer) error {
 		}
 		if rb := res.Rejects[core.RejectRollback]; rb > 0 {
 			fmt.Fprintf(stdout, "  rollbacks: %d\n", rb)
+		}
+		if p := res.Parallel; p != nil {
+			fmt.Fprintf(stdout, "  parallel: %d workers, %d rounds, %d regions, %d proposals (%d conflicts, %d replays, %d cache hits)\n",
+				p.Workers, p.Rounds, p.Regions, p.Proposals, p.Conflicts, p.Replays, p.SigCacheHits)
 		}
 		if res.StoppedEarly() {
 			fmt.Fprintf(stdout, "  stopped early: %s (the emitted netlist is the best verified result so far)\n", res.Stopped)

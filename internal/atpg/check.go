@@ -221,30 +221,11 @@ func (c *Checker) check(kind string, changed []netlist.Branch, src Source) Verdi
 func (c *Checker) decide(ctx context.Context, changed []netlist.Branch, src Source) (verdict Verdict, conflicts, decisions int64) {
 	nl := c.nl
 
-	changedPin := make(map[netlist.Branch]bool, len(changed))
-	var changedPOs []int
-	roots := make([]netlist.NodeID, 0, len(changed))
-	for _, b := range changed {
-		if b.IsPO() {
-			changedPOs = append(changedPOs, b.Pin)
-			continue
-		}
-		changedPin[b] = true
-		roots = append(roots, b.Gate)
-	}
-
-	// Gates whose function can change: the rewired gates plus their TFO.
-	dup := make(map[netlist.NodeID]bool)
-	for _, r := range roots {
-		dup[r] = true
-		for id := range nl.TFO(r) {
-			dup[id] = true
-		}
-	}
+	p := planMiter(nl, changed, src)
 	// A source inside the duplicated region would mean a combinational
 	// cycle in the rewired circuit; such candidates are structural
 	// mistakes, never permissible rewirings.
-	if dup[src.B] || (src.IsThree() && dup[src.C]) {
+	if p.cyclic {
 		return NotPermissible, 0, 0
 	}
 
@@ -253,56 +234,7 @@ func (c *Checker) decide(ctx context.Context, changed []netlist.Branch, src Sour
 	s.SetContext(ctx)
 	b := newCNFBuilder(nl, s)
 
-	// Source variable.
-	srcVar := b.nodeVar(src.B)
-	if src.IsThree() {
-		v := s.NewVar()
-		encodeCellClauses(s, src.effectiveTT(), []int{b.nodeVar(src.B), b.nodeVar(src.C)}, v)
-		srcVar = v
-	} else if src.InvertB {
-		v := s.NewVar()
-		s.AddClause(sat.Pos(v), sat.Pos(srcVar))
-		s.AddClause(sat.Neg(v), sat.Neg(srcVar))
-		srcVar = v
-	}
-
-	// Duplicate the affected region in topological order.
-	dupVar := make(map[netlist.NodeID]int, len(dup))
-	for _, id := range nl.TopoOrder() {
-		if !dup[id] {
-			continue
-		}
-		n := nl.Node(id)
-		ins := make([]int, len(n.Fanins()))
-		for pin, f := range n.Fanins() {
-			switch {
-			case changedPin[netlist.Branch{Gate: id, Pin: pin}]:
-				ins[pin] = srcVar
-			case dup[f]:
-				ins[pin] = dupVar[f]
-			default:
-				ins[pin] = b.nodeVar(f)
-			}
-		}
-		v := s.NewVar()
-		encodeCellClauses(s, n.Cell().TT, ins, v)
-		dupVar[id] = v
-	}
-
-	// Miter: some primary output differs.
-	var diffs []sat.Lit
-	seenPO := make(map[int]bool)
-	for _, poIdx := range changedPOs {
-		seenPO[poIdx] = true
-		d := nl.Outputs()[poIdx].Driver
-		diffs = append(diffs, sat.Pos(xorVar(s, b.nodeVar(d), srcVar)))
-	}
-	for poIdx, po := range nl.Outputs() {
-		if seenPO[poIdx] || !dup[po.Driver] {
-			continue
-		}
-		diffs = append(diffs, sat.Pos(xorVar(s, b.nodeVar(po.Driver), dupVar[po.Driver])))
-	}
+	diffs := buildMiter(nl, b, s, p)
 	if len(diffs) == 0 {
 		// No primary output can observe the change.
 		return Permissible, 0, 0

@@ -19,15 +19,16 @@ import (
 	"powder/internal/sat"
 )
 
-// cnfBuilder incrementally encodes netlist nodes into a SAT solver.
+// cnfBuilder incrementally encodes netlist nodes onto a clause adder —
+// a one-shot solver, or the permanent layer of an incremental one.
 type cnfBuilder struct {
 	nl *netlist.Netlist
-	s  *sat.Solver
+	s  sat.ClauseAdder
 	// varOf maps node IDs to solver variables; -1 = not yet encoded.
 	varOf []int
 }
 
-func newCNFBuilder(nl *netlist.Netlist, s *sat.Solver) *cnfBuilder {
+func newCNFBuilder(nl *netlist.Netlist, s sat.ClauseAdder) *cnfBuilder {
 	v := make([]int, nl.NumNodes())
 	for i := range v {
 		v[i] = -1
@@ -61,7 +62,7 @@ func (b *cnfBuilder) nodeVar(id netlist.NodeID) int {
 // 6-or-fewer-variable truth table f. Onset and offset minterms are first
 // compressed with the cube minimizer, so simple gates get their familiar
 // compact encodings (an AND2 yields 3 clauses, not 4).
-func encodeCellClauses(s *sat.Solver, tt logic.TT, ins []int, out int) {
+func encodeCellClauses(s sat.ClauseAdder, tt logic.TT, ins []int, out int) {
 	n := tt.N
 	onset := logic.NewSOP(n)
 	offset := logic.NewSOP(n)
@@ -112,7 +113,7 @@ func appendCubeOpposite(lits []sat.Lit, c logic.Cube, n int, ins []int) []sat.Li
 }
 
 // xorVar returns a fresh variable constrained to a XOR b.
-func xorVar(s *sat.Solver, a, b int) int {
+func xorVar(s sat.ClauseAdder, a, b int) int {
 	d := s.NewVar()
 	s.AddClause(sat.Neg(d), sat.Pos(a), sat.Pos(b))
 	s.AddClause(sat.Neg(d), sat.Neg(a), sat.Neg(b))

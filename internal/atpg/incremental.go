@@ -1,0 +1,213 @@
+package atpg
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"powder/internal/netlist"
+	"powder/internal/obs"
+	"powder/internal/obs/trace"
+	"powder/internal/sat"
+)
+
+// IncrementalChecker proves candidate substitutions against one frozen
+// netlist snapshot on a single long-lived incremental solver. The base
+// cone is encoded once and shared by every miter; each proof adds only
+// its candidate-specific clauses (source, duplicated region, XOR taps) in
+// a retirable activation-literal scope, and learned clauses that do not
+// depend on a retired scope keep pruning later proofs. An optional shared
+// SigCache short-circuits re-harvested duplicates of refuted candidates
+// without a solve.
+//
+// The wrapped netlist must not change while the checker is in use — the
+// permanent clauses mirror the snapshot taken at construction, and every
+// check panics if the netlist version has moved. Checkers are not safe
+// for concurrent use; the parallel engine runs one per worker per round.
+type IncrementalChecker struct {
+	nl      *netlist.Netlist
+	version int64
+	inc     *sat.Incremental
+	b       *cnfBuilder
+
+	// Budget is the conflict budget per check; exceeded means Aborted.
+	Budget int64
+	Stats  CheckStats
+	// Obs receives the same per-check events and metrics as Checker,
+	// plus atpg.sigcache.hits for cache short-circuits.
+	Obs *obs.Observer
+	// Ctx, when non-nil, is polled inside the SAT search.
+	Ctx context.Context
+	// Sig, when non-nil, is the (shared, thread-safe) refuted-miter cache.
+	Sig *SigCache
+	// LastCheck holds the detail of the most recent proof.
+	LastCheck CheckDetail
+
+	sigs nodeSigs
+	cex  []bool
+}
+
+// NewIncrementalChecker returns an incremental checker over nl with the
+// default proof budget.
+func NewIncrementalChecker(nl *netlist.Netlist) *IncrementalChecker {
+	inc := sat.NewIncremental()
+	return &IncrementalChecker{
+		nl:      nl,
+		version: nl.Version(),
+		inc:     inc,
+		b:       newCNFBuilder(nl, inc.Base()),
+		Budget:  50000,
+	}
+}
+
+// Counterexample returns the primary-input assignment (in Inputs() order)
+// that refuted the last NotPermissible check, or nil. Cache-hit
+// refutations have no counterexample.
+func (c *IncrementalChecker) Counterexample() []bool { return c.cex }
+
+// Scopes returns how many proof scopes were opened and retired, for
+// callers reporting clause-reuse effectiveness.
+func (c *IncrementalChecker) Scopes() (opened, retired int) {
+	return c.inc.ScopesOpened, c.inc.ScopesRetired
+}
+
+// CheckStem decides whether substituting every fanout of stem a with the
+// source is permissible. It additionally returns the proof's support set:
+// the nodes the verdict depends on (nil for structural verdicts and cache
+// hits). The parallel engine intersects it with concurrently touched
+// nodes to decide whether the verdict survives an interleaved edit.
+func (c *IncrementalChecker) CheckStem(a netlist.NodeID, src Source) (Verdict, []netlist.NodeID) {
+	n := c.nl.Node(a)
+	branches := append([]netlist.Branch(nil), n.Fanouts()...)
+	return c.check("stem", branches, src)
+}
+
+// CheckBranch decides whether rewiring pin pin of gate g to the source is
+// permissible, returning the verdict and the proof's support set.
+func (c *IncrementalChecker) CheckBranch(g netlist.NodeID, pin int, src Source) (Verdict, []netlist.NodeID) {
+	return c.check("branch", []netlist.Branch{{Gate: g, Pin: pin}}, src)
+}
+
+func (c *IncrementalChecker) check(kind string, changed []netlist.Branch, src Source) (Verdict, []netlist.NodeID) {
+	if c.nl.Version() != c.version {
+		panic(fmt.Sprintf("atpg: netlist changed under IncrementalChecker (version %d -> %d)",
+			c.version, c.nl.Version()))
+	}
+	c.Stats.Checks++
+	start := time.Now()
+	ctx, sp := trace.StartSpan(c.Ctx, "prove")
+	v, support, conflicts, decisions, cached := c.decide(ctx, changed, src)
+	if sp != nil {
+		sp.SetAttr("kind", kind)
+		sp.SetAttr("verdict", v.String())
+		sp.SetAttr("branches", len(changed))
+		sp.SetAttr("conflicts", conflicts)
+		sp.SetAttr("decisions", decisions)
+		sp.SetAttr("incremental", true)
+		if cached {
+			sp.SetAttr("sigcache", true)
+		}
+		if c.Budget > 0 {
+			sp.SetAttr("budget", c.Budget)
+		}
+		sp.End()
+	}
+	switch v {
+	case Permissible:
+		c.Stats.Permissible++
+	case NotPermissible:
+		c.Stats.Refuted++
+	default:
+		c.Stats.Aborted++
+	}
+	c.Stats.Conflicts += conflicts
+	c.Stats.Decisions += decisions
+	c.LastCheck = CheckDetail{
+		Verdict:   v,
+		Conflicts: conflicts,
+		Decisions: decisions,
+		Seconds:   time.Since(start).Seconds(),
+		Budget:    c.Budget,
+	}
+
+	if m := c.Obs.Metrics(); m != nil {
+		m.Counter("atpg.checks").Inc()
+		m.Counter("atpg.verdict." + v.String()).Inc()
+		m.Counter("atpg.conflicts").Add(conflicts)
+		m.Counter("atpg.decisions").Add(decisions)
+		m.Histogram("atpg.check.seconds").ObserveSince(start)
+		if cached {
+			m.Counter("atpg.sigcache.hits").Inc()
+		}
+	}
+	if c.Obs.Tracing() {
+		f := obs.Fields{
+			"kind":        kind,
+			"verdict":     v.String(),
+			"branches":    len(changed),
+			"conflicts":   conflicts,
+			"decisions":   decisions,
+			"seconds":     time.Since(start).Seconds(),
+			"incremental": true,
+		}
+		if cached {
+			f["sigcache"] = true
+		}
+		if c.Budget > 0 {
+			f["budget"] = c.Budget
+			f["budget_used_pct"] = 100 * float64(conflicts) / float64(c.Budget)
+		}
+		c.Obs.Emit("check", f)
+	}
+	return v, support
+}
+
+func (c *IncrementalChecker) decide(ctx context.Context, changed []netlist.Branch, src Source) (verdict Verdict, support []netlist.NodeID, conflicts, decisions int64, cached bool) {
+	p := planMiter(c.nl, changed, src)
+	if p.cyclic {
+		return NotPermissible, nil, 0, 0, false
+	}
+
+	var key [32]byte
+	if c.Sig != nil {
+		key = p.miterKey(c.nl, &c.sigs)
+		if c.Sig.Refuted(key) {
+			return NotPermissible, nil, 0, 0, true
+		}
+	}
+
+	base := c.inc.Base()
+	base.SetBudget(c.Budget)
+	base.SetContext(ctx)
+	scope := c.inc.Scope()
+	defer scope.Retire()
+
+	diffs := buildMiter(c.nl, c.b, scope, p)
+	if len(diffs) == 0 {
+		return Permissible, p.support(c.nl), 0, 0, false
+	}
+	if !scope.AddClause(diffs...) {
+		return Permissible, p.support(c.nl), 0, 0, false
+	}
+
+	c0, d0 := base.Conflicts, base.Decisions
+	res := scope.Solve()
+	conflicts, decisions = base.Conflicts-c0, base.Decisions-d0
+	switch res {
+	case sat.Unsat:
+		return Permissible, p.support(c.nl), conflicts, decisions, false
+	case sat.Sat:
+		c.cex = make([]bool, len(c.nl.Inputs()))
+		for i, in := range c.nl.Inputs() {
+			if v := c.b.varOf[in]; v >= 0 {
+				c.cex[i] = base.Value(v)
+			}
+		}
+		if c.Sig != nil {
+			c.Sig.StoreRefuted(key)
+		}
+		return NotPermissible, nil, conflicts, decisions, false
+	default:
+		return Aborted, nil, conflicts, decisions, false
+	}
+}

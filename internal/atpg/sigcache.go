@@ -1,0 +1,191 @@
+package atpg
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+
+	"powder/internal/netlist"
+)
+
+// SigCache remembers the structural signatures of refuted miters so a
+// re-harvested duplicate of a refuted candidate is rejected without a SAT
+// solve. Two miters with equal signatures are isomorphic formulas (same
+// cone functions, same rewired pins, same observing outputs), so a cached
+// refutation transfers even across netlist versions and across the
+// per-worker replicas of a parallel run. Only refutations are cached:
+// a permissible verdict is always re-proved on the netlist it will be
+// applied to. Safe for concurrent use.
+type SigCache struct {
+	mu      sync.Mutex
+	refuted map[[32]byte]struct{}
+	hits    int64
+	misses  int64
+}
+
+// NewSigCache returns an empty cache.
+func NewSigCache() *SigCache {
+	return &SigCache{refuted: make(map[[32]byte]struct{})}
+}
+
+// Refuted reports whether a miter with this signature was refuted before.
+func (c *SigCache) Refuted(key [32]byte) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.refuted[key]; ok {
+		c.hits++
+		return true
+	}
+	c.misses++
+	return false
+}
+
+// StoreRefuted records a refuted miter signature.
+func (c *SigCache) StoreRefuted(key [32]byte) {
+	c.mu.Lock()
+	c.refuted[key] = struct{}{}
+	c.mu.Unlock()
+}
+
+// Stats returns the lookup counts and the number of cached refutations.
+func (c *SigCache) Stats() (hits, misses int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.refuted)
+}
+
+// nodeSigs lazily maintains per-node structural signatures for one
+// netlist snapshot, recomputed whenever the netlist version moves. A
+// node's signature digests its cell function and its fanins' signatures
+// (inputs digest their position), so it identifies the function and shape
+// of the node's fanin cone independent of node IDs and names — the same
+// bottom-up idiom as netlist.StructuralHash, kept numeric for reuse
+// inside miter keys.
+type nodeSigs struct {
+	version int64
+	valid   bool
+	sig     [][32]byte
+	inputAt map[netlist.NodeID]int
+}
+
+func (ns *nodeSigs) refresh(nl *netlist.Netlist) {
+	if ns.valid && ns.version == nl.Version() {
+		return
+	}
+	n := nl.NumNodes()
+	if cap(ns.sig) < n {
+		ns.sig = make([][32]byte, n)
+	}
+	ns.sig = ns.sig[:n]
+	ns.inputAt = make(map[netlist.NodeID]int, len(nl.Inputs()))
+	for i, in := range nl.Inputs() {
+		ns.inputAt[in] = i
+	}
+	h := sha256.New()
+	var buf [8]byte
+	for _, id := range nl.TopoOrder() {
+		node := nl.Node(id)
+		h.Reset()
+		if node.Kind() == netlist.KindInput {
+			h.Write([]byte("in"))
+			binary.LittleEndian.PutUint64(buf[:], uint64(ns.inputAt[id]))
+			h.Write(buf[:])
+		} else {
+			h.Write([]byte("gate"))
+			binary.LittleEndian.PutUint64(buf[:], uint64(node.Cell().TT.N))
+			h.Write(buf[:])
+			binary.LittleEndian.PutUint64(buf[:], node.Cell().TT.Bits)
+			h.Write(buf[:])
+			for _, f := range node.Fanins() {
+				h.Write(ns.sig[f][:])
+			}
+		}
+		h.Sum(ns.sig[id][:0])
+	}
+	ns.version = nl.Version()
+	ns.valid = true
+}
+
+// miterKey digests everything buildMiter encodes: the source function,
+// the duplicated region's cells with per-pin routing (rewired pin, intra-
+// region edge, or base-cone signature), and the observing outputs. Equal
+// keys mean isomorphic miters and hence equal verdicts.
+func (p *miterPlan) miterKey(nl *netlist.Netlist, ns *nodeSigs) [32]byte {
+	ns.refresh(nl)
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+
+	h.Write([]byte("src"))
+	h.Write(ns.sig[p.src.B][:])
+	if p.src.InvertB {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	if p.src.IsThree() {
+		h.Write(ns.sig[p.src.C][:])
+		if p.src.InvertC {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+		writeInt(uint64(p.src.Gate.N))
+		writeInt(p.src.Gate.Bits)
+	}
+
+	// Duplicated region in topological order; dup-internal fanins are
+	// referenced by their position in that order, so the key is invariant
+	// under node renumbering.
+	dupAt := make(map[netlist.NodeID]int, len(p.dupTopo))
+	for i, id := range p.dupTopo {
+		dupAt[id] = i
+	}
+	h.Write([]byte("dup"))
+	writeInt(uint64(len(p.dupTopo)))
+	for _, id := range p.dupTopo {
+		node := nl.Node(id)
+		writeInt(uint64(node.Cell().TT.N))
+		writeInt(node.Cell().TT.Bits)
+		for pin, f := range node.Fanins() {
+			switch {
+			case p.changedPin[netlist.Branch{Gate: id, Pin: pin}]:
+				// The base copy keeps reading the substituted signal, so
+				// the original driver's function is part of the miter.
+				h.Write([]byte{'S'})
+				h.Write(ns.sig[f][:])
+			case p.dup[f]:
+				h.Write([]byte{'D'})
+				writeInt(uint64(dupAt[f]))
+			default:
+				h.Write([]byte{'B'})
+				h.Write(ns.sig[f][:])
+			}
+		}
+	}
+
+	// Observing outputs: directly rewired POs by driver signature, then
+	// the POs the duplicated region drives by dup position. PO identity
+	// beyond the compared functions does not matter to the verdict.
+	h.Write([]byte("po"))
+	seenPO := make(map[int]bool, len(p.changedPOs))
+	for _, poIdx := range p.changedPOs {
+		seenPO[poIdx] = true
+		h.Write([]byte{'X'})
+		h.Write(ns.sig[nl.Outputs()[poIdx].Driver][:])
+	}
+	for poIdx, po := range nl.Outputs() {
+		if seenPO[poIdx] || !p.dup[po.Driver] {
+			continue
+		}
+		h.Write([]byte{'O'})
+		writeInt(uint64(dupAt[po.Driver]))
+	}
+
+	var key [32]byte
+	h.Sum(key[:0])
+	return key
+}

@@ -75,6 +75,14 @@ type Options struct {
 	// reports the best netlist found so far with Stopped set. 0 means
 	// no deadline (an externally cancelled context behaves the same).
 	Timeout time.Duration
+	// Parallelism is the worker count of the intra-circuit parallel
+	// engine: the netlist is decomposed into that many fanout regions
+	// (internal/partition) and harvest/analysis/proving run concurrently
+	// per region on replica netlists, with applies serialized through the
+	// transactional journal on the master (see parallel.go). <= 1 runs
+	// the sequential engine, whose output is byte-identical to builds
+	// before the parallel engine existed.
+	Parallelism int
 	// VerifyEvery refreshes the last-good safety-net snapshot after
 	// this many applied substitutions by proving the current netlist
 	// equivalent to the input (atpg.Equivalent). The snapshot is what a
@@ -271,6 +279,33 @@ type Result struct {
 	// moves — the realized power drop whose sum telescopes to
 	// Initial.Power - Final.Power. Nil when Options.LedgerLimit < 0.
 	Ledger *obs.LedgerSummary
+	// Parallel summarizes the parallel engine's scheduling activity;
+	// nil for sequential runs (Options.Parallelism <= 1).
+	Parallel *ParallelStats
+}
+
+// ParallelStats summarizes one parallel run's region scheduling: how the
+// work was partitioned and how often region-local proofs had to be
+// re-examined at commit time.
+type ParallelStats struct {
+	// Workers is the configured Options.Parallelism.
+	Workers int `json:"workers"`
+	// Rounds counts the bulk-synchronous rounds executed.
+	Rounds int `json:"rounds"`
+	// Regions sums the region count over all rounds.
+	Regions int `json:"regions"`
+	// Proposals counts region-proven substitutions reaching the commit
+	// phase.
+	Proposals int `json:"proposals"`
+	// Conflicts counts proposals whose proof support intersected nodes
+	// touched by another region's committed edit (or whose region chain
+	// broke), forcing a serial re-proof.
+	Conflicts int `json:"conflicts"`
+	// Replays counts serial re-proofs run at commit time.
+	Replays int `json:"replays"`
+	// SigCacheHits counts proofs short-circuited by the shared
+	// refuted-miter signature cache.
+	SigCacheHits int64 `json:"sigcache_hits"`
 }
 
 // StoppedEarly reports whether the run ended before exhausting the
@@ -334,6 +369,9 @@ func Optimize(nl *netlist.Netlist, opts Options) (*Result, error) {
 //     input, and the panic is returned as an error.
 func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *Result, err error) {
 	opts.normalize()
+	if opts.Parallelism > 1 {
+		return optimizeParallel(ctx, nl, opts)
+	}
 	o := opts.observer()
 	opts.Power.Obs = o
 	opts.Transform.Obs = o

@@ -52,8 +52,13 @@ type TrajectoryEntry struct {
 	Proofs        int `json:"proofs"`
 	// PeakRSSBytes is the process's high-water resident set (0 where
 	// /proc is unavailable).
-	PeakRSSBytes int64               `json:"peak_rss_bytes,omitempty"`
-	Circuits     []TrajectoryCircuit `json:"circuits"`
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
+	// Par is the engine parallelism the suite ran with (0 or 1 =
+	// sequential). Regression checks compare entries of equal Par, so one
+	// baseline file can carry sequential and parallel trajectories side
+	// by side.
+	Par      int                 `json:"par,omitempty"`
+	Circuits []TrajectoryCircuit `json:"circuits"`
 }
 
 // BuildTrajectoryEntry assembles one entry from a finished suite.
@@ -158,16 +163,23 @@ func AppendTrajectory(path string, e TrajectoryEntry) error {
 }
 
 // CheckRegression compares a fresh entry against the newest baseline
-// entry: any shared circuit whose optimized power grew by more than
-// powerPct percent, or a suite wall time beyond wallFactor times the
-// baseline's, is a regression. It returns nil when the baseline is empty
-// (nothing to regress against) and an error naming every violation
-// otherwise.
+// entry of the same parallelism (falling back to the newest entry of any
+// parallelism when none matches): any shared circuit whose optimized
+// power grew by more than powerPct percent, or a suite wall time beyond
+// wallFactor times the baseline's, is a regression. It returns nil when
+// the baseline is empty (nothing to regress against) and an error naming
+// every violation otherwise.
 func CheckRegression(e TrajectoryEntry, baseline []TrajectoryEntry, powerPct, wallFactor float64) error {
 	if len(baseline) == 0 {
 		return nil
 	}
 	base := baseline[len(baseline)-1]
+	for i := len(baseline) - 1; i >= 0; i-- {
+		if normPar(baseline[i].Par) == normPar(e.Par) {
+			base = baseline[i]
+			break
+		}
+	}
 	byName := make(map[string]TrajectoryCircuit, len(base.Circuits))
 	for _, c := range base.Circuits {
 		byName[c.Name] = c
@@ -194,4 +206,13 @@ func CheckRegression(e TrajectoryEntry, baseline []TrajectoryEntry, powerPct, wa
 			base.GitRev, strings.Join(violations, "\n  "))
 	}
 	return nil
+}
+
+// normPar folds the two spellings of "sequential" (0 for pre-parallel
+// entries, 1 for explicit -par 1 runs) into one baseline-matching key.
+func normPar(p int) int {
+	if p <= 1 {
+		return 1
+	}
+	return p
 }

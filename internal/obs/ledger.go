@@ -78,6 +78,10 @@ type LedgerAttempt struct {
 	// touched cone, largest magnitude first; an "(other)" entry keeps the
 	// decomposition exact when the cone is wider than the retention cap.
 	Cone []LedgerNodeDelta `json:"cone,omitempty"`
+	// Region is the partition region that proposed the attempt in a
+	// parallel run (1-based so the zero value marks sequential runs and
+	// stays omitted from JSON).
+	Region int `json:"region,omitempty"`
 }
 
 // Ledger is a bounded-memory record of every substitution attempt of one

@@ -1,0 +1,306 @@
+// Package partition decomposes a mapped netlist into disjoint regions for
+// intra-circuit parallel optimization. A region is a set of live nodes
+// grouped from whole primary-output cones, so the logic a region's worker
+// reasons about is mostly closed under the substitutions it proposes; the
+// explicit boundary sets record exactly where signals cross between
+// regions, which is where a region-local proof can be invalidated by a
+// concurrent edit in a neighbouring region.
+//
+// The decomposition is deterministic: the same netlist and target always
+// produce the same regions, which is what makes a fixed -par P run of the
+// parallel engine reproducible.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"powder/internal/netlist"
+)
+
+// Unassigned is the region index reported for dead or unknown nodes.
+const Unassigned = -1
+
+// Region is one partition cell: a disjoint set of live nodes plus the
+// subset of them that touches other regions.
+type Region struct {
+	// ID is the region's index in Decomposition.Regions.
+	ID int
+	// Nodes holds every live node assigned to the region, ascending.
+	Nodes []netlist.NodeID
+	// Boundary holds the region's nodes with at least one edge (fanin or
+	// fanout) to a node of another region, ascending. Substitutions whose
+	// support stays off every boundary are region-local by construction.
+	Boundary []netlist.NodeID
+	// POs holds the indices of the primary outputs whose cones seeded the
+	// region, ascending.
+	POs []int
+}
+
+// Decomposition maps every live node of one netlist snapshot to exactly
+// one region.
+type Decomposition struct {
+	Regions []Region
+
+	regionOf []int // per NodeID; Unassigned for dead nodes
+}
+
+// RegionOf returns the region index owning id, or Unassigned for dead or
+// out-of-range nodes.
+func (d *Decomposition) RegionOf(id netlist.NodeID) int {
+	if int(id) < 0 || int(id) >= len(d.regionOf) {
+		return Unassigned
+	}
+	return d.regionOf[id]
+}
+
+// Local reports whether every given node lives in the same region, and
+// that region's index. With no nodes it reports (Unassigned, false).
+func (d *Decomposition) Local(ids ...netlist.NodeID) (int, bool) {
+	if len(ids) == 0 {
+		return Unassigned, false
+	}
+	r := d.RegionOf(ids[0])
+	if r == Unassigned {
+		return Unassigned, false
+	}
+	for _, id := range ids[1:] {
+		if d.RegionOf(id) != r {
+			return r, false
+		}
+	}
+	return r, true
+}
+
+// Decompose partitions the live nodes of nl into at most target regions of
+// roughly equal size. target < 1 is treated as 1. Fewer regions come back
+// when the netlist has fewer primary outputs than target.
+//
+// The grouping unit is the "first-claim" PO cone: primary outputs are
+// visited in index order and each one claims the still-unclaimed part of
+// its transitive fanin (a node shared by several cones belongs to the
+// lowest-indexed PO). Consecutive POs are then packed into regions
+// balanced by claimed-node count. Live nodes outside every PO cone
+// (detached logic awaiting sweep) join the last region.
+func Decompose(nl *netlist.Netlist, target int) *Decomposition {
+	if target < 1 {
+		target = 1
+	}
+	n := nl.NumNodes()
+	claim := make([]int, n) // per node: claiming PO index, or -1
+	for i := range claim {
+		claim[i] = -1
+	}
+
+	outs := nl.Outputs()
+	coneSize := make([]int, len(outs))
+	var stack []netlist.NodeID
+	for poIdx, po := range outs {
+		stack = append(stack[:0], po.Driver)
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if claim[id] != -1 || nl.Node(id).Dead() {
+				continue
+			}
+			claim[id] = poIdx
+			coneSize[poIdx]++
+			for _, f := range nl.Node(id).Fanins() {
+				if claim[f] == -1 {
+					stack = append(stack, f)
+				}
+			}
+		}
+	}
+
+	live := 0
+	for i := 0; i < n; i++ {
+		if !nl.Node(netlist.NodeID(i)).Dead() {
+			live++
+		}
+	}
+
+	// Pack consecutive POs into regions: close a region once it holds its
+	// fair share of the remaining nodes. Greedy over a fixed order keeps
+	// the result deterministic and each region within ~2x of the mean.
+	regionOfPO := make([]int, len(outs))
+	region, inRegion, remaining := 0, 0, live
+	for poIdx := range outs {
+		regionOfPO[poIdx] = region
+		inRegion += coneSize[poIdx]
+		regionsLeft := target - region
+		if regionsLeft > 1 && poIdx < len(outs)-1 &&
+			inRegion*regionsLeft >= remaining {
+			remaining -= inRegion
+			region++
+			inRegion = 0
+		}
+	}
+	numRegions := 1
+	if len(outs) > 0 {
+		numRegions = regionOfPO[len(outs)-1] + 1
+	}
+
+	// A region packed only from POs whose cones were wholly claimed by
+	// earlier outputs ends up empty; compact those away so every region
+	// a worker is handed has work in it.
+	nodesIn := make([]int, numRegions)
+	for i := 0; i < n; i++ {
+		if nl.Node(netlist.NodeID(i)).Dead() {
+			continue
+		}
+		r := numRegions - 1
+		if claim[i] != -1 {
+			r = regionOfPO[claim[i]]
+		}
+		nodesIn[r]++
+	}
+	remap := make([]int, numRegions)
+	if live == 0 {
+		// Degenerate empty netlist: keep one (empty) region.
+		numRegions = 1
+	} else {
+		compact := 0
+		for r := 0; r < numRegions; r++ {
+			if nodesIn[r] == 0 {
+				remap[r] = -1 // folded into the nearest following live region
+				continue
+			}
+			remap[r] = compact
+			compact++
+		}
+		for r := numRegions - 1; r >= 0; r-- {
+			if remap[r] == -1 {
+				if r == numRegions-1 {
+					remap[r] = compact - 1
+				} else {
+					remap[r] = remap[r+1]
+				}
+			}
+		}
+		for poIdx := range regionOfPO {
+			regionOfPO[poIdx] = remap[regionOfPO[poIdx]]
+		}
+		numRegions = compact
+	}
+
+	d := &Decomposition{
+		Regions:  make([]Region, numRegions),
+		regionOf: make([]int, n),
+	}
+	for i := range d.Regions {
+		d.Regions[i].ID = i
+	}
+	for poIdx, r := range regionOfPO {
+		d.Regions[r].POs = append(d.Regions[r].POs, poIdx)
+	}
+	last := numRegions - 1
+	for i := 0; i < n; i++ {
+		id := netlist.NodeID(i)
+		if nl.Node(id).Dead() {
+			d.regionOf[i] = Unassigned
+			continue
+		}
+		r := last // claimless live nodes (detached logic) go last
+		if claim[i] != -1 {
+			r = regionOfPO[claim[i]]
+		}
+		d.regionOf[i] = r
+		d.Regions[r].Nodes = append(d.Regions[r].Nodes, id)
+	}
+
+	// Boundary: any live edge whose endpoints sit in different regions
+	// puts both endpoints on their regions' boundaries.
+	onBoundary := make([]bool, n)
+	for i := 0; i < n; i++ {
+		id := netlist.NodeID(i)
+		node := nl.Node(id)
+		if node.Dead() {
+			continue
+		}
+		for _, f := range node.Fanins() {
+			if d.regionOf[f] != d.regionOf[i] {
+				onBoundary[i] = true
+				onBoundary[f] = true
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if onBoundary[i] {
+			r := d.regionOf[i]
+			d.Regions[r].Boundary = append(d.Regions[r].Boundary, netlist.NodeID(i))
+		}
+	}
+	for r := range d.Regions {
+		sort.Slice(d.Regions[r].Nodes, func(a, b int) bool {
+			return d.Regions[r].Nodes[a] < d.Regions[r].Nodes[b]
+		})
+		sort.Slice(d.Regions[r].Boundary, func(a, b int) bool {
+			return d.Regions[r].Boundary[a] < d.Regions[r].Boundary[b]
+		})
+	}
+	return d
+}
+
+// Validate checks the decomposition invariants against nl: every live node
+// in exactly one region, region node lists disjoint and consistent with
+// RegionOf, and boundary sets sound (both endpoints of every cross-region
+// edge are on their regions' boundaries, and no boundary node lacks a
+// cross-region edge).
+func (d *Decomposition) Validate(nl *netlist.Netlist) error {
+	seen := make(map[netlist.NodeID]int)
+	for _, r := range d.Regions {
+		for _, id := range r.Nodes {
+			if prev, dup := seen[id]; dup {
+				return fmt.Errorf("partition: node %d in regions %d and %d", id, prev, r.ID)
+			}
+			seen[id] = r.ID
+			if got := d.RegionOf(id); got != r.ID {
+				return fmt.Errorf("partition: node %d listed in region %d but RegionOf says %d", id, r.ID, got)
+			}
+			if nl.Node(id).Dead() {
+				return fmt.Errorf("partition: dead node %d assigned to region %d", id, r.ID)
+			}
+		}
+	}
+	boundary := make(map[netlist.NodeID]bool)
+	for _, r := range d.Regions {
+		for _, id := range r.Boundary {
+			if seen[id] != r.ID {
+				return fmt.Errorf("partition: boundary node %d not a member of region %d", id, r.ID)
+			}
+			boundary[id] = true
+		}
+	}
+	crossing := make(map[netlist.NodeID]bool)
+	var err error
+	nl.LiveNodes(func(node *netlist.Node) {
+		if err != nil {
+			return
+		}
+		id := node.ID()
+		if _, ok := seen[id]; !ok {
+			err = fmt.Errorf("partition: live node %d (%s) in no region", id, node.Name())
+			return
+		}
+		for _, f := range node.Fanins() {
+			if d.RegionOf(f) != d.RegionOf(id) {
+				crossing[id] = true
+				crossing[f] = true
+				if !boundary[id] || !boundary[f] {
+					err = fmt.Errorf("partition: cross-region edge %d->%d off the boundary sets", f, id)
+					return
+				}
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for id := range boundary {
+		if !crossing[id] {
+			return fmt.Errorf("partition: boundary node %d has no cross-region edge", id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"powder/internal/cellib"
+	"powder/internal/circuits"
+	"powder/internal/netlist"
+	"powder/internal/synth"
+)
+
+func compileBenchmark(t *testing.T, name string) *netlist.Netlist {
+	t.Helper()
+	spec, err := circuits.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := synth.Compile(spec.Build(), cellib.Lib2(), synth.Options{Mode: synth.CostPower})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+// TestDecomposeInvariants pins the core contract on a spread of circuits
+// and targets: every live node in exactly one region, boundaries sound,
+// and no more regions than asked for.
+func TestDecomposeInvariants(t *testing.T) {
+	for _, name := range []string{"comp", "clip", "f51m", "des"} {
+		nl := compileBenchmark(t, name)
+		for _, target := range []int{1, 2, 4, 8, 64} {
+			d := Decompose(nl, target)
+			if err := d.Validate(nl); err != nil {
+				t.Fatalf("%s target=%d: %v", name, target, err)
+			}
+			if len(d.Regions) > target {
+				t.Fatalf("%s target=%d: got %d regions", name, target, len(d.Regions))
+			}
+			total := 0
+			for _, r := range d.Regions {
+				if len(r.Nodes) == 0 {
+					t.Fatalf("%s target=%d: empty region %d", name, target, r.ID)
+				}
+				total += len(r.Nodes)
+			}
+			live := 0
+			nl.LiveNodes(func(*netlist.Node) { live++ })
+			if total != live {
+				t.Fatalf("%s target=%d: regions hold %d nodes, netlist has %d live", name, target, total, live)
+			}
+		}
+	}
+}
+
+// TestDecomposeDeterministic: identical inputs give identical regions.
+func TestDecomposeDeterministic(t *testing.T) {
+	nl := compileBenchmark(t, "comp")
+	a, b := Decompose(nl, 4), Decompose(nl, 4)
+	if !reflect.DeepEqual(a.Regions, b.Regions) {
+		t.Fatal("Decompose is not deterministic")
+	}
+	// A clone preserves node IDs, so the decomposition carries over too.
+	c := Decompose(nl.Clone(), 4)
+	if !reflect.DeepEqual(a.Regions, c.Regions) {
+		t.Fatal("Decompose differs between a netlist and its clone")
+	}
+}
+
+// TestDecomposeSingleRegion: target 1 (and anything below) is one region
+// holding everything with an empty boundary.
+func TestDecomposeSingleRegion(t *testing.T) {
+	nl := compileBenchmark(t, "clip")
+	for _, target := range []int{0, 1, -3} {
+		d := Decompose(nl, target)
+		if len(d.Regions) != 1 {
+			t.Fatalf("target=%d: got %d regions", target, len(d.Regions))
+		}
+		if len(d.Regions[0].Boundary) != 0 {
+			t.Fatalf("target=%d: single region has boundary %v", target, d.Regions[0].Boundary)
+		}
+		if err := d.Validate(nl); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDecomposeBalance: on a circuit with many outputs, an 8-way split
+// keeps the largest region within a small factor of the mean.
+func TestDecomposeBalance(t *testing.T) {
+	nl := compileBenchmark(t, "des")
+	d := Decompose(nl, 8)
+	if len(d.Regions) < 4 {
+		t.Fatalf("expected at least 4 regions on des, got %d", len(d.Regions))
+	}
+	live := 0
+	nl.LiveNodes(func(*netlist.Node) { live++ })
+	mean := live / len(d.Regions)
+	for _, r := range d.Regions {
+		if len(r.Nodes) > 3*mean {
+			t.Fatalf("region %d holds %d nodes, mean is %d", r.ID, len(r.Nodes), mean)
+		}
+	}
+}
+
+func TestRegionOfAndLocal(t *testing.T) {
+	nl := compileBenchmark(t, "comp")
+	d := Decompose(nl, 4)
+	if got := d.RegionOf(netlist.NodeID(-1)); got != Unassigned {
+		t.Fatalf("RegionOf(-1) = %d", got)
+	}
+	if got := d.RegionOf(netlist.NodeID(nl.NumNodes() + 5)); got != Unassigned {
+		t.Fatalf("RegionOf(out of range) = %d", got)
+	}
+	if _, ok := d.Local(); ok {
+		t.Fatal("Local() with no nodes must report false")
+	}
+	r0 := d.Regions[0]
+	if r, ok := d.Local(r0.Nodes[0], r0.Nodes[len(r0.Nodes)-1]); !ok || r != 0 {
+		t.Fatalf("Local within region 0 = (%d, %v)", r, ok)
+	}
+	if len(d.Regions) > 1 {
+		r1 := d.Regions[1]
+		if _, ok := d.Local(r0.Nodes[0], r1.Nodes[0]); ok {
+			t.Fatal("Local across regions must report false")
+		}
+	}
+}

@@ -39,7 +39,7 @@ func (s *Service) cacheKey(sub *submission, opts JobOptions) string {
 	for _, l := range sub.model.Latches {
 		fmt.Fprintf(h, "latch %s %s %s %d\n", l.Output, l.Kind, l.Control, l.Init)
 	}
-	fmt.Fprintf(h, "opts %s %g %d %t\n", opts.Timeout, opts.DelayLimitPct, opts.MaxSubstitutions, opts.Verify)
+	fmt.Fprintf(h, "opts %s %g %d %t %d\n", opts.Timeout, opts.DelayLimitPct, opts.MaxSubstitutions, opts.Verify, opts.Parallelism)
 	fmt.Fprintf(h, "probs %v\n", sub.inputProbs)
 	fmt.Fprintf(h, "power %d %d\n", s.cfg.PowerWords, s.cfg.PowerSeed)
 	return hex.EncodeToString(h.Sum(nil))
@@ -227,7 +227,7 @@ func (s *Service) Restore() (requeued, served int) {
 		go func() {
 			for _, j := range pending {
 				j := j
-				if !s.pool.SubmitLabeled(j.id, func() { s.runJob(j) }) {
+				if !s.pool.SubmitLabeled(j.poolLabel(), func() { s.runJob(j) }) {
 					// Pool closed mid-recovery (immediate shutdown): the
 					// job stays queued in memory and in the store, and the
 					// next restart re-enqueues it again.

@@ -140,6 +140,13 @@ func parseJobOptions(r *http.Request) (JobOptions, error) {
 		}
 		opts.NoCache = b
 	}
+	if v := q.Get("par"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return opts, fmt.Errorf("bad par %q (want an integer >= 0)", v)
+		}
+		opts.Parallelism = n
+	}
 	return opts, nil
 }
 

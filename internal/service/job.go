@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -62,6 +63,11 @@ type JobOptions struct {
 	// job is neither served from it nor published into it (the ?no-cache
 	// escape hatch for forcing a fresh optimization).
 	NoCache bool `json:"no_cache,omitempty"`
+	// Parallelism is the engine's fanout-region worker count for this
+	// job (the ?par query parameter). Submit caps it at the service's
+	// pool size so one job can never oversubscribe the daemon; <= 1 runs
+	// the sequential engine.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // JobResult is the serialized outcome of a finished run.
@@ -152,6 +158,16 @@ type Job struct {
 
 // ID returns the job identifier.
 func (j *Job) ID() string { return j.id }
+
+// poolLabel is the worker-status label shown at /debug/status: the job id
+// plus the engine-worker breadth for parallel jobs, so one pool slot that
+// is fanning out onto N region workers reads as exactly that.
+func (j *Job) poolLabel() string {
+	if j.opts.Parallelism > 1 {
+		return fmt.Sprintf("%s par=%d", j.id, j.opts.Parallelism)
+	}
+	return j.id
+}
 
 // Hub returns the job's event stream.
 func (j *Job) Hub() *obs.Hub { return j.hub }

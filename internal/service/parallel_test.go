@@ -1,0 +1,70 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestParallelJobParam: the ?par parameter reaches the engine (capped at
+// the pool size), shows up in the job's options, and the run completes
+// with a real result.
+func TestParallelJobParam(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 2, QueueDepth: 8, PowerWords: 16}, nil)
+	body := circuitBLIF(t, "fig2")
+
+	// par beyond the pool size is capped, not rejected.
+	st, resp := submit(t, ts.URL, "?par=16", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	if st.Options.Parallelism != 2 {
+		t.Fatalf("par capped to %d, want pool size 2", st.Options.Parallelism)
+	}
+	fin := waitTerminal(t, ts.URL, st.ID)
+	if fin.State != StateCompleted {
+		t.Fatalf("state %s (error %q)", fin.State, fin.Error)
+	}
+	if fin.Result == nil || fin.Result.FinalPower >= fin.Result.InitialPower {
+		t.Fatalf("no reduction: %+v", fin.Result)
+	}
+
+	// A malformed value is a 400, not a silently-sequential run.
+	if _, resp := submit(t, ts.URL, "?par=lots", body); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad par: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestParallelPoolLabelBreadth: while a parallel job runs, the pool's
+// worker label carries the engine-worker breadth so /debug/status tells
+// the truth about how many region workers one pool slot is fanning into.
+func TestParallelPoolLabelBreadth(t *testing.T) {
+	var mu sync.Mutex
+	var seen []string
+	var svc *Service
+	release := make(chan struct{})
+	svc, ts := newTestService(t, Config{Workers: 4, QueueDepth: 8, PowerWords: 16},
+		func(ctx context.Context, j *Job) {
+			mu.Lock()
+			seen = append(seen, svc.pool.WorkerStatus()...)
+			mu.Unlock()
+			<-release
+		})
+	defer close(release)
+
+	st, resp := submit(t, ts.URL, "?par=3", circuitBLIF(t, "fig2"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	waitState(t, ts.URL, st.ID, func(s Status) bool { return s.State == StateRunning }, "running")
+	mu.Lock()
+	defer mu.Unlock()
+	for _, label := range seen {
+		if strings.Contains(label, st.ID) && strings.HasSuffix(label, "par=3") {
+			return
+		}
+	}
+	t.Fatalf("no worker label %q par=3 in %q", st.ID, seen)
+}

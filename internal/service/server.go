@@ -239,6 +239,11 @@ func (s *Service) Submit(body []byte, opts JobOptions) (*Job, error) {
 	if opts.Timeout <= 0 {
 		opts.Timeout = s.cfg.DefaultTimeout
 	}
+	// Cap the engine parallelism at the pool size before the cache key is
+	// derived, so the effective value is what gets cached and displayed.
+	if opts.Parallelism > s.pool.Workers() {
+		opts.Parallelism = s.pool.Workers()
+	}
 	key := s.cacheKey(sub, opts)
 	if key != "" && !opts.NoCache && s.cfg.Cache != nil {
 		if e, ok := s.cfg.Cache.Get(key); ok {
@@ -253,7 +258,7 @@ func (s *Service) Submit(body []byte, opts JobOptions) (*Job, error) {
 	// crash at any later point replays it as at-least queued.
 	s.persistSubmit(j, body)
 
-	if !s.pool.TrySubmitLabeled(j.id, func() { s.runJob(j) }) {
+	if !s.pool.TrySubmitLabeled(j.poolLabel(), func() { s.runJob(j) }) {
 		s.unregisterJob(j.id)
 		s.persistCancelPurge(j.id)
 		j.cancel()
@@ -419,6 +424,7 @@ func (s *Service) optimize(ctx context.Context, j *Job) (*core.Result, error) {
 	opts := core.Options{
 		Timeout:          j.opts.Timeout,
 		MaxSubstitutions: j.opts.MaxSubstitutions,
+		Parallelism:      j.opts.Parallelism,
 		Power:            power.Options{Words: s.cfg.PowerWords, Seed: s.cfg.PowerSeed},
 		Transform:        transform.Config{AllowInverted: true},
 		Obs:              obs.New(j.hub, s.reg),

@@ -25,6 +25,13 @@ type Config struct {
 	// MaxPerTarget caps how many candidates one substituted signal may
 	// contribute (default 48).
 	MaxPerTarget int
+	// TargetFilter, when non-nil, restricts harvesting to targets it
+	// accepts: stem substitutions of node A require TargetFilter(A), and
+	// branch substitutions into gate G require TargetFilter(G). The
+	// candidate *source* pool stays global. The parallel engine hands
+	// each region worker the filter of its region; disjoint filters
+	// partition the full candidate set.
+	TargetFilter func(netlist.NodeID) bool
 	// Obs, when non-nil, receives one "harvest" event per Generate call
 	// (candidate counts by class) and harvest metrics.
 	Obs *obs.Observer
@@ -66,6 +73,9 @@ func Generate(nl *netlist.Netlist, pm *power.Model, cfg Config) []*Substitution 
 			if n.Kind() != netlist.KindGate || n.NumFanouts() == 0 {
 				continue
 			}
+			if cfg.TargetFilter != nil && !cfg.TargetFilter(a) {
+				continue
+			}
 			obs := sm.StemObservability(a)
 			touched := nl.MarkTFO(a, g.tfoMask)
 			g.tfoMask[a] = true
@@ -88,6 +98,9 @@ func Generate(nl *netlist.Netlist, pm *power.Model, cfg Config) []*Substitution 
 		for _, gid := range g.pool {
 			n := nl.Node(gid)
 			if n.Kind() != netlist.KindGate {
+				continue
+			}
+			if cfg.TargetFilter != nil && !cfg.TargetFilter(gid) {
 				continue
 			}
 			for pin, drv := range n.Fanins() {
