@@ -123,6 +123,9 @@ func main() {
 		reg = obs.NewRegistry()
 	}
 	observer := obs.New(obs.Multi(sinks...), reg)
+	// SIGQUIT dumps the flight recorder (with the registry's counter
+	// movement folded in) ahead of the runtime's goroutine dump.
+	obs.FlightDumpOnQuit(reg)
 
 	var tracer *trace.Tracer
 	if *tracePerfetto != "" {

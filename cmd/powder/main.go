@@ -139,7 +139,9 @@ func main() {
 	cfg.inverted = !*noInv
 
 	// Ctrl-C asks the engine to stop and emit the best netlist so far; a
-	// second Ctrl-C kills the process the usual way.
+	// second Ctrl-C kills the process the usual way. SIGQUIT dumps the
+	// flight recorder before the runtime's goroutine dump.
+	obs.FlightDumpOnQuit(nil)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 

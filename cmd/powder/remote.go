@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"powder/internal/client"
+	"powder/internal/obs/trace"
 )
 
 // runRemote is powder's -server mode: instead of optimizing locally,
@@ -20,9 +21,29 @@ import (
 // submissions are answered from the daemon's result cache; -no-cache
 // forces a fresh run. Transient rejections (429 backpressure, daemon
 // restarts) are retried with backoff by the client.
+//
+// With -trace-perfetto the run records the client half of the exchange
+// — a root "client" span plus one span per HTTP attempt, retries
+// included — and stitches it into the daemon's job trace: the
+// submission carries the client's trace ID in X-Powder-Trace (forcing
+// tracing server-side), the client spans are uploaded after completion,
+// and the fetched Perfetto export reads client → job → queue → run →
+// engine as one connected forest.
 func runRemote(ctx context.Context, cfg config, body []byte, stdout, stderr io.Writer) error {
 	if cfg.delayAbs != 0 {
 		return fmt.Errorf("-delay (absolute) is not supported with -server; use -delay-factor")
+	}
+	var (
+		tracer   *trace.Tracer
+		rootSpan *trace.Span
+	)
+	if cfg.tracePerfetto != "" {
+		// Base keeps client span IDs disjoint from the daemon's without
+		// cross-process coordination.
+		tracer = trace.New(fmt.Sprintf("powder-client-%x", time.Now().UnixNano()),
+			trace.Options{Base: client.SpanIDBase})
+		ctx = trace.NewContext(ctx, tracer)
+		ctx, rootSpan = trace.StartSpan(ctx, "client")
 	}
 	q := url.Values{}
 	if cfg.timeout > 0 {
@@ -111,6 +132,36 @@ func runRemote(ctx context.Context, cfg config, body []byte, stdout, stderr io.W
 			return err
 		}
 		fmt.Fprintf(stderr, "wrote ledger to %s\n", cfg.ledgerJSON)
+	}
+	if tracer != nil {
+		rootSpan.SetAttr("job", fin.ID)
+		rootSpan.End()
+		if err := c.UploadSpans(ctx, fin.ID, tracer.Snapshot()); err != nil {
+			// A daemon that did not trace the job (e.g. one answered from
+			// the result cache) cannot stitch; keep the client half.
+			fmt.Fprintf(stderr, "span upload failed (%v); writing client-side spans only\n", err)
+			f, ferr := os.Create(cfg.tracePerfetto)
+			if ferr != nil {
+				return ferr
+			}
+			werr := trace.WritePerfetto(f, tracer.Snapshot())
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return werr
+			}
+			fmt.Fprintf(stderr, "wrote client trace to %s\n", cfg.tracePerfetto)
+			return nil
+		}
+		data, err := c.TracePerfetto(ctx, fin.ID)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.tracePerfetto, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote stitched trace to %s\n", cfg.tracePerfetto)
 	}
 	return nil
 }

@@ -25,12 +25,22 @@
 //	GET    /healthz
 //	GET    /metrics
 //	GET    /debug/status               live queue/worker/span introspection
+//	GET    /debug/flight               flight-recorder dump (recent events,
+//	                                   spans, requests, counter deltas)
 //
 // With -trace-sample N, one job in every N records a hierarchical span
 // trace (request → queue → run → engine phases → SAT solves); the trace
 // ID travels in the job status and the X-Powder-Trace response header,
 // and -v access logs carry it so a slow request correlates straight to
-// its span tree.
+// its span tree. A submission that itself carries X-Powder-Trace is
+// traced unconditionally under the client's trace ID, and the client
+// can stitch its own spans into the tree via POST /v1/jobs/{id}/spans
+// (powder -server -trace-perfetto does exactly this).
+//
+// The process keeps an always-on flight recorder — a bounded ring of
+// the most recent job events, completed spans, HTTP requests, and
+// periodic metric deltas — dumped at GET /debug/flight and, on SIGQUIT,
+// to stderr ahead of the runtime's goroutine dump.
 //
 // On SIGTERM/SIGINT the daemon stops accepting submissions (503),
 // drains queued and in-flight jobs, and exits; jobs still running when
@@ -92,6 +102,18 @@ func main() {
 
 	reg := obs.NewRegistry()
 	logger := slog.Default()
+
+	// The flight recorder dumps to stderr on SIGQUIT (before the
+	// goroutine dump) and samples counter movement on a coarse ticker so
+	// its ring carries rate history next to the discrete events.
+	obs.FlightDumpOnQuit(reg)
+	go func() {
+		t := time.NewTicker(10 * time.Second)
+		defer t.Stop()
+		for range t.C {
+			obs.Flight().SampleMetrics(reg)
+		}
+	}()
 
 	// The durability layer: a WAL-backed job store under -store-dir plus
 	// a content-addressed result cache (persisted next to the store, or

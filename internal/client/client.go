@@ -22,8 +22,16 @@ import (
 	"time"
 
 	"powder/internal/obs"
+	"powder/internal/obs/trace"
 	"powder/internal/service"
 )
+
+// SpanIDBase is the trace.Options.Base a client-side tracer should use
+// when its spans will be stitched into a powderd job trace: the client
+// allocates span IDs from 1<<32 up while the daemon allocates from 1
+// up, so the merged forest never collides without cross-process
+// coordination.
+const SpanIDBase = 1 << 32
 
 // Options configure a Client; the zero value is usable.
 type Options struct {
@@ -132,18 +140,35 @@ func retryAfter(resp *http.Response) time.Duration {
 
 // do runs one request with retries and returns the body of the first
 // 2xx response. Requests are rebuilt per attempt (the body is a fresh
-// reader each time), so retrying a POST is safe.
+// reader each time), so retrying a POST is safe. When the context
+// carries a tracer, the trace ID and current span ID propagate as
+// X-Powder-Trace/X-Powder-Parent headers (on every attempt, so a retry
+// that finally lands still stitches), and each attempt records a span
+// tagged with its ordinal, the backoff that preceded it, and how it
+// ended.
 func (c *Client) do(ctx context.Context, method, path string, query url.Values, body []byte, contentType string) ([]byte, error) {
 	u := c.base + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
 	}
+	traceID, parentID := trace.IDs(ctx)
 	var lastErr error
 	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		var backoff time.Duration
 		if attempt > 0 {
-			if err := c.sleep(ctx, c.backoff(attempt-1, lastErr)); err != nil {
+			backoff = c.backoff(attempt-1, lastErr)
+			if err := c.sleep(ctx, backoff); err != nil {
 				return nil, err
 			}
+		}
+		_, aSpan := trace.StartSpan(ctx, method+" "+path)
+		aSpan.SetAttr("attempt", attempt+1)
+		if backoff > 0 {
+			aSpan.SetAttr("backoff_seconds", backoff.Seconds())
+		}
+		endAttempt := func(outcome string) {
+			aSpan.SetAttr("outcome", outcome)
+			aSpan.End()
 		}
 		var r io.Reader
 		if body != nil {
@@ -151,33 +176,48 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		}
 		req, err := http.NewRequestWithContext(ctx, method, u, r)
 		if err != nil {
+			endAttempt("bad-request")
 			return nil, err
 		}
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
 		}
+		if traceID != "" {
+			req.Header.Set(service.TraceHeader, traceID)
+			if parentID != 0 {
+				req.Header.Set(service.TraceParentHeader, strconv.FormatInt(int64(parentID), 10))
+			}
+		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			if ctx.Err() != nil {
+				endAttempt("cancelled")
 				return nil, ctx.Err()
 			}
 			lastErr = err // transport failure: retryable
+			aSpan.SetAttr("error", err.Error())
+			endAttempt("transport-error")
 			continue
 		}
+		aSpan.SetAttr("status", resp.StatusCode)
 		data, rerr := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
 			if rerr != nil {
 				lastErr = rerr
+				endAttempt("read-error")
 				continue
 			}
+			endAttempt("ok")
 			return data, nil
 		}
 		apiErr := &APIError{Status: resp.StatusCode, Body: string(data)}
 		if !retryable(resp.StatusCode) {
+			endAttempt("failed")
 			return nil, apiErr
 		}
 		lastErr = &retryableError{err: apiErr, retryAfter: retryAfter(resp)}
+		endAttempt("retry")
 	}
 	return nil, fmt.Errorf("powderd: giving up after %d attempts: %w", c.maxAttempts, unwrapRetryable(lastErr))
 }
@@ -301,5 +341,27 @@ func (c *Client) Ledger(ctx context.Context, id string) (*obs.LedgerSummary, err
 // Cancel requests cancellation of a job.
 func (c *Client) Cancel(ctx context.Context, id string) error {
 	_, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, nil, "")
+	return err
+}
+
+// TracePerfetto downloads a finished traced job's span forest —
+// including any spans stitched in via UploadSpans — as Chrome/Perfetto
+// trace-event JSON.
+func (c *Client) TracePerfetto(ctx context.Context, id string) ([]byte, error) {
+	q := url.Values{"format": {"perfetto"}}
+	return c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/trace", q, nil, "")
+}
+
+// UploadSpans posts client-recorded spans to a traced job, stitching
+// the client's side of the exchange (root span, per-attempt request
+// spans) into the job's span forest served at /v1/jobs/{id}/trace. The
+// client tracer should share the job's trace ID (submit with a tracer
+// on the context) and allocate IDs from SpanIDBase.
+func (c *Client) UploadSpans(ctx context.Context, id string, spans []trace.Record) error {
+	body, err := json.Marshal(spans)
+	if err != nil {
+		return err
+	}
+	_, err = c.do(ctx, http.MethodPost, "/v1/jobs/"+url.PathEscape(id)+"/spans", nil, body, "application/json")
 	return err
 }

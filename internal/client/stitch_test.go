@@ -1,0 +1,160 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"powder/internal/obs"
+	"powder/internal/obs/trace"
+	"powder/internal/service"
+)
+
+// TestStitchedTraceAcrossRetries is the cross-process continuity e2e: a
+// traced client submits through a flaky front that 503s the first
+// submit attempt, and the final job trace served by the daemon must be
+// one connected forest — client root, both submit attempts (the failed
+// one included), and the server's job/queue/run spans under it.
+func TestStitchedTraceAcrossRetries(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1, QueueDepth: 8})
+	defer svc.Close()
+	var submits atomic.Int64
+	inner := svc.Handler()
+	flaky := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" && submits.Add(1) == 1 {
+			http.Error(w, "induced outage", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(flaky)
+	defer ts.Close()
+
+	c := New(ts.URL, Options{BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond})
+
+	tracer := trace.New("cli-stitch", trace.Options{Base: SpanIDBase})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	ctx = trace.NewContext(ctx, tracer)
+	ctx, root := trace.StartSpan(ctx, "client")
+
+	blif, err := os.ReadFile(filepath.Join("..", "..", "examples", "circuits", "fig2.blif"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Submit(ctx, blif, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := submits.Load(); got != 2 {
+		t.Fatalf("submit reached the front %d times, want 2 (one induced failure)", got)
+	}
+	// The inbound X-Powder-Trace header must force tracing under the
+	// client's trace ID even though the service has no sampler configured.
+	if st.TraceID != "cli-stitch" {
+		t.Fatalf("job trace ID %q, want the client's cli-stitch", st.TraceID)
+	}
+	fin, err := c.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != service.StateCompleted {
+		t.Fatalf("job state %s (error %q)", fin.State, fin.Error)
+	}
+	root.SetAttr("job", fin.ID)
+	root.End()
+	if err := c.UploadSpans(ctx, fin.ID, tracer.Snapshot()); err != nil {
+		t.Fatalf("UploadSpans: %v", err)
+	}
+
+	// The stitched forest must validate and hang off the client root.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + fin.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace: HTTP %d", resp.StatusCode)
+	}
+	var tj struct {
+		Trace string         `json:"trace"`
+		Spans []trace.Record `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tj); err != nil {
+		t.Fatal(err)
+	}
+	if tj.Trace != "cli-stitch" {
+		t.Fatalf("served trace %q, want cli-stitch", tj.Trace)
+	}
+	if err := trace.Validate(tj.Spans); err != nil {
+		t.Fatalf("stitched forest does not validate: %v", err)
+	}
+	roots := trace.Roots(tj.Spans)
+	if len(roots) != 1 || roots[0].Name != "client" {
+		t.Fatalf("stitched forest has %d roots (%v), want exactly the client span", len(roots), roots)
+	}
+	byName := map[string][]trace.Record{}
+	var haveJob bool
+	for _, s := range tj.Spans {
+		byName[s.Name] = append(byName[s.Name], s)
+		if s.Name == "job" && s.Parent == trace.SpanID(roots[0].ID) {
+			haveJob = true
+		}
+	}
+	if !haveJob {
+		t.Error("no job span parented under the client root")
+	}
+	attempts := byName["POST /v1/jobs"]
+	if len(attempts) != 2 {
+		t.Fatalf("%d submit attempt spans, want 2 (failed + succeeded)", len(attempts))
+	}
+	outcomes := map[any]bool{}
+	for _, a := range attempts {
+		if a.Attrs["attempt"] == nil {
+			t.Errorf("attempt span missing attempt attr: %v", a.Attrs)
+		}
+		outcomes[a.Attrs["outcome"]] = true
+	}
+	if !outcomes["retry"] || !outcomes["ok"] {
+		t.Errorf("attempt outcomes = %v, want both retry and ok", outcomes)
+	}
+
+	// The Perfetto rendering of the same forest must be valid JSON.
+	perf, err := c.TracePerfetto(ctx, fin.ID)
+	if err != nil {
+		t.Fatalf("TracePerfetto: %v", err)
+	}
+	if !json.Valid(perf) {
+		t.Fatal("Perfetto export is not valid JSON")
+	}
+
+	// The flight recorder must have seen the exchange.
+	fresp, err := http.Get(ts.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresp.Body.Close()
+	var dump obs.FlightDump
+	if err := json.NewDecoder(fresp.Body).Decode(&dump); err != nil {
+		t.Fatalf("/debug/flight is not valid JSON: %v", err)
+	}
+	if len(dump.Entries) == 0 {
+		t.Fatal("/debug/flight returned no entries")
+	}
+	var sawHTTP bool
+	for _, e := range dump.Entries {
+		if e.Kind == "http" {
+			sawHTTP = true
+			break
+		}
+	}
+	if !sawHTTP {
+		t.Error("flight recorder holds no http entries after a served job")
+	}
+}

@@ -306,6 +306,45 @@ type ParallelStats struct {
 	// SigCacheHits counts proofs short-circuited by the shared
 	// refuted-miter signature cache.
 	SigCacheHits int64 `json:"sigcache_hits"`
+	// WorkerBusySeconds sums every region worker's wall time inside its
+	// round (replica build through last proposal); ParallelSeconds sums
+	// the concurrent-phase walls (first worker start to barrier clear),
+	// so Workers*ParallelSeconds is the capacity the round structure
+	// offered and BusyFrac is how much of it was used.
+	WorkerBusySeconds float64 `json:"worker_busy_seconds"`
+	ParallelSeconds   float64 `json:"parallel_seconds"`
+	// CommitSeconds is the serial master-side commit wall time.
+	CommitSeconds float64 `json:"commit_seconds"`
+	// MaxBarrierSkewSeconds is the largest per-round gap between the
+	// first and last worker to reach the round barrier — the
+	// load-imbalance ceiling on speedup.
+	MaxBarrierSkewSeconds float64 `json:"max_barrier_skew_seconds"`
+	// ConflictLedger attributes commit conflicts to (region pair, node)
+	// cells; nil when no conflicts were recorded.
+	ConflictLedger *obs.ConflictSummary `json:"conflict_ledger,omitempty"`
+}
+
+// BusyFrac returns the mean worker utilization of the parallel phases:
+// total worker busy time over the capacity Workers*ParallelSeconds
+// (0 when nothing ran).
+func (p *ParallelStats) BusyFrac() float64 {
+	if p == nil || p.Workers == 0 || p.ParallelSeconds <= 0 {
+		return 0
+	}
+	return p.WorkerBusySeconds / (float64(p.Workers) * p.ParallelSeconds)
+}
+
+// CommitShare returns the fraction of engine wall time spent in the
+// serial commit phase — the Amdahl term that bounds parallel speedup.
+func (p *ParallelStats) CommitShare() float64 {
+	if p == nil {
+		return 0
+	}
+	total := p.ParallelSeconds + p.CommitSeconds
+	if total <= 0 {
+		return 0
+	}
+	return p.CommitSeconds / total
 }
 
 // StoppedEarly reports whether the run ended before exhausting the

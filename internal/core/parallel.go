@@ -77,6 +77,10 @@ type workerReport struct {
 	stats      atpg.CheckStats
 	escal      EscalationStats
 	err        error // recovered worker panic
+	// start/end bound the worker's busy interval; the master derives
+	// utilization, barrier skew, and the retroactive barrier-wait spans
+	// from them after the round barrier.
+	start, end time.Time
 }
 
 // touchMark records which region first touched a node this round; shared
@@ -97,7 +101,14 @@ type parRun struct {
 	ph         *obs.PhaseSet
 	hooks      *faultinject.Hooks
 	led        *obs.Ledger
+	conf       *obs.ConflictLedger
 }
+
+// workerTrack names a region worker's timeline lane; the master's
+// commit work renders on masterTrack. Perfetto shows one row per lane.
+func workerTrack(region int) string { return fmt.Sprintf("worker-%d", region) }
+
+const masterTrack = "master"
 
 // optimizeParallel is the Parallelism > 1 engine behind OptimizeCtx; see
 // the package comment above for the round structure. It mirrors the
@@ -206,6 +217,7 @@ func optimizeParallel(ctx context.Context, nl *netlist.Netlist, opts Options) (r
 		ph:         ph,
 		hooks:      opts.Inject,
 		led:        led,
+		conf:       obs.NewConflictLedger(0),
 	}
 
 	// The master checker serves commit-time re-proofs; it reads the
@@ -289,6 +301,7 @@ func optimizeParallel(ctx context.Context, nl *netlist.Netlist, opts Options) (r
 		// Parallel phase: the master is frozen while the region workers
 		// harvest and prove on their replicas.
 		stop = ph.Start("par-workers")
+		parStart := time.Now()
 		reports := make([]*workerReport, len(d.Regions))
 		var wg sync.WaitGroup
 		for i := range d.Regions {
@@ -299,7 +312,46 @@ func optimizeParallel(ctx context.Context, nl *netlist.Netlist, opts Options) (r
 			}(i)
 		}
 		wg.Wait()
+		barrier := time.Now()
 		stop()
+
+		// Scheduler metrics for the round: per-worker busy time against
+		// the capacity the round offered, the spread between the first
+		// and last worker to reach the barrier, and — on traced runs —
+		// a retroactive barrier-wait span closing out each worker's lane.
+		parWall := barrier.Sub(parStart).Seconds()
+		tr := trace.FromContext(rctx)
+		var roundBusy float64
+		var firstEnd, lastEnd time.Time
+		for _, rep := range reports {
+			if rep == nil || rep.end.IsZero() {
+				continue
+			}
+			roundBusy += rep.end.Sub(rep.start).Seconds()
+			if firstEnd.IsZero() || rep.end.Before(firstEnd) {
+				firstEnd = rep.end
+			}
+			if rep.end.After(lastEnd) {
+				lastEnd = rep.end
+			}
+			if tr != nil && barrier.After(rep.end) {
+				tr.Log("barrier-wait", workerTrack(rep.region), rSpan.ID(), rep.end, barrier,
+					map[string]any{"region": rep.region})
+			}
+		}
+		skew := 0.0
+		if !firstEnd.IsZero() {
+			skew = lastEnd.Sub(firstEnd).Seconds()
+		}
+		par.WorkerBusySeconds += roundBusy
+		par.ParallelSeconds += parWall
+		if skew > par.MaxBarrierSkewSeconds {
+			par.MaxBarrierSkewSeconds = skew
+		}
+		if parWall > 0 {
+			o.Histogram("core.par.worker.busy_frac").Observe(roundBusy / (float64(opts.Parallelism) * parWall))
+			o.Histogram("core.par.barrier.skew.seconds").Observe(skew)
+		}
 
 		res.Harvests++
 		roundCandidates, roundProposals := 0, 0
@@ -334,8 +386,11 @@ func optimizeParallel(ctx context.Context, nl *netlist.Netlist, opts Options) (r
 			break
 		}
 
-		// Serial commit phase.
+		// Serial commit phase, rendered on the master lane: conflict
+		// checks, re-proofs, and applies all inherit the track.
 		cctx, commitSpan := trace.StartSpan(rctx, "commit")
+		commitSpan.SetTrack(masterTrack)
+		commitStart := time.Now()
 		stop = ph.Start("par-commit")
 		touched := make(map[netlist.NodeID]touchMark)
 		progress := false
@@ -365,16 +420,30 @@ func optimizeParallel(ctx context.Context, nl *netlist.Netlist, opts Options) (r
 					continue
 				}
 
+				// Conflict detection with attribution: the first offending
+				// support node names the heatmap cell — which pair of
+				// regions collided, over what, and how.
 				conflicted := broken
-				if !conflicted {
+				conflictKind := ""
+				if broken {
+					conflictKind = "broken-chain"
+					pr.recordConflict(region, region, ms.TargetString(), conflictKind)
+				} else {
 					for _, sid := range p.support {
 						m, ok := mapID(sid)
 						if !ok {
 							conflicted = true
+							conflictKind = "stale"
+							pr.recordConflict(region, -1, ms.TargetString(), conflictKind)
 							break
 						}
 						if t, hit := touched[m]; hit && (t.shared || t.region != region) {
 							conflicted = true
+							conflictKind = "touched"
+							if t.shared {
+								conflictKind = "shared"
+							}
+							pr.recordConflict(region, t.region, nl.Node(m).Name(), conflictKind)
 							break
 						}
 					}
@@ -396,13 +465,17 @@ func optimizeParallel(ctx context.Context, nl *netlist.Netlist, opts Options) (r
 					par.Conflicts++
 					o.Counter("core.par.conflicts").Inc()
 					pSpan.SetAttr("conflict", true)
+					pSpan.SetAttr("conflict_kind", conflictKind)
 					// Serial re-proof against the actual master state.
 					par.Replays++
 					o.Counter("core.par.replays").Inc()
-					checker.Ctx = pctx
+					rpctx, rpSpan := trace.StartSpan(pctx, "re-proof")
+					checker.Ctx = rpctx
 					stop2 := ph.Start("atpg-check")
 					verdict := checkCandidate(checker, ms)
 					stop2()
+					rpSpan.SetAttr("verdict", verdict.String())
+					rpSpan.End()
 					dt := checker.LastCheck
 					proof = &obs.LedgerProof{
 						Conflicts: dt.Conflicts,
@@ -588,6 +661,11 @@ func optimizeParallel(ctx context.Context, nl *netlist.Netlist, opts Options) (r
 		stop()
 		commitSpan.End()
 		rSpan.End()
+		commitWall := time.Since(commitStart).Seconds()
+		par.CommitSeconds += commitWall
+		if parWall+commitWall > 0 {
+			o.Histogram("core.par.commit.share").Observe(commitWall / (parWall + commitWall))
+		}
 		if !progress {
 			break
 		}
@@ -605,6 +683,11 @@ func optimizeParallel(ctx context.Context, nl *netlist.Netlist, opts Options) (r
 	finStaSpan.End()
 	addCheckStats(&res.CheckStats, checker.Stats)
 	par.SigCacheHits, _, _ = pr.sig.Stats()
+	if s := pr.conf.Summary(); s.Total > 0 {
+		par.ConflictLedger = &s
+	}
+	o.Histogram("core.par.run.busy_frac").Observe(par.BusyFrac())
+	o.Histogram("core.par.run.commit_share").Observe(par.CommitShare())
 	stop = ph.Start("validate")
 	vErr := nl.Validate()
 	stop()
@@ -645,14 +728,16 @@ func optimizeParallel(ctx context.Context, nl *netlist.Netlist, opts Options) (r
 // a private replica, returning the proposals for the commit phase. It
 // never touches the master netlist; a panic is contained to the region.
 func (pr *parRun) runRegion(ctx context.Context, d *partition.Decomposition, region int) (rep *workerReport) {
-	rep = &workerReport{region: region, rejects: map[string]int{}}
+	rep = &workerReport{region: region, rejects: map[string]int{}, start: time.Now()}
 	defer func() {
 		if r := recover(); r != nil {
 			rep.err = fmt.Errorf("region %d worker panic: %v", region, r)
 			rep.proposals = nil
 		}
 	}()
+	defer func() { rep.end = time.Now() }()
 	wctx, wSpan := trace.StartSpan(ctx, "region")
+	wSpan.SetTrack(workerTrack(region))
 	wSpan.SetAttr("region", region)
 	defer wSpan.End()
 
@@ -662,19 +747,24 @@ func (pr *parRun) runRegion(ctx context.Context, d *partition.Decomposition, reg
 	// Replica construction: Clone preserves node IDs and the power
 	// estimate is deterministic in (netlist, options), so replica node
 	// values coincide with the master's.
+	_, repSpan := trace.StartSpan(wctx, "replica")
 	stop := pr.ph.Start("par-replica")
 	replica := pr.nl.Clone()
 	powerOpts := opts.Power
 	powerOpts.Obs = nil
 	rpm := power.Estimate(replica, powerOpts)
 	stop()
+	repSpan.End()
 
 	an := transform.NewAnalyzer(replica, rpm)
 	cfg := opts.Transform
 	cfg.TargetFilter = func(id netlist.NodeID) bool { return d.RegionOf(id) == region }
+	_, hSpan := trace.StartSpan(wctx, "harvest")
 	stop = pr.ph.Start("harvest")
 	cands := transform.Generate(replica, rpm, cfg)
 	stop()
+	hSpan.SetAttr("candidates", len(cands))
+	hSpan.End()
 	rep.candidates = len(cands)
 	wSpan.SetAttr("candidates", len(cands))
 	if len(cands) == 0 {
@@ -806,10 +896,13 @@ func (pr *parRun) runRegion(ctx context.Context, d *partition.Decomposition, reg
 		}
 
 		c := getChecker()
-		c.Ctx = cctx
+		pvctx, pvSpan := trace.StartSpan(cctx, "prove")
+		c.Ctx = pvctx
 		stop = pr.ph.Start("atpg-check")
 		verdict, support := checkCandidateInc(c, best)
 		stop()
+		pvSpan.SetAttr("verdict", verdict.String())
+		pvSpan.End()
 		c.Ctx = wctx
 		dt := c.LastCheck
 		proof := &obs.LedgerProof{
@@ -1022,6 +1115,15 @@ func postApplyTouched(nl *netlist.Netlist, res *transform.ApplyResult) []netlist
 		ids = append(ids, nl.Node(id).Fanins()...)
 	}
 	return ids
+}
+
+// recordConflict attributes one commit conflict: regions are the
+// engine's 0-based indices (-1 = unknown other party), translated to
+// the ledger's 1-based scheme (0 = master/unknown). Each conflict also
+// feeds the labeled par.conflicts{kind} counter family.
+func (pr *parRun) recordConflict(region, other int, node, kind string) {
+	pr.conf.Record(region+1, other+1, node, kind)
+	pr.o.Counter(obs.Labeled("par.conflicts", "kind", kind)).Inc()
 }
 
 // markTouched stamps ids as touched by region, upgrading to shared when a

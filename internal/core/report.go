@@ -34,7 +34,141 @@ func WriteReport(w io.Writer, name string, res *Result, reg *obs.Registry) {
 		writeNodeTable(w, led)
 	}
 	writeRejects(w, res, led)
+	writeRegionTable(w, res, led)
+	writeConflictHeatmap(w, res)
 	writeProofLatency(w, res, reg)
+}
+
+// writeRegionTable renders the parallel engine's per-region breakdown:
+// how each fanout region contributed moves and gain (from the ledger's
+// Region attribution) plus the run's scheduler summary — utilization,
+// commit share, and barrier skew. Sequential runs skip the section.
+func writeRegionTable(w io.Writer, res *Result, led *obs.LedgerSummary) {
+	par := res.Parallel
+	if par == nil {
+		return
+	}
+	fmt.Fprintf(w, "## Parallel regions\n\n")
+	fmt.Fprintf(w, "- workers: %d, rounds: %d, regions: %d, proposals: %d\n",
+		par.Workers, par.Rounds, par.Regions, par.Proposals)
+	fmt.Fprintf(w, "- conflicts: %d (%d serial re-proofs), sigcache hits: %d\n",
+		par.Conflicts, par.Replays, par.SigCacheHits)
+	fmt.Fprintf(w, "- worker utilization: %.1f%% of %d×%.3gs capacity, commit share %.1f%%, max barrier skew %.3gs\n",
+		100*par.BusyFrac(), par.Workers, par.ParallelSeconds,
+		100*par.CommitShare(), par.MaxBarrierSkewSeconds)
+	if led == nil {
+		fmt.Fprintf(w, "\n")
+		return
+	}
+	// Region attribution over the retained ledger entries (1-based
+	// regions; 0 = sequential/master). The gains are exact for retained
+	// moves; entries beyond the retention cap are uncounted here but the
+	// scheduler totals above remain exact.
+	type regionRow struct {
+		applied, rejected   int
+		predicted, realized float64
+	}
+	rows := map[int]*regionRow{}
+	get := func(region int) *regionRow {
+		r := rows[region]
+		if r == nil {
+			r = &regionRow{}
+			rows[region] = r
+		}
+		return r
+	}
+	for _, m := range led.Moves {
+		r := get(m.Region)
+		r.applied++
+		r.predicted += m.PredictedGain
+		r.realized += m.RealizedGain
+	}
+	for _, m := range led.Rejects {
+		get(m.Region).rejected++
+	}
+	if len(rows) == 0 {
+		fmt.Fprintf(w, "\n")
+		return
+	}
+	regions := make([]int, 0, len(rows))
+	for r := range rows {
+		regions = append(regions, r)
+	}
+	sort.Ints(regions)
+	fmt.Fprintf(w, "\n| region | applied | rejected | predicted | realized |\n")
+	fmt.Fprintf(w, "|-------:|--------:|---------:|----------:|---------:|\n")
+	for _, region := range regions {
+		r := rows[region]
+		label := fmt.Sprintf("r%d", region)
+		if region == 0 {
+			label = "master"
+		}
+		fmt.Fprintf(w, "| %s | %d | %d | %.6g | %.6g |\n",
+			label, r.applied, r.rejected, r.predicted, r.realized)
+	}
+	fmt.Fprintf(w, "\n")
+}
+
+// writeConflictHeatmap renders the parallel engine's conflict
+// attribution: which region pairs collided, over which nodes, and how
+// (the bounded conflict ledger carried on ParallelStats). Runs without
+// conflicts skip the section.
+func writeConflictHeatmap(w io.Writer, res *Result) {
+	if res.Parallel == nil || res.Parallel.ConflictLedger == nil {
+		return
+	}
+	cl := res.Parallel.ConflictLedger
+	fmt.Fprintf(w, "## Conflict heatmap\n\n")
+	kinds := make([]string, 0, len(cl.ByKind))
+	for k := range cl.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Fprintf(w, "%d conflicts", cl.Total)
+	for i, k := range kinds {
+		if i == 0 {
+			fmt.Fprintf(w, " (")
+		} else {
+			fmt.Fprintf(w, ", ")
+		}
+		fmt.Fprintf(w, "%s %d", k, cl.ByKind[k])
+	}
+	if len(kinds) > 0 {
+		fmt.Fprintf(w, ")")
+	}
+	fmt.Fprintf(w, ".\n\n")
+	fmt.Fprintf(w, "| regions | node | conflicts | kinds |\n")
+	fmt.Fprintf(w, "|---------|------|----------:|-------|\n")
+	top := len(cl.Cells)
+	if top > reportTopMoves {
+		top = reportTopMoves
+	}
+	for _, c := range cl.Cells[:top] {
+		pair := fmt.Sprintf("r%d-r%d", c.RegionA, c.RegionB)
+		if c.RegionA == 0 {
+			pair = fmt.Sprintf("r%d", c.RegionB)
+		}
+		ck := make([]string, 0, len(c.Kinds))
+		for k := range c.Kinds {
+			ck = append(ck, k)
+		}
+		sort.Strings(ck)
+		kindCol := ""
+		for i, k := range ck {
+			if i > 0 {
+				kindCol += ", "
+			}
+			kindCol += fmt.Sprintf("%s %d", k, c.Kinds[k])
+		}
+		fmt.Fprintf(w, "| %s | %s | %d | %s |\n", pair, c.Node, c.Count, kindCol)
+	}
+	if rest := len(cl.Cells) - top; rest > 0 {
+		fmt.Fprintf(w, "| | (%d more cells) | | |\n", rest)
+	}
+	if cl.DroppedCells > 0 {
+		fmt.Fprintf(w, "\n(%d conflicts fell in cells beyond the ledger bound.)\n", cl.DroppedCells)
+	}
+	fmt.Fprintf(w, "\n")
 }
 
 // writeMoveTable renders the top moves by realized gain plus an exact

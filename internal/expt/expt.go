@@ -126,6 +126,10 @@ type RunDetail struct {
 	Rejects        map[string]int       `json:"rejects,omitempty"`
 	Escalations    core.EscalationStats `json:"escalations"`
 	Stopped        string               `json:"stopped,omitempty"`
+	// Parallel carries the region-engine scheduler statistics (worker
+	// utilization, commit share, conflict ledger) of a -par > 1 run; nil
+	// for the sequential engine.
+	Parallel *core.ParallelStats `json:"parallel,omitempty"`
 	// Ledger carries the run-ledger totals (entry slices stripped): the
 	// predicted and realized gain sums and the per-reason reject counts.
 	Ledger *obs.LedgerSummary `json:"ledger,omitempty"`
@@ -143,6 +147,7 @@ func detailOf(res *core.Result) RunDetail {
 		Rejects:        res.Rejects,
 		Escalations:    res.Escalation,
 		Ledger:         res.Ledger.Brief(),
+		Parallel:       res.Parallel,
 	}
 	if res.StoppedEarly() {
 		d.Stopped = string(res.Stopped)

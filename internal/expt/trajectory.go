@@ -57,8 +57,16 @@ type TrajectoryEntry struct {
 	// sequential). Regression checks compare entries of equal Par, so one
 	// baseline file can carry sequential and parallel trajectories side
 	// by side.
-	Par      int                 `json:"par,omitempty"`
-	Circuits []TrajectoryCircuit `json:"circuits"`
+	Par int `json:"par,omitempty"`
+	// WorkerBusyFrac and CommitShare summarize the parallel engine's
+	// scheduler health over the whole suite (0 for sequential runs):
+	// busy worker-seconds over offered capacity, and the serial commit
+	// phase's share of engine wall time. Plotted next to WallSeconds,
+	// they separate "slower because workers idled" from "slower because
+	// the serial section grew".
+	WorkerBusyFrac float64             `json:"worker_busy_frac,omitempty"`
+	CommitShare    float64             `json:"commit_share,omitempty"`
+	Circuits       []TrajectoryCircuit `json:"circuits"`
 }
 
 // BuildTrajectoryEntry assembles one entry from a finished suite.
@@ -73,9 +81,18 @@ func BuildTrajectoryEntry(suite *Suite, wall time.Duration) TrajectoryEntry {
 		ReductionPct: suite.FreeRedPct(),
 		PeakRSSBytes: PeakRSSBytes(),
 	}
+	var busy, capacity, commit, parWall float64
 	for _, row := range suite.Rows {
 		e.Substitutions += row.Free.Applied + row.Constr.Applied
 		e.Proofs += row.Free.Checks.Checks + row.Constr.Checks.Checks
+		for _, d := range []RunDetail{row.Free, row.Constr} {
+			if p := d.Parallel; p != nil {
+				busy += p.WorkerBusySeconds
+				capacity += float64(p.Workers) * p.ParallelSeconds
+				commit += p.CommitSeconds
+				parWall += p.ParallelSeconds
+			}
+		}
 		e.Circuits = append(e.Circuits, TrajectoryCircuit{
 			Name:          row.Circuit,
 			PowerBefore:   row.InitPower,
@@ -84,6 +101,12 @@ func BuildTrajectoryEntry(suite *Suite, wall time.Duration) TrajectoryEntry {
 			Proofs:        row.Free.Checks.Checks + row.Constr.Checks.Checks,
 			WallSeconds:   row.CPUSeconds,
 		})
+	}
+	if capacity > 0 {
+		e.WorkerBusyFrac = busy / capacity
+	}
+	if commit+parWall > 0 {
+		e.CommitShare = commit / (commit + parWall)
 	}
 	return e
 }

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderRingBounds(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		f.Record("event", fmt.Sprintf("e%d", i), nil)
+	}
+	entries, total := f.Snapshot()
+	if total != 10 {
+		t.Errorf("total = %d, want 10", total)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("retained %d entries, want 4", len(entries))
+	}
+	// Oldest-first: the ring keeps the newest 4 of 10.
+	for i, e := range entries {
+		if want := fmt.Sprintf("e%d", 6+i); e.Name != want {
+			t.Errorf("entry %d = %q, want %q (oldest-first)", i, e.Name, want)
+		}
+	}
+}
+
+func TestFlightRecorderAsSink(t *testing.T) {
+	f := NewFlightRecorder(8)
+	when := time.Unix(500, 0)
+	f.Emit(Event{Time: when, Name: "apply", Fields: Fields{"node": "n42"}})
+	entries, _ := f.Snapshot()
+	if len(entries) != 1 {
+		t.Fatalf("retained %d entries, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.Kind != "event" || e.Name != "apply" || !e.Time.Equal(when) || e.Fields["node"] != "n42" {
+		t.Errorf("sink entry = %+v", e)
+	}
+
+	var nilF *FlightRecorder
+	nilF.Emit(Event{Name: "x"})    // must not panic
+	nilF.Record("event", "x", nil) // must not panic
+	if es, n := nilF.Snapshot(); es != nil || n != 0 {
+		t.Error("nil recorder Snapshot should be empty")
+	}
+}
+
+func TestFlightRecorderSampleMetricsDeltas(t *testing.T) {
+	f := NewFlightRecorder(16)
+	reg := NewRegistry()
+	reg.Counter("a").Add(5)
+	reg.Counter("b").Add(2)
+
+	f.SampleMetrics(reg)
+	reg.Counter("a").Add(3) // b stays put
+	f.SampleMetrics(reg)
+	f.SampleMetrics(reg) // nothing moved: no entry
+
+	entries, _ := f.Snapshot()
+	if len(entries) != 2 {
+		t.Fatalf("retained %d entries, want 2 (idle sample skipped)", len(entries))
+	}
+	first, second := entries[0], entries[1]
+	if first.Kind != "metric" || first.Fields["a"] != int64(5) || first.Fields["b"] != int64(2) {
+		t.Errorf("first sample = %+v, want a=5 b=2", first)
+	}
+	if second.Fields["a"] != int64(3) {
+		t.Errorf("second sample = %+v, want delta a=3", second)
+	}
+	if _, ok := second.Fields["b"]; ok {
+		t.Errorf("second sample includes unmoved counter b: %+v", second)
+	}
+}
+
+func TestFlightRecorderWriteJSONRoundTrip(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Record("http", "GET /metrics", Fields{"code": 200})
+	f.Record("panic", "pool-task", Fields{"panic": "boom"})
+
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var dump FlightDump
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if dump.Total != 2 || len(dump.Entries) != 2 {
+		t.Fatalf("dump = total %d, %d entries; want 2/2", dump.Total, len(dump.Entries))
+	}
+	if dump.Entries[1].Kind != "panic" || dump.Entries[1].Fields["panic"] != "boom" {
+		t.Errorf("panic entry = %+v", dump.Entries[1])
+	}
+
+	var text bytes.Buffer
+	f.WriteText(&text)
+	if !strings.Contains(text.String(), "2 retained of 2 recorded") ||
+		!strings.Contains(text.String(), "panic=boom") {
+		t.Errorf("WriteText output:\n%s", text.String())
+	}
+}
+
+func TestHubMirrorsToFlightRecorder(t *testing.T) {
+	f := NewFlightRecorder(8)
+	hub := NewHub(16)
+	hub.SetMirror(f)
+	hub.Emit(Event{Time: time.Unix(600, 0), Name: "harvest", Fields: Fields{"regions": 3}})
+	entries, _ := f.Snapshot()
+	if len(entries) != 1 || entries[0].Name != "harvest" {
+		t.Fatalf("mirror delivered %d entries (%v), want the harvest event", len(entries), entries)
+	}
+	// Clearing the mirror stops the feed.
+	hub.SetMirror(nil)
+	hub.Emit(Event{Name: "apply"})
+	if entries, _ := f.Snapshot(); len(entries) != 1 {
+		t.Errorf("event recorded after mirror cleared: %v", entries)
+	}
+}

@@ -1,0 +1,27 @@
+//go:build !windows
+
+package obs
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// FlightDumpOnQuit installs a SIGQUIT handler that writes the process
+// flight recorder to stderr — after folding the counter movement of reg
+// (which may be nil) into the ring — then restores the signal's default
+// disposition and re-raises it, so the Go runtime's goroutine dump and
+// exit still happen. The postmortem reads as: last recorded moments
+// first, stack dump second. Call once from main.
+func FlightDumpOnQuit(reg *Registry) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	go func() {
+		<-ch
+		flight.SampleMetrics(reg)
+		flight.WriteText(os.Stderr)
+		signal.Reset(syscall.SIGQUIT)
+		_ = syscall.Kill(syscall.Getpid(), syscall.SIGQUIT)
+	}()
+}

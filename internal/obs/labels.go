@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// Labeled metrics: the registry keys instruments by plain string, so a
+// labeled series is just a name with a canonical label suffix —
+// `http.request.seconds{code="200",path="/v1/jobs"}`. Labeled builds
+// that canonical key (labels sorted, values escaped the way the
+// exposition format expects), Counter/Histogram look it up like any
+// other name, and WritePrometheus regroups the series of one family
+// under a single TYPE line. Keeping labels in the key means the hot
+// path stays one map lookup and the registry needs no schema.
+
+// Labeled returns the canonical registry key for a labeled series:
+// name plus `{k="v",...}` with label names sorted and values escaped.
+// kv alternates keys and values; a dangling key is dropped. With no
+// pairs it returns name unchanged.
+func Labeled(name string, kv ...string) string {
+	n := len(kv) / 2
+	if n == 0 {
+		return name
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, n)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the exposition-format escapes (backslash,
+// quote, newline) so the canonical key doubles as valid label syntax.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// splitLabels separates a registry key into its base name and the label
+// body (without braces, "" when unlabeled).
+func splitLabels(key string) (base, labels string) {
+	i := strings.IndexByte(key, '{')
+	if i < 0 {
+		return key, ""
+	}
+	return key[:i], strings.TrimSuffix(key[i+1:], "}")
+}

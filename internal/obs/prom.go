@@ -79,7 +79,9 @@ func PromCounter(w io.Writer, name string, v float64) {
 // WritePrometheus renders the registry in Prometheus text exposition
 // format (0.0.4): every counter as a _total counter family and every
 // histogram as a cumulative-bucket histogram family over
-// ExpositionBounds. Families are emitted in sorted name order so the
+// ExpositionBounds. Labeled series (registry keys built with Labeled)
+// are regrouped so one family gets a single TYPE line followed by all
+// of its label sets. Families are emitted in sorted name order so the
 // output is stable for golden tests. A nil registry writes nothing.
 func (r *Registry) WritePrometheus(w io.Writer, prefix string) {
 	if r == nil {
@@ -96,17 +98,30 @@ func (r *Registry) WritePrometheus(w io.Writer, prefix string) {
 	}
 	r.mu.RUnlock()
 
+	// Sorting full keys groups a family's label sets contiguously: '{'
+	// sorts after every name character, so the unlabeled series (if any)
+	// leads and labeled ones follow in canonical label order.
 	names := make([]string, 0, len(counters))
 	for name := range counters {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	lastFam := ""
 	for _, name := range names {
-		pn := promName(prefix, name)
-		if !strings.HasSuffix(pn, "_total") {
-			pn += "_total"
+		base, labels := splitLabels(name)
+		fam := promName(prefix, base)
+		if !strings.HasSuffix(fam, "_total") {
+			fam += "_total"
 		}
-		PromCounter(w, pn, float64(counters[name].Value()))
+		if fam != lastFam {
+			fmt.Fprintf(w, "# TYPE %s counter\n", fam)
+			lastFam = fam
+		}
+		if labels != "" {
+			fmt.Fprintf(w, "%s{%s} %s\n", fam, labels, formatFloat(float64(counters[name].Value())))
+		} else {
+			fmt.Fprintf(w, "%s %s\n", fam, formatFloat(float64(counters[name].Value())))
+		}
 	}
 
 	names = names[:0]
@@ -114,22 +129,46 @@ func (r *Registry) WritePrometheus(w io.Writer, prefix string) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	lastFam = ""
 	for _, name := range names {
-		WritePromHistogram(w, promName(prefix, name), hists[name])
+		base, labels := splitLabels(name)
+		fam := promName(prefix, base)
+		if fam != lastFam {
+			fmt.Fprintf(w, "# TYPE %s histogram\n", fam)
+			lastFam = fam
+		}
+		writePromHistogramSeries(w, fam, labels, hists[name])
 	}
 }
 
-// WritePromHistogram writes one histogram family: cumulative buckets
-// over ExpositionBounds, the +Inf bucket, and the _sum/_count samples.
+// WritePromHistogram writes one unlabeled histogram family: the TYPE
+// line, cumulative buckets over ExpositionBounds, the +Inf bucket, and
+// the _sum/_count samples.
 func WritePromHistogram(w io.Writer, name string, h *Histogram) {
 	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	writePromHistogramSeries(w, name, "", h)
+}
+
+// writePromHistogramSeries writes the samples of one histogram series;
+// labels is the pre-rendered label body ("" for the unlabeled series)
+// merged before the le label on bucket lines.
+func writePromHistogramSeries(w io.Writer, name, labels string, h *Histogram) {
+	sep := ""
+	if labels != "" {
+		sep = labels + ","
+	}
 	counts := h.Cumulative(ExpositionBounds)
 	for i, bound := range ExpositionBounds {
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), counts[i])
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, sep, formatFloat(bound), counts[i])
 	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
-	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum()))
-	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, sep, h.Count())
+	if labels != "" {
+		fmt.Fprintf(w, "%s_sum{%s} %s\n", name, labels, formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.Count())
+	} else {
+		fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	}
 }
 
 // WriteRuntimeMetrics writes the process-level collectors (goroutines,

@@ -283,13 +283,39 @@ func ValidatePrometheus(r io.Reader) (*PromMetrics, error) {
 }
 
 func validateHistogram(m *PromMetrics, name string) error {
+	// A family may carry several labeled series (one per label set, e.g.
+	// http_request_seconds{path,code}); the histogram invariants hold per
+	// series, so buckets/_sum/_count are grouped by their non-le label
+	// signature before checking.
 	type bucket struct {
 		le    float64
 		count float64
 	}
-	var buckets []bucket
-	var count float64
-	haveCount, haveSum := false, false
+	type series struct {
+		buckets            []bucket
+		count              float64
+		haveCount, haveSum bool
+	}
+	groups := make(map[string]*series)
+	get := func(s PromSample) *series {
+		keys := make([]string, 0, len(s.Labels))
+		for k := range s.Labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var sig strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&sig, "%s=%q,", k, s.Labels[k])
+		}
+		g := groups[sig.String()]
+		if g == nil {
+			g = &series{}
+			groups[sig.String()] = g
+		}
+		return g
+	}
 	for _, s := range m.Samples {
 		switch s.Name {
 		case name + "_bucket":
@@ -301,33 +327,49 @@ func validateHistogram(m *PromMetrics, name string) error {
 			if err != nil {
 				return fmt.Errorf("bad le %q: %v", leText, err)
 			}
-			buckets = append(buckets, bucket{le: le, count: s.Value})
+			g := get(s)
+			g.buckets = append(g.buckets, bucket{le: le, count: s.Value})
 		case name + "_count":
-			count, haveCount = s.Value, true
+			g := get(s)
+			g.count, g.haveCount = s.Value, true
 		case name + "_sum":
-			haveSum = true
+			get(s).haveSum = true
 		}
 	}
-	if len(buckets) == 0 {
+	if len(groups) == 0 {
 		return fmt.Errorf("no buckets")
 	}
-	if !haveCount || !haveSum {
-		return fmt.Errorf("missing _count or _sum")
-	}
-	if !sort.SliceIsSorted(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le }) {
-		return fmt.Errorf("bucket le values not ascending")
-	}
-	for i := 1; i < len(buckets); i++ {
-		if buckets[i].count < buckets[i-1].count {
-			return fmt.Errorf("cumulative counts decrease at le=%v", buckets[i].le)
+	check := func(g *series) error {
+		if len(g.buckets) == 0 {
+			return fmt.Errorf("no buckets")
 		}
+		if !g.haveCount || !g.haveSum {
+			return fmt.Errorf("missing _count or _sum")
+		}
+		if !sort.SliceIsSorted(g.buckets, func(i, j int) bool { return g.buckets[i].le < g.buckets[j].le }) {
+			return fmt.Errorf("bucket le values not ascending")
+		}
+		for i := 1; i < len(g.buckets); i++ {
+			if g.buckets[i].count < g.buckets[i-1].count {
+				return fmt.Errorf("cumulative counts decrease at le=%v", g.buckets[i].le)
+			}
+		}
+		last := g.buckets[len(g.buckets)-1]
+		if !math.IsInf(last.le, 1) {
+			return fmt.Errorf("missing +Inf bucket")
+		}
+		if last.count != g.count {
+			return fmt.Errorf("+Inf bucket %v != count %v", last.count, g.count)
+		}
+		return nil
 	}
-	last := buckets[len(buckets)-1]
-	if !math.IsInf(last.le, 1) {
-		return fmt.Errorf("missing +Inf bucket")
-	}
-	if last.count != count {
-		return fmt.Errorf("+Inf bucket %v != count %v", last.count, count)
+	for sig, g := range groups {
+		if err := check(g); err != nil {
+			if sig != "" {
+				return fmt.Errorf("series {%s}: %v", strings.TrimSuffix(sig, ","), err)
+			}
+			return err
+		}
 	}
 	return nil
 }

@@ -29,6 +29,10 @@ type Hub struct {
 	// dropCounter, when set, mirrors every drop into a registry counter
 	// so losses surface in the metrics exposition.
 	dropCounter *Counter
+	// mirror, when set, additionally receives every emitted event, even
+	// past the replay cap; powderd points this at the process flight
+	// recorder so each job's last seconds survive a crash.
+	mirror Sink
 }
 
 type hubSub struct {
@@ -49,8 +53,8 @@ func NewHub(limit int) *Hub {
 // without blocking; a no-op after Close.
 func (h *Hub) Emit(e Event) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if h.closed {
+		h.mu.Unlock()
 		return
 	}
 	if len(h.buf) < h.limit {
@@ -67,6 +71,21 @@ func (h *Hub) Emit(e Event) {
 			h.dropCounter.Inc()
 		}
 	}
+	m := h.mirror
+	h.mu.Unlock()
+	// The mirror is invoked outside the hub lock: it has its own
+	// synchronization and must not serialize against subscribers.
+	if m != nil {
+		m.Emit(e)
+	}
+}
+
+// SetMirror attaches a sink that receives every event emitted on the
+// hub, independent of the replay buffer and subscriber channels.
+func (h *Hub) SetMirror(sink Sink) {
+	h.mu.Lock()
+	h.mirror = sink
+	h.mu.Unlock()
 }
 
 // SetDropCounter attaches a registry counter (conventionally

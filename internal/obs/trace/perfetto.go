@@ -29,12 +29,13 @@ type perfettoFile struct {
 }
 
 // WritePerfetto renders spans (from one or several traces) as
-// Chrome/Perfetto trace-event JSON. Each trace gets its own tid, named
-// after the trace ID via a thread_name metadata event, so concurrent
-// jobs appear as parallel tracks; spans nest on a track by time
-// containment, which the recorder's parent links guarantee. Timestamps
-// are microseconds relative to the earliest span, keeping the JSON
-// stable under re-export.
+// Chrome/Perfetto trace-event JSON. Each (trace, track) pair gets its
+// own tid — named "trace" for the default lane and "trace/track" for
+// named lanes (per-worker timelines of a parallel run) — so concurrent
+// jobs and concurrent workers within a job both appear as parallel
+// rows; spans nest on a row by time containment, which the recorder's
+// parent links guarantee. Timestamps are microseconds relative to the
+// earliest span, keeping the JSON stable under re-export.
 func WritePerfetto(w io.Writer, spans []Record) error {
 	ordered := append([]Record(nil), spans...)
 	sort.SliceStable(ordered, func(i, j int) bool {
@@ -51,19 +52,25 @@ func WritePerfetto(w io.Writer, spans []Record) error {
 		}
 	}
 
-	tids := make(map[string]int)
+	type lane struct{ trace, track string }
+	tids := make(map[lane]int)
 	file := perfettoFile{DisplayTimeUnit: "ms", TraceEvents: []perfettoEvent{}}
 	for _, s := range ordered {
-		tid, ok := tids[s.Trace]
+		key := lane{s.Trace, s.Track}
+		tid, ok := tids[key]
 		if !ok {
 			tid = len(tids) + 1
-			tids[s.Trace] = tid
+			tids[key] = tid
+			name := s.Trace
+			if s.Track != "" {
+				name = s.Trace + "/" + s.Track
+			}
 			file.TraceEvents = append(file.TraceEvents, perfettoEvent{
 				Name: "thread_name",
 				Ph:   "M",
 				Pid:  1,
 				Tid:  tid,
-				Args: map[string]any{"name": s.Trace},
+				Args: map[string]any{"name": name},
 			})
 		}
 		ev := perfettoEvent{

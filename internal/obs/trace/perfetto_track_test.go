@@ -1,0 +1,276 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// fixedTrackSpans is a two-trace forest with worker tracks built from
+// constants: trace "job-1" is a parallel round (two region workers plus
+// the master commit lane under a shared round span), trace "client-9"
+// is a foreign client span with an ID from the disjoint client space.
+func fixedTrackSpans() []Record {
+	t0 := time.Unix(200, 0)
+	return []Record{
+		{Trace: "job-1", ID: 1, Name: "optimize", Start: t0, End: t0.Add(20 * time.Millisecond)},
+		{Trace: "job-1", ID: 2, Parent: 1, Name: "round", Start: t0, End: t0.Add(18 * time.Millisecond),
+			Attrs: map[string]any{"round": 1}},
+		{Trace: "job-1", ID: 3, Parent: 2, Name: "region", Track: "worker-1",
+			Start: t0.Add(time.Millisecond), End: t0.Add(8 * time.Millisecond)},
+		{Trace: "job-1", ID: 4, Parent: 3, Name: "prove", Track: "worker-1",
+			Start: t0.Add(2 * time.Millisecond), End: t0.Add(6 * time.Millisecond)},
+		{Trace: "job-1", ID: 5, Parent: 2, Name: "region", Track: "worker-2",
+			Start: t0.Add(time.Millisecond), End: t0.Add(9 * time.Millisecond)},
+		{Trace: "job-1", ID: 6, Parent: 2, Name: "commit", Track: "master",
+			Start: t0.Add(10 * time.Millisecond), End: t0.Add(17 * time.Millisecond)},
+		{Trace: "client-9", ID: 1<<32 + 1, Name: "client",
+			Start: t0.Add(-time.Millisecond), End: t0.Add(25 * time.Millisecond)},
+	}
+}
+
+const goldenTrackPerfetto = `{
+ "traceEvents": [
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 1,
+   "args": {
+    "name": "client-9"
+   }
+  },
+  {
+   "name": "client",
+   "ph": "X",
+   "ts": 0,
+   "dur": 26000,
+   "pid": 1,
+   "tid": 1,
+   "cat": "powder",
+   "args": {
+    "span": 4294967297
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 2,
+   "args": {
+    "name": "job-1"
+   }
+  },
+  {
+   "name": "optimize",
+   "ph": "X",
+   "ts": 1000,
+   "dur": 20000,
+   "pid": 1,
+   "tid": 2,
+   "cat": "powder",
+   "args": {
+    "span": 1
+   }
+  },
+  {
+   "name": "round",
+   "ph": "X",
+   "ts": 1000,
+   "dur": 18000,
+   "pid": 1,
+   "tid": 2,
+   "cat": "powder",
+   "args": {
+    "parent": 1,
+    "round": 1,
+    "span": 2
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 3,
+   "args": {
+    "name": "job-1/worker-1"
+   }
+  },
+  {
+   "name": "region",
+   "ph": "X",
+   "ts": 2000,
+   "dur": 7000,
+   "pid": 1,
+   "tid": 3,
+   "cat": "powder",
+   "args": {
+    "parent": 2,
+    "span": 3
+   }
+  },
+  {
+   "name": "prove",
+   "ph": "X",
+   "ts": 3000,
+   "dur": 4000,
+   "pid": 1,
+   "tid": 3,
+   "cat": "powder",
+   "args": {
+    "parent": 3,
+    "span": 4
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 4,
+   "args": {
+    "name": "job-1/worker-2"
+   }
+  },
+  {
+   "name": "region",
+   "ph": "X",
+   "ts": 2000,
+   "dur": 8000,
+   "pid": 1,
+   "tid": 4,
+   "cat": "powder",
+   "args": {
+    "parent": 2,
+    "span": 5
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 5,
+   "args": {
+    "name": "job-1/master"
+   }
+  },
+  {
+   "name": "commit",
+   "ph": "X",
+   "ts": 11000,
+   "dur": 7000,
+   "pid": 1,
+   "tid": 5,
+   "cat": "powder",
+   "args": {
+    "parent": 2,
+    "span": 6
+   }
+  }
+ ],
+ "displayTimeUnit": "ms"
+}
+`
+
+func TestWritePerfettoTrackGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, fixedTrackSpans()); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+	if got := buf.String(); got != goldenTrackPerfetto {
+		t.Errorf("Perfetto track output drifted from golden.\ngot:\n%s\nwant:\n%s", got, goldenTrackPerfetto)
+	}
+}
+
+func TestWritePerfettoTrackLanes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, fixedTrackSpans()); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	// Lane names: the default lane is the bare trace name, a worker lane
+	// is "trace/track"; each gets exactly one tid.
+	laneTid := map[string]int{}
+	spanLanes := map[string]int{}
+	for _, ev := range file.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			name := ev.Args["name"].(string)
+			if prev, dup := laneTid[name]; dup {
+				t.Errorf("lane %q announced twice (tid %d and %d)", name, prev, ev.Tid)
+			}
+			laneTid[name] = ev.Tid
+		case "X":
+			spanLanes[ev.Name] = ev.Tid
+		}
+	}
+	wantLanes := []string{"client-9", "job-1", "job-1/worker-1", "job-1/worker-2", "job-1/master"}
+	if len(laneTid) != len(wantLanes) {
+		t.Fatalf("got %d lanes %v, want %d", len(laneTid), laneTid, len(wantLanes))
+	}
+	for _, lane := range wantLanes {
+		if _, ok := laneTid[lane]; !ok {
+			t.Errorf("missing lane %q (have %v)", lane, laneTid)
+		}
+	}
+	if spanLanes["prove"] != laneTid["job-1/worker-1"] {
+		t.Errorf("prove on tid %d, want its worker lane %d", spanLanes["prove"], laneTid["job-1/worker-1"])
+	}
+	if spanLanes["commit"] != laneTid["job-1/master"] {
+		t.Errorf("commit on tid %d, want the master lane %d", spanLanes["commit"], laneTid["job-1/master"])
+	}
+	if spanLanes["optimize"] != laneTid["job-1"] {
+		t.Errorf("optimize on tid %d, want the default lane %d", spanLanes["optimize"], laneTid["job-1"])
+	}
+}
+
+// TestWritePerfettoAfterDrops floods a bounded recorder with tracked
+// leaf spans and checks the surviving forest still validates and
+// exports: the ring overwrites oldest-ended leaves but keeps parents,
+// so the export never references a lane or parent that was dropped.
+func TestWritePerfettoAfterDrops(t *testing.T) {
+	tr := New("drops", Options{Limit: 6})
+	root := tr.Start("round", 0)
+	for i := 0; i < 25; i++ {
+		w := tr.Start("region", root.ID())
+		w.SetTrack("worker-1")
+		c := tr.Start("prove", w.ID())
+		c.End()
+		w.End()
+	}
+	root.End()
+
+	spans := tr.Snapshot()
+	if len(spans) != 6 {
+		t.Fatalf("ring kept %d spans, want 6", len(spans))
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("expected drops")
+	}
+	if err := Validate(spans); err != nil {
+		t.Fatalf("Validate after drops: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, spans); err != nil {
+		t.Fatalf("WritePerfetto after drops: %v", err)
+	}
+	var file map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("export after drops is not valid JSON: %v", err)
+	}
+}

@@ -29,6 +29,7 @@ package trace
 
 import (
 	"context"
+	"errors"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -36,6 +37,10 @@ import (
 
 	"powder/internal/obs"
 )
+
+// errZeroSpanID rejects adopted records without an ID: a 0 ID means "no
+// span" everywhere else in the package and would corrupt parent links.
+var errZeroSpanID = errors.New("trace: adopted span has ID 0")
 
 // DefaultLimit is the recorder capacity (completed spans retained) when
 // Options does not choose one.
@@ -55,6 +60,7 @@ type Span struct {
 	start  time.Time
 
 	mu    sync.Mutex
+	track string
 	attrs map[string]any
 	ended bool
 }
@@ -65,6 +71,31 @@ func (s *Span) ID() SpanID {
 		return 0
 	}
 	return s.id
+}
+
+// SetTrack assigns the span to a named timeline lane within its trace.
+// Tracks render as separate Perfetto threads ("trace/track"), so
+// concurrent workers inside one trace appear as parallel rows instead
+// of one overlapping pile. Children started via StartSpan inherit the
+// current span's track. An empty track is the trace's default lane.
+func (s *Span) SetTrack(track string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.track = track
+	s.mu.Unlock()
+}
+
+// Track returns the span's timeline lane ("" on a nil or default-lane
+// span).
+func (s *Span) Track() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.track
 }
 
 // SetAttr attaches one key/value attribute to the span. Safe for
@@ -96,8 +127,9 @@ func (s *Span) End() {
 	}
 	s.ended = true
 	attrs := s.attrs
+	track := s.track
 	s.mu.Unlock()
-	s.tracer.record(s, attrs, time.Now())
+	s.tracer.record(s, track, attrs, time.Now())
 }
 
 // Record is the immutable, serializable form of one completed (or, in
@@ -110,6 +142,10 @@ type Record struct {
 	Parent SpanID `json:"parent,omitempty"`
 	// Name is the span label ("optimize", "harvest", "sat-solve", ...).
 	Name string `json:"name"`
+	// Track is the span's timeline lane within the trace ("" = default).
+	// The Perfetto exporter renders each (trace, track) pair as its own
+	// thread, so per-worker lanes of one parallel run sit side by side.
+	Track string `json:"track,omitempty"`
 	// Start and End bound the interval; End is the zero time on a
 	// still-open span (live snapshots only).
 	Start time.Time `json:"start"`
@@ -139,6 +175,11 @@ type Options struct {
 	// (trace/span/parent/name/start/seconds + flattened attrs), putting
 	// spans on the same NDJSON stream as the run's other events.
 	Obs *obs.Observer
+	// Base offsets the span-ID counter: the first span gets ID Base+1.
+	// Cooperating processes that contribute spans to one stitched trace
+	// (client-side request spans adopted by powderd) pick disjoint bases
+	// so their IDs never collide without coordination.
+	Base int64
 }
 
 // Tracer owns one trace. A nil *Tracer is a valid disabled tracer.
@@ -163,13 +204,17 @@ func New(id string, opts Options) *Tracer {
 	if opts.Limit <= 0 {
 		opts.Limit = DefaultLimit
 	}
-	return &Tracer{
+	t := &Tracer{
 		id:      id,
 		active:  make(map[SpanID]*Span),
 		limit:   opts.Limit,
 		dropCtr: opts.DropCounter,
 		obs:     opts.Obs,
 	}
+	if opts.Base > 0 {
+		t.next.Store(opts.Base)
+	}
+	return t
 }
 
 // ID returns the trace identifier ("" on a nil tracer).
@@ -201,7 +246,7 @@ func (t *Tracer) Start(name string, parent SpanID) *Span {
 }
 
 // record moves an ended span from the active set into the ring.
-func (t *Tracer) record(s *Span, attrs map[string]any, end time.Time) {
+func (t *Tracer) record(s *Span, track string, attrs map[string]any, end time.Time) {
 	if t == nil {
 		return
 	}
@@ -210,6 +255,7 @@ func (t *Tracer) record(s *Span, attrs map[string]any, end time.Time) {
 		ID:     s.id,
 		Parent: s.parent,
 		Name:   s.name,
+		Track:  track,
 		Start:  s.start,
 		End:    end,
 	}
@@ -221,16 +267,7 @@ func (t *Tracer) record(s *Span, attrs map[string]any, end time.Time) {
 	}
 	t.mu.Lock()
 	delete(t.active, s.id)
-	if len(t.ring) < t.limit {
-		t.ring = append(t.ring, rec)
-	} else {
-		// Full: overwrite the oldest-ended span (a leaf; parents end
-		// later) so the tree above the survivors stays intact.
-		t.ring[t.head] = rec
-		t.head = (t.head + 1) % t.limit
-		t.dropped.Add(1)
-		t.dropCtr.Inc()
-	}
+	t.pushLocked(rec)
 	t.mu.Unlock()
 	if t.obs.Tracing() {
 		f := obs.Fields{
@@ -243,11 +280,80 @@ func (t *Tracer) record(s *Span, attrs map[string]any, end time.Time) {
 		if rec.Parent != 0 {
 			f["parent"] = int64(rec.Parent)
 		}
+		if rec.Track != "" {
+			f["track"] = rec.Track
+		}
 		for k, v := range rec.Attrs {
 			f["attr_"+k] = v
 		}
 		t.obs.Emit("span", f)
 	}
+}
+
+// pushLocked inserts one completed record into the bounded ring; the
+// caller holds t.mu.
+func (t *Tracer) pushLocked(rec Record) {
+	if len(t.ring) < t.limit {
+		t.ring = append(t.ring, rec)
+		return
+	}
+	// Full: overwrite the oldest-ended span (a leaf; parents end
+	// later) so the tree above the survivors stays intact.
+	t.ring[t.head] = rec
+	t.head = (t.head + 1) % t.limit
+	t.dropped.Add(1)
+	t.dropCtr.Inc()
+}
+
+// Log records an already-finished interval directly, without a live
+// Span: the caller knows the start and end after the fact (a master
+// goroutine reconstructing each worker's barrier wait once the round
+// barrier clears). It allocates and returns the next span ID so logged
+// spans interleave with live ones in one consistent ID order. A nil
+// tracer returns 0.
+func (t *Tracer) Log(name, track string, parent SpanID, start, end time.Time, attrs map[string]any) SpanID {
+	if t == nil {
+		return 0
+	}
+	rec := Record{
+		Trace:  t.id,
+		ID:     SpanID(t.next.Add(1)),
+		Parent: parent,
+		Name:   name,
+		Track:  track,
+		Start:  start,
+		End:    end,
+	}
+	if len(attrs) > 0 {
+		rec.Attrs = make(map[string]any, len(attrs))
+		for k, v := range attrs {
+			rec.Attrs[k] = v
+		}
+	}
+	t.mu.Lock()
+	t.pushLocked(rec)
+	t.mu.Unlock()
+	return rec.ID
+}
+
+// Adopt merges a span recorded by another process into this trace (the
+// service adopting a client's request spans uploaded after the job).
+// The record keeps its own ID — cooperating tracers use disjoint
+// Options.Base ranges so adopted IDs cannot collide with local ones —
+// but its Trace is rewritten to this tracer's, making the merged
+// snapshot one stitched forest. Records with ID 0 are rejected.
+func (t *Tracer) Adopt(rec Record) error {
+	if t == nil {
+		return nil
+	}
+	if rec.ID == 0 {
+		return errZeroSpanID
+	}
+	rec.Trace = t.id
+	t.mu.Lock()
+	t.pushLocked(rec)
+	t.mu.Unlock()
+	return nil
 }
 
 // Snapshot returns the completed spans recorded so far, ordered by span
@@ -281,6 +387,7 @@ func (t *Tracer) ActiveStack() []Record {
 			ID:     s.id,
 			Parent: s.parent,
 			Name:   s.name,
+			Track:  s.track,
 			Start:  s.start,
 		}
 		if len(s.attrs) > 0 {
@@ -363,10 +470,15 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 		return ctx, nil
 	}
 	var parent SpanID
+	var track string
 	if cur := SpanFromContext(ctx); cur != nil {
 		parent = cur.id
+		track = cur.Track()
 	}
 	s := t.Start(name, parent)
+	if track != "" {
+		s.SetTrack(track)
+	}
 	return context.WithValue(ctx, spanKey, s), s
 }
 

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTrackInheritance(t *testing.T) {
+	tr := New("tracks", Options{})
+	ctx := NewContext(context.Background(), tr)
+	ctx, region := StartSpan(ctx, "region")
+	region.SetTrack("worker-3")
+	cctx, prove := StartSpan(ctx, "prove")
+	_, solve := StartSpan(cctx, "sat-solve")
+	solve.End()
+	prove.End()
+	region.End()
+
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+	for _, s := range spans {
+		if s.Track != "worker-3" {
+			t.Errorf("span %q track = %q, want worker-3 (children inherit the parent's lane)", s.Name, s.Track)
+		}
+	}
+}
+
+func TestTrackNotInheritedAcrossTracers(t *testing.T) {
+	tr := New("plain", Options{})
+	s := tr.Start("solo", 0)
+	s.End()
+	if got := tr.Snapshot()[0].Track; got != "" {
+		t.Errorf("untracked span has track %q, want empty", got)
+	}
+	var nilSpan *Span
+	nilSpan.SetTrack("x") // must not panic
+	if nilSpan.Track() != "" {
+		t.Error("nil span Track() should be empty")
+	}
+}
+
+func TestTracerLogRetroactiveSpan(t *testing.T) {
+	tr := New("retro", Options{})
+	root := tr.Start("round", 0)
+	start := time.Unix(300, 0)
+	end := start.Add(5 * time.Millisecond)
+	id := tr.Log("barrier-wait", "worker-1", root.ID(), start, end, map[string]any{"region": 1})
+	if id == 0 {
+		t.Fatal("Log returned span ID 0")
+	}
+	root.End()
+
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	var logged Record
+	for _, s := range spans {
+		if s.Name == "barrier-wait" {
+			logged = s
+		}
+	}
+	if logged.ID != id || logged.Parent != root.ID() || logged.Track != "worker-1" {
+		t.Errorf("logged span = %+v, want id %d parent %d track worker-1", logged, id, root.ID())
+	}
+	if !logged.Start.Equal(start) || !logged.End.Equal(end) {
+		t.Errorf("logged interval [%v..%v], want [%v..%v]", logged.Start, logged.End, start, end)
+	}
+	if logged.Attrs["region"] != 1 {
+		t.Errorf("logged attrs = %v", logged.Attrs)
+	}
+	if tr.Log("x", "", 0, start, end, nil) == 0 {
+		t.Error("second Log returned 0")
+	}
+	var nilTr *Tracer
+	if nilTr.Log("x", "", 0, start, end, nil) != 0 {
+		t.Error("nil tracer Log should return 0")
+	}
+}
+
+func TestTracerAdoptRewritesTraceAndRejectsZeroID(t *testing.T) {
+	tr := New("server", Options{})
+	job := tr.Start("job", 0)
+	job.End()
+
+	foreign := Record{
+		Trace: "client-abc", ID: 1<<32 + 1, Name: "client",
+		Start: time.Unix(400, 0), End: time.Unix(401, 0),
+	}
+	if err := tr.Adopt(foreign); err != nil {
+		t.Fatalf("Adopt: %v", err)
+	}
+	if err := tr.Adopt(Record{Name: "broken"}); err == nil {
+		t.Fatal("Adopt accepted a record with span ID 0")
+	}
+
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	for _, s := range spans {
+		if s.Trace != "server" {
+			t.Errorf("span %q trace = %q; Adopt must rewrite onto the owning tracer", s.Name, s.Trace)
+		}
+	}
+	if err := Validate(spans); err != nil {
+		t.Errorf("Validate after adopt: %v", err)
+	}
+}
+
+func TestOptionsBaseDisjointIDSpaces(t *testing.T) {
+	const base = 1 << 32
+	cli := New("shared", Options{Base: base})
+	srv := New("shared", Options{})
+
+	cRoot := cli.Start("client", 0)
+	cRoot.End()
+	sJob := srv.Start("job", SpanID(cRoot.ID()))
+	sRun := srv.Start("run", sJob.ID())
+	sRun.End()
+	sJob.End()
+
+	if cRoot.ID() <= base {
+		t.Fatalf("client span ID %d, want > base %d", cRoot.ID(), base)
+	}
+	if sJob.ID() >= base {
+		t.Fatalf("server span ID %d collides with the client space", sJob.ID())
+	}
+
+	// The merged forest (the /v1/jobs/{id}/spans stitch) must be one
+	// connected, valid tree rooted at the client span.
+	merged := srv.Snapshot()
+	for _, rec := range cli.Snapshot() {
+		rec.Trace = "shared"
+		merged = append(merged, rec)
+	}
+	// Widen the client root to contain the server spans, as a real
+	// client root (submit → result) does by construction.
+	for i := range merged {
+		if merged[i].Name == "client" {
+			merged[i].Start = time.Time{}.Add(time.Second)
+			merged[i].End = time.Now().Add(time.Hour)
+		}
+	}
+	if err := Validate(merged); err != nil {
+		t.Fatalf("Validate(merged): %v", err)
+	}
+	roots := Roots(merged)
+	if len(roots) != 1 || roots[0].Name != "client" {
+		t.Fatalf("merged forest roots = %v, want exactly the client span", roots)
+	}
+}

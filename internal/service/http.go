@@ -41,36 +41,98 @@ import (
 //	                               (Config.TraceSample); 409 while
 //	                               running, ?format=perfetto renders
 //	                               Chrome/Perfetto trace-event JSON
+//	POST   /v1/jobs/{id}/spans     stitch client-recorded spans into a
+//	                               traced job's forest (the
+//	                               client.UploadSpans target); the body
+//	                               is a JSON array of trace records
 //	DELETE /v1/jobs/{id}           cancel a queued or running job
 //	GET    /healthz                liveness + drain state
 //	GET    /metrics                Prometheus text exposition (counters,
-//	                               histograms, runtime collectors);
-//	                               ?format=json keeps the JSON snapshot
+//	                               histograms incl. per-endpoint
+//	                               powder_http_request_seconds{path,code},
+//	                               runtime collectors); ?format=json
+//	                               keeps the JSON snapshot
 //	GET    /debug/status           live introspection: queue depth,
 //	                               per-worker current job, active jobs
 //	                               with their open span stacks, drop
 //	                               counters
+//	GET    /debug/flight           the process flight recorder: the most
+//	                               recent events, spans, requests, and
+//	                               counter deltas as one JSON document
 //
 // Responses for traced jobs carry the trace ID in an X-Powder-Trace
-// header, correlating access logs with span trees.
+// header, correlating access logs with span trees. A submission that
+// itself carries X-Powder-Trace (and optionally X-Powder-Parent) is
+// traced unconditionally under the client's trace ID, with the job root
+// span parented under the client's span — the cross-process half of the
+// stitched trace served at /v1/jobs/{id}/trace.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/result.blif", s.handleResult)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /v1/jobs/{id}/ledger", s.handleLedger)
-	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /debug/status", s.handleDebugStatus)
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	handle("POST /v1/jobs", s.handleSubmit)
+	handle("GET /v1/jobs", s.handleList)
+	handle("GET /v1/jobs/{id}", s.handleStatus)
+	handle("GET /v1/jobs/{id}/result.blif", s.handleResult)
+	handle("GET /v1/jobs/{id}/events", s.handleEvents)
+	handle("GET /v1/jobs/{id}/ledger", s.handleLedger)
+	handle("GET /v1/jobs/{id}/trace", s.handleTrace)
+	handle("POST /v1/jobs/{id}/spans", s.handleSpans)
+	handle("DELETE /v1/jobs/{id}", s.handleCancel)
+	handle("GET /healthz", s.handleHealth)
+	handle("GET /metrics", s.handleMetrics)
+	handle("GET /debug/status", s.handleDebugStatus)
+	handle("GET /debug/flight", s.handleDebugFlight)
 	return mux
 }
 
-// TraceHeader is the response header carrying a traced job's trace ID.
+// TraceHeader is the header carrying a trace ID: on responses, a traced
+// job's ID; on submissions, a client trace ID the job should adopt.
 const TraceHeader = "X-Powder-Trace"
+
+// TraceParentHeader is the request header carrying the client's current
+// span ID (decimal); the job root span parents under it.
+const TraceParentHeader = "X-Powder-Parent"
+
+// statusWriter captures the response code for the request-duration
+// histogram. It forwards Flush so the NDJSON event stream keeps
+// streaming through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with per-endpoint accounting: every
+// request lands in the powder_http_request_seconds{path,code} histogram
+// family — labeled by route pattern, not raw URL, so cardinality stays
+// bounded — and in the process flight recorder.
+func (s *Service) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	path := pattern
+	if _, p, ok := strings.Cut(pattern, " "); ok {
+		path = p
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		elapsed := time.Since(start).Seconds()
+		code := strconv.Itoa(sw.code)
+		s.reg.Histogram(obs.Labeled("http.request.seconds", "path", path, "code", code)).Observe(elapsed)
+		obs.Flight().Record("http", r.Method+" "+path, obs.Fields{"code": sw.code, "seconds": elapsed})
+	}
+}
 
 // setTraceHeader stamps a traced job's ID onto the response.
 func setTraceHeader(w http.ResponseWriter, j *Job) {
@@ -175,6 +237,16 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	if tid := r.Header.Get(TraceHeader); tid != "" {
+		opts.TraceID = tid
+		if p := r.Header.Get(TraceParentHeader); p != "" {
+			// An unparsable parent degrades to a root-level job span
+			// rather than rejecting the submission.
+			if n, perr := strconv.ParseInt(p, 10, 64); perr == nil && n > 0 {
+				opts.TraceParent = n
+			}
+		}
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
@@ -322,6 +394,50 @@ func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, traceJSON{Trace: tr.ID(), Spans: spans, Dropped: tr.Dropped()})
 	}
+}
+
+// spansAccepted is the POST /v1/jobs/{id}/spans payload.
+type spansAccepted struct {
+	Adopted int `json:"adopted"`
+}
+
+func (s *Service) handleSpans(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	tr := j.Tracer()
+	if tr == nil {
+		writeError(w, http.StatusNotFound, "job %s was not traced; nothing to stitch spans into", j.ID())
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var spans []trace.Record
+	if err := json.Unmarshal(body, &spans); err != nil {
+		writeError(w, http.StatusBadRequest, "bad span payload: %v", err)
+		return
+	}
+	for i, rec := range spans {
+		if err := tr.Adopt(rec); err != nil {
+			writeError(w, http.StatusBadRequest, "span %d: %v", i, err)
+			return
+		}
+	}
+	setTraceHeader(w, j)
+	writeJSON(w, http.StatusAccepted, spansAccepted{Adopted: len(spans)})
+}
+
+func (s *Service) handleDebugFlight(w http.ResponseWriter, r *http.Request) {
+	f := obs.Flight()
+	// Fold the counter movement since the last sample into the ring
+	// right before dumping, so the snapshot ends with current rates.
+	f.SampleMetrics(s.reg)
+	w.Header().Set("Content-Type", "application/json")
+	_ = f.WriteJSON(w)
 }
 
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {

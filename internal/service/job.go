@@ -68,6 +68,16 @@ type JobOptions struct {
 	// pool size so one job can never oversubscribe the daemon; <= 1 runs
 	// the sequential engine.
 	Parallelism int `json:"parallelism,omitempty"`
+	// TraceID / TraceParent carry an inbound X-Powder-Trace /
+	// X-Powder-Parent header pair from a client that wants its own spans
+	// stitched into the job trace: a non-empty TraceID forces tracing
+	// (regardless of the sampler) under the client's trace ID, and the
+	// job root span is parented under the client's span ID. Both are
+	// transport-only — excluded from JSON (and hence from journal
+	// records) and never part of the result-cache key, which must depend
+	// only on what the optimizer computes.
+	TraceID     string `json:"-"`
+	TraceParent int64  `json:"-"`
 }
 
 // JobResult is the serialized outcome of a finished run.

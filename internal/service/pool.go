@@ -5,9 +5,12 @@
 package service
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"powder/internal/obs"
 )
 
 // errPoolClosed reports a Submit after Close; surfaced as a panic since
@@ -74,6 +77,9 @@ func (p *Pool) run(fn func()) {
 	defer func() {
 		if r := recover(); r != nil {
 			p.panics.Add(1)
+			// The recovered panic lands in the flight recorder so
+			// /debug/flight explains what the pool survived.
+			obs.Flight().Record("panic", "pool-task", obs.Fields{"panic": fmt.Sprint(r)})
 		}
 	}()
 	fn()

@@ -162,8 +162,10 @@ func (s *Service) newJob(id string, sub *submission, opts JobOptions, cacheKey s
 	ctx, cancel := context.WithCancel(s.rootCtx)
 	hub := obs.NewHub(s.cfg.EventBuffer)
 	// Slow event consumers must never stall a worker: the hub drops
-	// instead, and the drops surface at /metrics.
+	// instead, and the drops surface at /metrics. Every event also
+	// mirrors into the process flight recorder for postmortems.
 	hub.SetDropCounter(s.reg.Counter("obs.dropped.events"))
+	hub.SetMirror(obs.Flight())
 	j := &Job{
 		id:          id,
 		opts:        opts,
@@ -181,17 +183,26 @@ func (s *Service) newJob(id string, sub *submission, opts JobOptions, cacheKey s
 	if opts.Verify {
 		j.original = sub.nl.Clone()
 	}
-	if s.sampler.Sample() {
+	if forced := opts.TraceID != ""; forced || s.sampler.Sample() {
 		// The tracer mirrors completed spans onto the job's event stream
-		// and bounds its recorder; drops surface at /metrics.
-		j.tracer = trace.New(j.id, trace.Options{
+		// and bounds its recorder; drops surface at /metrics. A client
+		// that sent X-Powder-Trace forces tracing under its own trace ID
+		// so the stitched forest reads client → queue → run → engine.
+		traceID := j.id
+		if forced {
+			traceID = opts.TraceID
+		}
+		j.tracer = trace.New(traceID, trace.Options{
 			Limit:       s.cfg.TraceLimit,
 			DropCounter: s.reg.Counter("trace.dropped.spans"),
 			Obs:         obs.New(hub, nil),
 		})
 		tctx := trace.NewContext(ctx, j.tracer)
-		tctx, j.jobSpan = trace.StartSpan(tctx, "job")
+		// The job root parents under the client's in-flight span (0, the
+		// ordinary case, keeps it a root).
+		j.jobSpan = j.tracer.Start("job", trace.SpanID(opts.TraceParent))
 		j.jobSpan.SetAttr("circuit", j.circuit)
+		tctx = trace.ContextWithSpan(tctx, j.jobSpan)
 		// The queue span measures submission → worker pickup; runJob ends
 		// it when the job leaves the queue.
 		_, j.queueSpan = trace.StartSpan(tctx, "queue")
