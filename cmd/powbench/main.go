@@ -35,10 +35,12 @@ import (
 	"strings"
 	"time"
 
+	"powder/internal/activity"
 	"powder/internal/circuits"
 	"powder/internal/expt"
 	"powder/internal/obs"
 	"powder/internal/obs/trace"
+	"powder/internal/seq"
 )
 
 func main() {
@@ -57,13 +59,16 @@ func main() {
 
 		trajectory    = flag.String("trajectory", "", "append one benchmark-trajectory entry (git rev, wall time, power, proofs, peak RSS) to this JSON file")
 		benchBaseline = flag.String("bench-baseline", "", "fail if this run regresses >10% power or >2x wall time against the newest entry of this trajectory file")
-		quiet         = flag.Bool("quiet", false, "suppress per-circuit progress")
-		mapArea       = flag.Bool("map-area", false, "use area-cost initial mapping instead of power-aware")
-		preOpt        = flag.Bool("preopt", false, "pre-optimize initial circuits with redundancy removal (POSE-grade starting points)")
-		timeout       = flag.Duration("timeout", 0, "per-circuit wall-clock budget; expired runs report their best result (0 = none)")
-		retries       = flag.Int("max-retries", 0, "per-circuit budget-escalation retries for aborted proofs (0 = no escalation)")
-		parallel      = flag.Int("parallel", 1, "run circuits concurrently on this many workers (0 = GOMAXPROCS); output stays in circuit order")
-		par           = flag.Int("par", 1, "per-circuit engine parallelism: fanout-region workers inside each optimization (<=1 = sequential engine)")
+		probsPath     = flag.String("probs", "", "per-primary-input signal probability file (name=p lines); entries are matched by input name on every circuit, unmatched inputs stay at 0.5")
+		activityPath  = flag.String("activity", "", "workload switching-activity dump (VCD or SAIF, sniffed by content); bound by input name onto every circuit")
+
+		quiet    = flag.Bool("quiet", false, "suppress per-circuit progress")
+		mapArea  = flag.Bool("map-area", false, "use area-cost initial mapping instead of power-aware")
+		preOpt   = flag.Bool("preopt", false, "pre-optimize initial circuits with redundancy removal (POSE-grade starting points)")
+		timeout  = flag.Duration("timeout", 0, "per-circuit wall-clock budget; expired runs report their best result (0 = none)")
+		retries  = flag.Int("max-retries", 0, "per-circuit budget-escalation retries for aborted proofs (0 = no escalation)")
+		parallel = flag.Int("parallel", 1, "run circuits concurrently on this many workers (0 = GOMAXPROCS); output stays in circuit order")
+		par      = flag.Int("par", 1, "per-circuit engine parallelism: fanout-region workers inside each optimization (<=1 = sequential engine)")
 
 		server     = flag.String("server", "", "run the suite against a powderd daemon at this base URL instead of in-process (honors -circuits, -timeout, -quiet)")
 		srvNoCache = flag.Bool("no-cache", false, "with -server: bypass the daemon's content-addressed result cache")
@@ -136,6 +141,27 @@ func main() {
 	}
 
 	opts := expt.RunOptions{MapArea: *mapArea, PreOptimize: *preOpt, Obs: observer, Tracer: tracer}
+	if *probsPath != "" && *activityPath != "" {
+		fail(fmt.Errorf("use either -probs or -activity, not both (the dump already carries input probabilities)"))
+	}
+	if *probsPath != "" {
+		m, err := loadProbsMap(*probsPath)
+		if err != nil {
+			fail(err)
+		}
+		opts.InputProbs = m
+	}
+	if *activityPath != "" {
+		prof, err := loadProfile(*activityPath)
+		if err != nil {
+			fail(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "activity: %s (%s, %d signals, %d ignored, %d cycles)\n",
+				*activityPath, prof.Source, len(prof.Signals), prof.Ignored, prof.Cycles)
+		}
+		opts.Activity = prof
+	}
 	opts.Core.Timeout = *timeout
 	opts.Core.MaxRetries = *retries
 	opts.Core.Parallelism = *par
@@ -314,6 +340,40 @@ func main() {
 			fail(err)
 		}
 	}
+}
+
+// loadProbsMap reads a "name=p" probability file into the name-keyed
+// map expt.RunOptions consumes (suite circuits differ in their input
+// sets, so resolution happens per circuit).
+func loadProbsMap(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	entries, err := seq.ParseProbs(f)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]float64, len(entries))
+	for _, e := range entries {
+		m[e.Name] = e.P
+	}
+	return m, nil
+}
+
+// loadProfile reads a VCD or SAIF activity dump (sniffed by content).
+func loadProfile(path string) (*activity.Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	prof, err := activity.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return prof, nil
 }
 
 func fail(err error) {

@@ -39,8 +39,10 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"time"
 
+	"powder/internal/activity"
 	"powder/internal/atpg"
 	"powder/internal/blif"
 	"powder/internal/cellib"
@@ -65,6 +67,11 @@ type config struct {
 	outPath   string
 	vlogPath  string
 	probsPath string
+
+	activityPath  string
+	activityClock int64
+	dumpVCDPath   string
+	dumpSAIFPath  string
 
 	fixTol     float64
 	fixMaxIter int
@@ -107,6 +114,10 @@ func main() {
 	flag.StringVar(&cfg.outPath, "out", "", "write the optimized netlist as BLIF")
 	flag.StringVar(&cfg.vlogPath, "verilog", "", "write the optimized netlist as structural Verilog (with primitives)")
 	flag.StringVar(&cfg.probsPath, "probs", "", "per-primary-input signal probability file (name=p lines)")
+	flag.StringVar(&cfg.activityPath, "activity", "", "workload switching-activity dump (VCD or SAIF, sniffed by content); matched signals drive input probabilities and pin transition densities")
+	flag.Int64Var(&cfg.activityClock, "activity-clock", 0, "clock period of the -activity dump in its own time units, for dumps whose time axis is finer than the clock (0 = one cycle per VCD timestamp / SAIF time unit)")
+	flag.StringVar(&cfg.dumpVCDPath, "dump-vcd", "", "write the random-simulation input stimulus as a VCD to this file (ingestable by -activity)")
+	flag.StringVar(&cfg.dumpSAIFPath, "dump-saif", "", "write the random-simulation input stimulus as a SAIF summary to this file (ingestable by -activity)")
 	flag.Float64Var(&cfg.fixTol, "fix-tol", 0, "steady-state fixpoint tolerance for sequential circuits (0 = 1e-6)")
 	flag.IntVar(&cfg.fixMaxIter, "fix-max-iter", 0, "fixpoint iteration cap; hitting it is an error, not a hang (0 = 1000)")
 	flag.Float64Var(&cfg.fixDamping, "fix-damping", 0, "fixpoint damping: retained fraction of the previous iterate (0 = 0.5, negative = undamped)")
@@ -184,6 +195,94 @@ func buildObserver(cfg config, stderr io.Writer) (o *obs.Observer, reg *obs.Regi
 		}, "apply", "reject"))
 	}
 	return obs.New(obs.Multi(sinks...), reg), reg, cleanup, nil
+}
+
+// coreInputNames lists the optimization core's input names: true primary
+// inputs followed by latch outputs (the register-cut pseudo-inputs).
+func coreInputNames(circ *seq.Circuit) []string {
+	core := circ.Core()
+	names := make([]string, 0, len(core.Inputs()))
+	for _, id := range core.Inputs() {
+		names = append(names, core.Node(id).Name())
+	}
+	return names
+}
+
+// loadActivity ingests the -activity dump, applies the -activity-clock
+// renormalization, and binds it onto the core's input names, reporting
+// coverage to stderr. Returns the binding plus the ledger label naming
+// the workload model.
+func loadActivity(cfg config, circ *seq.Circuit, stderr io.Writer) (*activity.Binding, string, error) {
+	f, err := os.Open(cfg.activityPath)
+	if err != nil {
+		return nil, "", err
+	}
+	prof, err := activity.Read(f)
+	f.Close()
+	if err != nil {
+		return nil, "", err
+	}
+	if cfg.activityClock > 0 {
+		if err := prof.SetClockPeriod(cfg.activityClock); err != nil {
+			return nil, "", err
+		}
+	}
+	b, err := prof.Bind(coreInputNames(circ))
+	if err != nil {
+		return nil, "", err
+	}
+	if b.MatchedCount == 0 {
+		// A dump from the wrong design must fail loudly, not silently run
+		// the uniform assumption it was supposed to replace.
+		return nil, "", fmt.Errorf("activity: %s matched none of the circuit's %d inputs (profile signals: %d)",
+			cfg.activityPath, len(b.Names), len(prof.Signals))
+	}
+	fmt.Fprintf(stderr, "activity: %s (%s, %d signals, %d ignored, %d cycles): %s\n",
+		cfg.activityPath, prof.Source, len(prof.Signals), prof.Ignored, prof.Cycles, b.Coverage())
+	label := fmt.Sprintf("%s sha256:%.12s %s", filepath.Base(cfg.activityPath), prof.Digest(), b.Coverage())
+	return b, label, nil
+}
+
+// writeStimulusDumps writes the run's random input stimulus as VCD
+// and/or SAIF. For sequential circuits the dump covers the register-cut
+// core inputs (true inputs and latch outputs); -probs biases the true
+// inputs while state lines stay at 0.5 (their steady state is not known
+// before the fixpoint runs).
+func writeStimulusDumps(cfg config, circ *seq.Circuit, inputProbs []float64, stderr io.Writer) error {
+	core := circ.Core()
+	probs := inputProbs
+	if probs != nil && len(probs) < len(core.Inputs()) {
+		padded := make([]float64, len(core.Inputs()))
+		for i := range padded {
+			padded[i] = 0.5
+		}
+		copy(padded, probs)
+		probs = padded
+	}
+	opts := activity.DumpOptions{Words: cfg.words, Seed: cfg.seed, InputProbs: probs}
+	write := func(path, kind string, dump func(io.Writer, *netlist.Netlist, activity.DumpOptions) (int, error)) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		n, err := dump(f, core, opts)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote %s stimulus (%d vectors, %d inputs) to %s\n",
+			kind, n, len(core.Inputs()), path)
+		return nil
+	}
+	if err := write(cfg.dumpVCDPath, "VCD", activity.DumpVCD); err != nil {
+		return err
+	}
+	return write(cfg.dumpSAIFPath, "SAIF", activity.DumpSAIF)
 }
 
 // loadModel resolves the input circuit: a mapped BLIF file (-in) or a
@@ -293,6 +392,31 @@ func run(ctx context.Context, cfg config, stdout, stderr io.Writer) error {
 		}
 	}
 
+	// Stimulus dumps are written from the *input* netlist, before any
+	// substitution, so the emitted workload describes the circuit the
+	// user submitted.
+	if cfg.dumpVCDPath != "" || cfg.dumpSAIFPath != "" {
+		if err := writeStimulusDumps(cfg, circ, inputProbs, stderr); err != nil {
+			return err
+		}
+	}
+
+	// A workload activity dump replaces the uniform assumption: matched
+	// inputs get measured probabilities, and measured transition
+	// densities pin E(i) at the PIs (and across the register cut).
+	var binding *activity.Binding
+	var activityLabel string
+	if cfg.activityPath != "" {
+		if cfg.probsPath != "" {
+			return fmt.Errorf("use either -probs or -activity, not both (the dump already carries input probabilities)")
+		}
+		var err error
+		binding, activityLabel, err = loadActivity(cfg, circ, stderr)
+		if err != nil {
+			return err
+		}
+	}
+
 	observer, reg, closeTrace, err := buildObserver(cfg, stderr)
 	if err != nil {
 		return err
@@ -323,6 +447,7 @@ func run(ctx context.Context, cfg config, stdout, stderr io.Writer) error {
 		CheckBudget:      cfg.budget,
 		Power:            power.Options{Words: cfg.words, Seed: cfg.seed},
 		Transform:        transform.Config{AllowInverted: cfg.inverted},
+		Activity:         activityLabel,
 		Obs:              observer,
 	}
 
@@ -334,7 +459,7 @@ func run(ctx context.Context, cfg config, stdout, stderr io.Writer) error {
 	var res *core.Result
 	if circ.Model.Sequential() {
 		fmt.Fprintf(stderr, "sequential circuit: %d latches, cutting at the register boundary\n", circ.NumLatches())
-		sres, err := seq.OptimizeCtx(ctx, circ, seq.Options{
+		sopts := seq.Options{
 			Core: opts,
 			Fixpoint: seq.FixpointOptions{
 				Tol:        cfg.fixTol,
@@ -343,7 +468,15 @@ func run(ctx context.Context, cfg config, stdout, stderr io.Writer) error {
 				InputProbs: inputProbs,
 				Obs:        observer,
 			},
-		})
+		}
+		if binding != nil {
+			sopts.Activity = &seq.ActivityOverride{
+				Probs:   binding.Probs,
+				Toggles: binding.Toggles,
+				Matched: binding.Matched,
+			}
+		}
+		sres, err := seq.OptimizeCtx(ctx, circ, sopts)
 		if err != nil {
 			return err
 		}
@@ -353,6 +486,10 @@ func run(ctx context.Context, cfg config, stdout, stderr io.Writer) error {
 	} else {
 		if inputProbs != nil {
 			opts.Power.InputProbs = inputProbs
+		}
+		if binding != nil {
+			opts.Power.InputProbs = binding.Probs
+			opts.Power.InputToggles = binding.Toggles
 		}
 		var err error
 		res, err = core.OptimizeCtx(ctx, nl, opts)

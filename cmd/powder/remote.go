@@ -13,6 +13,7 @@ import (
 
 	"powder/internal/client"
 	"powder/internal/obs/trace"
+	"powder/internal/service"
 )
 
 // runRemote is powder's -server mode: instead of optimizing locally,
@@ -73,7 +74,23 @@ func runRemote(ctx context.Context, cfg config, body []byte, stdout, stderr io.W
 	}
 
 	c := client.New(cfg.server, client.Options{})
-	st, err := c.Submit(ctx, body, q)
+	var st service.Status
+	var err error
+	if cfg.activityPath != "" {
+		if cfg.probsPath != "" {
+			return fmt.Errorf("use either -probs or -activity, not both (the dump already carries input probabilities)")
+		}
+		if cfg.activityClock != 0 {
+			return fmt.Errorf("-activity-clock is not supported with -server; renormalize the dump locally first")
+		}
+		dump, rerr := os.ReadFile(cfg.activityPath)
+		if rerr != nil {
+			return rerr
+		}
+		st, err = c.SubmitActivity(ctx, body, dump, q)
+	} else {
+		st, err = c.Submit(ctx, body, q)
+	}
 	if err != nil {
 		return err
 	}
@@ -103,6 +120,9 @@ func runRemote(ctx context.Context, cfg config, body []byte, stdout, stderr io.W
 		res.Applied, res.RuntimeSeconds, res.Stopped)
 	if res.Verified != "" {
 		fmt.Fprintf(stdout, "  verify: %s\n", res.Verified)
+	}
+	if res.Activity != "" {
+		fmt.Fprintf(stdout, "  activity: %s\n", res.Activity)
 	}
 	if fin.Cached {
 		fmt.Fprintf(stdout, "  cached: result served from the daemon's content-addressed cache\n")

@@ -1,0 +1,276 @@
+package activity
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mustRead(t *testing.T, path string) *Profile {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p, err := Read(f)
+	if err != nil {
+		t.Fatalf("Read(%s): %v", path, err)
+	}
+	return p
+}
+
+// The sniffing Read must dispatch both golden files to the right parser.
+func TestReadSniffsFormat(t *testing.T) {
+	vcd := mustRead(t, filepath.Join("testdata", "simple.vcd"))
+	if vcd.Source != "vcd" {
+		t.Fatalf("simple.vcd sniffed as %q", vcd.Source)
+	}
+	saif := mustRead(t, filepath.Join("testdata", "simple.saif"))
+	if saif.Source != "saif" {
+		t.Fatalf("simple.saif sniffed as %q", saif.Source)
+	}
+	// Leading whitespace must not confuse the sniffer.
+	p, err := Read(strings.NewReader("\n\t (SAIFILE (DURATION 1) (INSTANCE t (NET (a (T0 1) (T1 0) (TC 0)))))"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Source != "saif" {
+		t.Fatalf("whitespace-prefixed SAIF sniffed as %q", p.Source)
+	}
+}
+
+// The hand-written VCD and SAIF goldens describe the same signals a and
+// b with identical statistics; both parsers must agree exactly.
+func TestGoldensAgree(t *testing.T) {
+	vcd := mustRead(t, filepath.Join("testdata", "simple.vcd"))
+	saif := mustRead(t, filepath.Join("testdata", "simple.saif"))
+
+	if vcd.Duration != 4 || vcd.Cycles != 4 {
+		t.Fatalf("vcd window = %d/%d, want 4/4", vcd.Duration, vcd.Cycles)
+	}
+	if saif.Duration != 4 || saif.Cycles != 4 {
+		t.Fatalf("saif window = %d/%d, want 4/4", saif.Duration, saif.Cycles)
+	}
+	if vcd.Ignored != 1 {
+		t.Fatalf("vcd Ignored = %d, want 1 (the 8-bit bus)", vcd.Ignored)
+	}
+	for _, tc := range []struct {
+		name            string
+		toggles, hi, lo int64
+	}{
+		{"top.a", 3, 2, 2},
+		{"top.b", 1, 2, 2},
+	} {
+		for _, p := range []*Profile{vcd, saif} {
+			s := p.Signal(tc.name)
+			if s == nil {
+				t.Fatalf("%s: signal %s missing", p.Source, tc.name)
+			}
+			if s.Toggles != tc.toggles || s.HighTime != tc.hi || s.LowTime != tc.lo {
+				t.Errorf("%s %s = {T:%d H:%d L:%d}, want {T:%d H:%d L:%d}",
+					p.Source, tc.name, s.Toggles, s.HighTime, s.LowTime, tc.toggles, tc.hi, tc.lo)
+			}
+		}
+	}
+	// The SAIF-only nested-instance signal: T1=2/T0=1/TX=1, TC=4 with
+	// IG=2 glitches excluded.
+	c := saif.Signal("top.sub.c")
+	if c == nil {
+		t.Fatal("top.sub.c missing from saif profile")
+	}
+	if c.Toggles != 2 || c.UnknownTime != 1 {
+		t.Fatalf("top.sub.c = {T:%d X:%d}, want {T:2 X:1}", c.Toggles, c.UnknownTime)
+	}
+	if got, want := c.P(), 2.0/3.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("top.sub.c P = %g, want %g", got, want)
+	}
+}
+
+func TestBindMatchingTiers(t *testing.T) {
+	p := mustRead(t, filepath.Join("testdata", "simple.vcd"))
+	// Exact, basename, case-folded basename, escaped, and unmatched.
+	b, err := p.Bind([]string{"top.a", "b", "\\B", "nope"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.MatchedCount != 3 {
+		t.Fatalf("MatchedCount = %d, want 3 (%v)", b.MatchedCount, b.Unmatched)
+	}
+	if !b.Matched[0] || !b.Matched[1] || !b.Matched[2] || b.Matched[3] {
+		t.Fatalf("Matched = %v", b.Matched)
+	}
+	if len(b.Unmatched) != 1 || b.Unmatched[0] != "nope" {
+		t.Fatalf("Unmatched = %v", b.Unmatched)
+	}
+	// a: p = 0.5, D = 3/4. b: D = 1/4.
+	if b.Probs[0] != 0.5 || b.Toggles[0] != 0.75 {
+		t.Fatalf("top.a bound to p=%g D=%g", b.Probs[0], b.Toggles[0])
+	}
+	if b.Toggles[1] != 0.25 || b.Toggles[2] != 0.25 {
+		t.Fatalf("b bound to D=%g, \\B to D=%g", b.Toggles[1], b.Toggles[2])
+	}
+	// Unmatched inputs fall back to the uniform assumption: p = 0.5 and
+	// an unpinned (NaN) density.
+	if b.Probs[3] != 0.5 || !math.IsNaN(b.Toggles[3]) {
+		t.Fatalf("unmatched input bound to p=%g D=%g", b.Probs[3], b.Toggles[3])
+	}
+	if !strings.Contains(b.Coverage(), "matched 3/4") || !strings.Contains(b.Coverage(), "nope") {
+		t.Fatalf("Coverage() = %q", b.Coverage())
+	}
+}
+
+// Two scopes flattening onto the same leaf name make a basename lookup
+// ambiguous — an error naming the colliders, never a silent pick.
+func TestBindAmbiguousBasename(t *testing.T) {
+	src := `$enddefinitions $end` // assembled below instead
+	_ = src
+	vcd := `$scope module top $end
+$scope module u1 $end
+$var wire 1 ! clk_q $end
+$upscope $end
+$scope module u2 $end
+$var wire 1 " clk_q $end
+$upscope $end
+$upscope $end
+$enddefinitions $end
+#0
+0!
+1"
+#1
+`
+	p, err := ReadVCD(strings.NewReader(vcd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact names still resolve fine.
+	b, err := p.Bind([]string{"top.u1.clk_q"})
+	if err != nil || b.MatchedCount != 1 {
+		t.Fatalf("exact bind: %v, %+v", err, b)
+	}
+	// The bare basename is ambiguous.
+	if _, err := p.Bind([]string{"clk_q"}); err == nil {
+		t.Fatal("ambiguous basename bind succeeded")
+	} else if !strings.Contains(err.Error(), "top.u1.clk_q") || !strings.Contains(err.Error(), "top.u2.clk_q") {
+		t.Fatalf("ambiguity error does not name colliders: %v", err)
+	}
+}
+
+// A dump whose flattening collapses two distinct nets onto one full name
+// is rejected outright.
+func TestDuplicateFlattenedName(t *testing.T) {
+	vcd := `$scope module top $end
+$var wire 1 ! a $end
+$var wire 1 " a $end
+$upscope $end
+$enddefinitions $end
+#0
+`
+	if _, err := ReadVCD(strings.NewReader(vcd)); err == nil {
+		t.Fatal("duplicate flattened name accepted")
+	} else if !strings.Contains(err.Error(), "duplicate signal") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// Densities above one toggle per cycle (clock-like nets) clamp at bind
+// time and are counted in the binding.
+func TestBindClampsDensity(t *testing.T) {
+	vcd := `$var wire 1 ! clk $end
+$enddefinitions $end
+#0
+0!
+#1
+1!
+#2
+0!
+#3
+1!
+#4
+0!
+#10
+`
+	p, err := ReadVCD(strings.NewReader(vcd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 toggles over... timestamps {0,1,2,3,4,10} -> 5 cycles: D = 0.8;
+	// renormalize to 2 cycles to force a clamp.
+	if err := p.SetClockPeriod(5); err != nil {
+		t.Fatal(err)
+	}
+	if p.Cycles != 2 {
+		t.Fatalf("Cycles = %d after SetClockPeriod(5), want 2", p.Cycles)
+	}
+	b, err := p.Bind([]string{"clk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Toggles[0] != 1 || b.Clamped != 1 {
+		t.Fatalf("clamp: D=%g Clamped=%d", b.Toggles[0], b.Clamped)
+	}
+	if err := p.SetClockPeriod(0); err == nil {
+		t.Fatal("SetClockPeriod(0) accepted")
+	}
+}
+
+// Digest is a content address: formatting and declaration order do not
+// change it; any statistic does.
+func TestDigest(t *testing.T) {
+	saifA := `(SAIFILE (DURATION 4) (INSTANCE top (NET
+	  (a (T0 2) (T1 2) (TC 3))
+	  (b (T0 2) (T1 2) (TC 1)))))`
+	saifB := `(SAIFILE
+	  (DURATION 4)
+	  (INSTANCE top (NET
+	    (b (T1 2) (T0 2) (TC 1) (IG 0))
+	    (a (TC 3) (T0 2) (T1 2)))))`
+	saifC := strings.Replace(saifA, "(TC 3)", "(TC 2)", 1)
+	pa, err := ReadSAIF(strings.NewReader(saifA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := ReadSAIF(strings.NewReader(saifB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := ReadSAIF(strings.NewReader(saifC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.Digest() != pb.Digest() {
+		t.Fatal("reordered/reformatted dump digests differently")
+	}
+	if pa.Digest() == pc.Digest() {
+		t.Fatal("changed toggle count digests identically")
+	}
+	// The VCD golden carries the same a/b statistics as the SAIF golden
+	// minus the extra nested signal, so across-format digests differ
+	// only because of that signal — check the equal-signal case too.
+	vcdEq := `$scope module top $end
+$var wire 1 ! a $end
+$var wire 1 " b $end
+$upscope $end
+$enddefinitions $end
+#0
+0!
+1"
+#1
+1!
+#2
+0!
+0"
+#3
+1!
+#4
+`
+	pv, err := ReadVCD(strings.NewReader(vcdEq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv.Digest() != pa.Digest() {
+		t.Fatal("VCD and SAIF with identical statistics digest differently")
+	}
+}

@@ -1,0 +1,198 @@
+package activity
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"powder/internal/cellib"
+	"powder/internal/netlist"
+	"powder/internal/sim"
+)
+
+// testNetlist builds a small 3-input circuit (f = (a^c)&b).
+func testNetlist(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	lib := cellib.Lib2()
+	nl := netlist.New("dumptest", lib)
+	var ins []netlist.NodeID
+	for _, name := range []string{"a", "b", "c"} {
+		id, err := nl.AddInput(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ins = append(ins, id)
+	}
+	d, err := nl.AddGate("d", lib.Cell("xor2"), []netlist.NodeID{ins[0], ins[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := nl.AddGate("f", lib.Cell("and2"), []netlist.NodeID{d, ins[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.AddOutput("f", f); err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+// simStats recomputes an input's reference statistics straight from the
+// simulator words: ones over the first nvec-1 vectors (value time) and
+// consecutive-pair differences (toggles).
+func simStats(s *sim.Simulator, id netlist.NodeID) (hi, toggles int64) {
+	words := s.Value(id)
+	nvec := s.NumVectors()
+	prev := bitAt(words, 0)
+	if prev == 1 {
+		hi++
+	}
+	for t := 1; t < nvec; t++ {
+		v := bitAt(words, t)
+		if v != prev {
+			toggles++
+		}
+		if v == 1 && t < nvec-1 {
+			hi++
+		}
+		prev = v
+	}
+	return hi, toggles
+}
+
+// DumpVCD then ReadVCD must reproduce the simulator's input statistics
+// exactly — bit for bit, not within tolerance.
+func TestDumpVCDRoundTrip(t *testing.T) {
+	nl := testNetlist(t)
+	opts := DumpOptions{Words: 8, Seed: 42}
+	var buf bytes.Buffer
+	nvec, err := DumpVCD(&buf, nl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nvec != 8*64 {
+		t.Fatalf("nvec = %d", nvec)
+	}
+	p, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("emitted VCD unreadable: %v\n%s", err, buf.String()[:200])
+	}
+	if p.Source != "vcd" {
+		t.Fatalf("sniffed as %q", p.Source)
+	}
+	if p.Cycles != int64(nvec-1) || p.Duration != int64(nvec-1) {
+		t.Fatalf("window = %d/%d, want %d", p.Duration, p.Cycles, nvec-1)
+	}
+	ref := sim.New(nl, opts.Words)
+	ref.SetInputsRandom(opts.Seed, nil)
+	ref.Run()
+	for _, id := range nl.Inputs() {
+		name := "dumptest." + nl.Node(id).Name()
+		s := p.Signal(name)
+		if s == nil {
+			t.Fatalf("signal %s missing from emitted profile", name)
+		}
+		hi, tog := simStats(ref, id)
+		if s.HighTime != hi || s.Toggles != tog {
+			t.Fatalf("%s = {H:%d T:%d}, want {H:%d T:%d}", name, s.HighTime, s.Toggles, hi, tog)
+		}
+		if s.UnknownTime != 0 {
+			t.Fatalf("%s has unknown time %d", name, s.UnknownTime)
+		}
+	}
+}
+
+// DumpSAIF must produce the identical profile to DumpVCD for the same
+// stimulus: same digest, so the daemon's cache treats them as one
+// workload.
+func TestDumpFormatsAgree(t *testing.T) {
+	nl := testNetlist(t)
+	opts := DumpOptions{Words: 4, Seed: 7}
+	var vbuf, sbuf bytes.Buffer
+	if _, err := DumpVCD(&vbuf, nl, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DumpSAIF(&sbuf, nl, opts); err != nil {
+		t.Fatal(err)
+	}
+	pv, err := Read(bytes.NewReader(vbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := Read(bytes.NewReader(sbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Source != "saif" {
+		t.Fatalf("sniffed as %q", ps.Source)
+	}
+	if pv.Digest() != ps.Digest() {
+		t.Fatalf("VCD and SAIF dumps of the same stimulus digest differently:\nvcd  %+v\nsaif %+v",
+			pv.Signals[0], ps.Signals[0])
+	}
+}
+
+// The self-consistency loop: dump uniform random stimulus, ingest it,
+// bind onto the netlist inputs — the recovered probabilities and
+// densities must sit within sampling noise of the uniform model
+// (p = 0.5, D = 2p(1-p) = 0.5).
+func TestDumpSelfConsistency(t *testing.T) {
+	nl := testNetlist(t)
+	var buf bytes.Buffer
+	if _, err := DumpVCD(&buf, nl, DumpOptions{Words: 64, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, 3)
+	for _, id := range nl.Inputs() {
+		names = append(names, nl.Node(id).Name())
+	}
+	// Bare names must match through the basename tier (the dump
+	// prefixes the module scope).
+	b, err := p.Bind(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.MatchedCount != len(names) {
+		t.Fatalf("coverage %s", b.Coverage())
+	}
+	// 64*64 = 4096 samples: 4 sigma of a Bernoulli mean is ~0.031.
+	for i := range names {
+		if math.Abs(b.Probs[i]-0.5) > 0.04 {
+			t.Fatalf("input %s recovered p = %g", names[i], b.Probs[i])
+		}
+		if math.Abs(b.Toggles[i]-0.5) > 0.04 {
+			t.Fatalf("input %s recovered D = %g", names[i], b.Toggles[i])
+		}
+	}
+}
+
+// Biased stimulus survives the round trip too.
+func TestDumpBiasedProbs(t *testing.T) {
+	nl := testNetlist(t)
+	probs := []float64{0.9, 0.5, 0.1}
+	var buf bytes.Buffer
+	if _, err := DumpSAIF(&buf, nl, DumpOptions{Words: 64, Seed: 3, InputProbs: probs}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Bind([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range probs {
+		if math.Abs(b.Probs[i]-want) > 0.04 {
+			t.Fatalf("input %d recovered p = %g, want ~%g", i, b.Probs[i], want)
+		}
+		wantD := 2 * want * (1 - want)
+		if math.Abs(b.Toggles[i]-wantD) > 0.04 {
+			t.Fatalf("input %d recovered D = %g, want ~%g", i, b.Toggles[i], wantD)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package activity
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// addTestdata seeds the fuzzer with the committed golden dumps matching
+// the glob.
+func addTestdata(f *testing.F, glob string) {
+	f.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", glob))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+}
+
+// FuzzReadVCD throws arbitrary input at the VCD parser. It must never
+// panic; whenever it accepts a dump, the profile must index cleanly,
+// bind against its own signal names without error, and keep every
+// statistic within the observation window.
+func FuzzReadVCD(f *testing.F) {
+	f.Add("$enddefinitions $end\n#0\n")
+	f.Add("$scope module top $end\n$var wire 1 ! a $end\n$upscope $end\n$enddefinitions $end\n#0\n0!\n#1\n1!\n#2\n")
+	f.Add("$timescale 1ns $end\n$var wire 1 ! a $end\n$enddefinitions $end\n#0\nx!\n#5\nz!\n#9\n")
+	f.Add("$var wire 4 # bus $end\n$enddefinitions $end\n#0\nb1010 #\n#1\n")
+	f.Add("$comment never closed\n")
+	f.Add("$var wire 1 ! a $end\n$enddefinitions $end\n#5\n#3\n")
+	f.Add("$dumpvars\n")
+	addTestdata(f, "*.vcd")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ReadVCD(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		checkProfile(t, p, src)
+	})
+}
+
+// FuzzReadSAIF throws arbitrary input at the SAIF parser with the same
+// acceptance invariants.
+func FuzzReadSAIF(f *testing.F) {
+	f.Add("(SAIFILE (DURATION 4) (INSTANCE top (NET (a (T0 2) (T1 2) (TC 3)))))")
+	f.Add("(SAIFILE (DURATION 1) (INSTANCE a (INSTANCE b (NET (c (T0 1) (T1 0) (TC 0))))))")
+	f.Add("(SAIFILE (DURATION 4)")
+	f.Add("(SAIFILE (DURATION 4) (INSTANCE top (NET (a (TC 1) (IG 2)))))")
+	f.Add("(WRONG)")
+	f.Add(`(SAIFILE (SAIFVERSION "2.0") (DURATION 10) // comment
+	  (INSTANCE t (PORT (p (T0 5) (T1 5) (TX 0) (TC 2) (IG 1)))))`)
+	addTestdata(f, "*.saif")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ReadSAIF(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		checkProfile(t, p, src)
+	})
+}
+
+// checkProfile asserts the invariants every accepted profile must hold.
+func checkProfile(t *testing.T, p *Profile, src string) {
+	t.Helper()
+	if p.Cycles <= 0 {
+		t.Fatalf("accepted profile has Cycles %d\ninput: %q", p.Cycles, src)
+	}
+	names := make([]string, 0, len(p.Signals))
+	for _, s := range p.Signals {
+		if s.Toggles < 0 || s.HighTime < 0 || s.LowTime < 0 || s.UnknownTime < 0 {
+			t.Fatalf("negative statistic in %+v\ninput: %q", s, src)
+		}
+		if pr := s.P(); pr < 0 || pr > 1 {
+			t.Fatalf("P(%s) = %g out of [0,1]\ninput: %q", s.Name, pr, src)
+		}
+		if p.Signal(s.Name) != s {
+			t.Fatalf("index lookup of %q misses its own signal\ninput: %q", s.Name, src)
+		}
+		names = append(names, s.Name)
+	}
+	// Binding onto the profile's own names must match every one (exact
+	// tier) without error.
+	b, err := p.Bind(names)
+	if err != nil {
+		t.Fatalf("self-bind failed: %v\ninput: %q", err, src)
+	}
+	if b.MatchedCount != len(names) {
+		t.Fatalf("self-bind matched %d/%d\ninput: %q", b.MatchedCount, len(names), src)
+	}
+	if p.Digest() == "" {
+		t.Fatalf("empty digest\ninput: %q", src)
+	}
+}

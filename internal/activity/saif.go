@@ -1,0 +1,432 @@
+package activity
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// saifToken is one lexeme: '(' or ')' (punct) or an atom.
+type saifToken struct {
+	text string
+	line int
+}
+
+// saifLexer tokenizes the s-expression stream with line numbers.
+type saifLexer struct {
+	br   *bufio.Reader
+	line int
+	peek *saifToken
+}
+
+func newSaifLexer(r io.Reader) *saifLexer {
+	return &saifLexer{br: bufio.NewReader(r), line: 1}
+}
+
+// next returns the next token, or nil at EOF.
+func (l *saifLexer) next() (*saifToken, error) {
+	if t := l.peek; t != nil {
+		l.peek = nil
+		return t, nil
+	}
+	for {
+		c, err := l.br.ReadByte()
+		if err == io.EOF {
+			return nil, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("saif: line %d: %v", l.line, err)
+		}
+		switch c {
+		case '\n':
+			l.line++
+		case ' ', '\t', '\r':
+		case '/':
+			// "//" line comments (emitted by some tools).
+			if b, _ := l.br.Peek(1); len(b) == 1 && b[0] == '/' {
+				if _, err := l.br.ReadString('\n'); err != nil && err != io.EOF {
+					return nil, fmt.Errorf("saif: line %d: %v", l.line, err)
+				}
+				l.line++
+				continue
+			}
+			return l.atom(c)
+		case '(', ')':
+			return &saifToken{text: string(c), line: l.line}, nil
+		case '"':
+			return l.quoted()
+		default:
+			return l.atom(c)
+		}
+	}
+}
+
+// unread pushes one token back.
+func (l *saifLexer) unread(t *saifToken) { l.peek = t }
+
+// atom reads an unquoted atom starting with c.
+func (l *saifLexer) atom(c byte) (*saifToken, error) {
+	start := l.line
+	var b strings.Builder
+	b.WriteByte(c)
+	for {
+		nb, err := l.br.ReadByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("saif: line %d: %v", l.line, err)
+		}
+		if nb == '(' || nb == ')' || nb == ' ' || nb == '\t' || nb == '\r' || nb == '\n' {
+			l.br.UnreadByte()
+			break
+		}
+		b.WriteByte(nb)
+	}
+	return &saifToken{text: b.String(), line: start}, nil
+}
+
+// quoted reads a double-quoted string atom (quotes stripped).
+func (l *saifLexer) quoted() (*saifToken, error) {
+	start := l.line
+	var b strings.Builder
+	for {
+		c, err := l.br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("saif: line %d: unterminated string", start)
+		}
+		if c == '"' {
+			return &saifToken{text: b.String(), line: start}, nil
+		}
+		if c == '\n' {
+			l.line++
+		}
+		b.WriteByte(c)
+	}
+}
+
+// saifParser holds the recursive-descent state.
+type saifParser struct {
+	lex     *saifLexer
+	profile *Profile
+}
+
+func (p *saifParser) errf(line int, format string, args ...interface{}) error {
+	return fmt.Errorf("saif: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// ReadSAIF parses a Switching Activity Interchange Format file:
+// (SAIFILE ... (DURATION n) ... (INSTANCE name ... (NET (sig (T0 n)
+// (T1 n) (TX n) (TC n) (IG n)) ...) (INSTANCE ...))). Instances nest;
+// net names flatten with '.' across the instance path. T0/T1/TX are
+// durations in the file's timescale units, TC the toggle count, IG
+// glitch toggles (excluded from density). Unknown groups are skipped
+// structurally. Errors carry the 1-based line number.
+func ReadSAIF(r io.Reader) (*Profile, error) {
+	p := &saifParser{
+		lex:     newSaifLexer(r),
+		profile: &Profile{Source: "saif"},
+	}
+	t, err := p.lex.next()
+	if err != nil {
+		return nil, err
+	}
+	if t == nil || t.text != "(" {
+		line := 1
+		if t != nil {
+			line = t.line
+		}
+		return nil, p.errf(line, "expected ( to open SAIFILE")
+	}
+	kw, err := p.lex.next()
+	if err != nil {
+		return nil, err
+	}
+	if kw == nil || !strings.EqualFold(kw.text, "SAIFILE") {
+		got := "EOF"
+		line := t.line
+		if kw != nil {
+			got = kw.text
+			line = kw.line
+		}
+		return nil, p.errf(line, "expected SAIFILE, got %q", got)
+	}
+	if err := p.saifile(kw.line); err != nil {
+		return nil, err
+	}
+	// Anything after the closing paren besides whitespace is malformed.
+	if tr, err := p.lex.next(); err != nil {
+		return nil, err
+	} else if tr != nil {
+		return nil, p.errf(tr.line, "trailing token %q after SAIFILE", tr.text)
+	}
+	if p.profile.Duration <= 0 {
+		return nil, fmt.Errorf("saif: missing or non-positive DURATION")
+	}
+	// One timescale unit is one clock cycle unless the caller
+	// renormalizes with SetClockPeriod.
+	p.profile.Cycles = p.profile.Duration
+	if err := p.profile.buildIndex(); err != nil {
+		return nil, err
+	}
+	return p.profile, nil
+}
+
+// saifile parses the groups inside (SAIFILE ...) after the keyword.
+func (p *saifParser) saifile(line int) error {
+	for {
+		t, err := p.lex.next()
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			return p.errf(line, "SAIFILE not closed by ) before EOF")
+		}
+		if t.text == ")" {
+			return nil
+		}
+		if t.text != "(" {
+			return p.errf(t.line, "unexpected token %q in SAIFILE (expected a ( group)", t.text)
+		}
+		kw, err := p.lex.next()
+		if err != nil {
+			return err
+		}
+		if kw == nil {
+			return p.errf(t.line, "unterminated group in SAIFILE")
+		}
+		switch {
+		case strings.EqualFold(kw.text, "DURATION"):
+			n, err := p.intGroup(kw.line)
+			if err != nil {
+				return err
+			}
+			p.profile.Duration = n
+		case strings.EqualFold(kw.text, "TIMESCALE"):
+			ts, err := p.atomsGroup(kw.line)
+			if err != nil {
+				return err
+			}
+			p.profile.Timescale = ts
+		case strings.EqualFold(kw.text, "INSTANCE"):
+			if err := p.instance(kw.line, nil); err != nil {
+				return err
+			}
+		default:
+			// SAIFVERSION, DIRECTION, DESIGN, DATE, VENDOR, PROGRAM_NAME,
+			// VERSION, DIVIDER... — skip structurally.
+			if err := p.skipGroup(kw.line); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// instance parses (INSTANCE name ... ) with the keyword consumed;
+// scope is the enclosing instance path.
+func (p *saifParser) instance(line int, scope []string) error {
+	name, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	if name == nil || name.text == "(" || name.text == ")" {
+		return p.errf(line, "INSTANCE missing name")
+	}
+	path := append(append([]string(nil), scope...), name.text)
+	for {
+		t, err := p.lex.next()
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			return p.errf(line, "INSTANCE %s not closed by ) before EOF", strings.Join(path, "."))
+		}
+		if t.text == ")" {
+			return nil
+		}
+		if t.text != "(" {
+			return p.errf(t.line, "unexpected token %q in INSTANCE %s", t.text, strings.Join(path, "."))
+		}
+		kw, err := p.lex.next()
+		if err != nil {
+			return err
+		}
+		if kw == nil {
+			return p.errf(t.line, "unterminated group in INSTANCE")
+		}
+		switch {
+		case strings.EqualFold(kw.text, "INSTANCE"):
+			if err := p.instance(kw.line, path); err != nil {
+				return err
+			}
+		case strings.EqualFold(kw.text, "NET"), strings.EqualFold(kw.text, "PORT"):
+			if err := p.netGroup(kw.line, path); err != nil {
+				return err
+			}
+		default:
+			if err := p.skipGroup(kw.line); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// netGroup parses (NET (sig (T0 n)(T1 n)...) ...) with NET consumed.
+func (p *saifParser) netGroup(line int, scope []string) error {
+	for {
+		t, err := p.lex.next()
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			return p.errf(line, "NET not closed by ) before EOF")
+		}
+		if t.text == ")" {
+			return nil
+		}
+		if t.text != "(" {
+			return p.errf(t.line, "unexpected token %q in NET (expected a ( signal entry)", t.text)
+		}
+		name, err := p.lex.next()
+		if err != nil {
+			return err
+		}
+		if name == nil || name.text == "(" || name.text == ")" {
+			return p.errf(t.line, "NET entry missing signal name")
+		}
+		if err := p.signalEntry(name, scope); err != nil {
+			return err
+		}
+	}
+}
+
+// signalEntry parses the (T0 n)(T1 n)(TX n)(TC n)(IG n) counters of one
+// signal entry, with the name consumed and the closing ) pending.
+func (p *saifParser) signalEntry(name *saifToken, scope []string) error {
+	full := name.text
+	if len(scope) > 0 {
+		full = strings.Join(scope, ".") + "." + full
+	}
+	sig := &Signal{Name: full}
+	var tc, ig int64
+	for {
+		t, err := p.lex.next()
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			return p.errf(name.line, "signal %s not closed by ) before EOF", full)
+		}
+		if t.text == ")" {
+			break
+		}
+		if t.text != "(" {
+			return p.errf(t.line, "unexpected token %q in signal %s (expected (T0|T1|TX|TC|IG n))", t.text, full)
+		}
+		kw, err := p.lex.next()
+		if err != nil {
+			return err
+		}
+		if kw == nil {
+			return p.errf(t.line, "unterminated counter group in signal %s", full)
+		}
+		n, err := p.intGroup(kw.line)
+		if err != nil {
+			return err
+		}
+		if n < 0 {
+			return p.errf(kw.line, "negative %s count %d for signal %s", strings.ToUpper(kw.text), n, full)
+		}
+		switch strings.ToUpper(kw.text) {
+		case "T0":
+			sig.LowTime = n
+		case "T1":
+			sig.HighTime = n
+		case "TX", "TZ":
+			sig.UnknownTime += n
+		case "TC":
+			tc = n
+		case "IG":
+			ig = n
+		default:
+			// TB and vendor extensions: ignore the value.
+		}
+	}
+	// TC counts all toggles including glitches; IG is the glitch subset.
+	sig.Toggles = tc - ig
+	if sig.Toggles < 0 {
+		return p.errf(name.line, "signal %s has IG %d exceeding TC %d", full, ig, tc)
+	}
+	p.profile.Signals = append(p.profile.Signals, sig)
+	return nil
+}
+
+// intGroup parses "n )" — the integer payload and closing paren of a
+// (KEYWORD n) group whose keyword is already consumed.
+func (p *saifParser) intGroup(line int) (int64, error) {
+	t, err := p.lex.next()
+	if err != nil {
+		return 0, err
+	}
+	if t == nil || t.text == "(" || t.text == ")" {
+		return 0, p.errf(line, "expected integer value in group")
+	}
+	n, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, p.errf(t.line, "bad integer %q", t.text)
+	}
+	cl, err := p.lex.next()
+	if err != nil {
+		return 0, err
+	}
+	if cl == nil || cl.text != ")" {
+		return 0, p.errf(t.line, "group not closed by ) after %q", t.text)
+	}
+	return n, nil
+}
+
+// atomsGroup consumes atoms until the closing paren, returning them
+// space-joined (for TIMESCALE's "1 ns" style payload).
+func (p *saifParser) atomsGroup(line int) (string, error) {
+	var parts []string
+	for {
+		t, err := p.lex.next()
+		if err != nil {
+			return "", err
+		}
+		if t == nil {
+			return "", p.errf(line, "group not closed by ) before EOF")
+		}
+		if t.text == ")" {
+			return strings.Join(parts, " "), nil
+		}
+		if t.text == "(" {
+			return "", p.errf(t.line, "unexpected ( in atom group")
+		}
+		parts = append(parts, t.text)
+	}
+}
+
+// skipGroup consumes a balanced group whose opening ( and keyword are
+// already consumed.
+func (p *saifParser) skipGroup(line int) error {
+	depth := 1
+	for depth > 0 {
+		t, err := p.lex.next()
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			return p.errf(line, "group not closed by ) before EOF")
+		}
+		switch t.text {
+		case "(":
+			depth++
+		case ")":
+			depth--
+		}
+	}
+	return nil
+}

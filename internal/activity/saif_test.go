@@ -1,0 +1,101 @@
+package activity
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadSAIFMalformed(t *testing.T) {
+	cases := []struct {
+		name, src, wantMsg string
+	}{
+		{"not saif", "(WRONGFILE)", "expected SAIFILE"},
+		{"no open paren", "SAIFILE", "expected ( to open"},
+		{"unclosed saifile", "(SAIFILE (DURATION 4)", "not closed by )"},
+		{"trailing garbage", "(SAIFILE (DURATION 4)) extra", "trailing token"},
+		{"missing duration", "(SAIFILE (INSTANCE top (NET (a (T0 1)))))", "DURATION"},
+		{"bad duration", "(SAIFILE (DURATION many))", "bad integer"},
+		{"instance no name", "(SAIFILE (DURATION 4) (INSTANCE (NET)))", "INSTANCE missing name"},
+		{"net entry no name", "(SAIFILE (DURATION 4) (INSTANCE top (NET ((T0 1)))))", "missing signal name"},
+		{"negative count", "(SAIFILE (DURATION 4) (INSTANCE top (NET (a (T0 -1)))))", "negative T0"},
+		{"ig over tc", "(SAIFILE (DURATION 4) (INSTANCE top (NET (a (TC 1) (IG 2)))))", "IG 2 exceeding TC 1"},
+		{"unterminated string", `(SAIFILE (DATE "never`, "unterminated string"},
+		{"stray atom in net", "(SAIFILE (DURATION 4) (INSTANCE top (NET stray)))", "unexpected token"},
+		{"unclosed counter", "(SAIFILE (DURATION 4) (INSTANCE top (NET (a (T0 1 2)))))", "not closed by )"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadSAIF(strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatalf("accepted %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("error %q does not carry %q", err, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// Errors point at the line of the offense, even deep into a multi-line
+// file.
+func TestSAIFErrorLineNumbers(t *testing.T) {
+	src := `(SAIFILE
+  (DURATION 4)
+  (INSTANCE top
+    (NET
+      (a (T0 oops))
+    )
+  )
+)`
+	_, err := ReadSAIF(strings.NewReader(src))
+	if err == nil {
+		t.Fatal("accepted bad integer")
+	}
+	if !strings.Contains(err.Error(), "line 5") {
+		t.Fatalf("error %q does not carry line 5", err)
+	}
+}
+
+// Unknown header groups, comments, quoted strings, and vendor counter
+// extensions are skipped structurally, not fatally.
+func TestSAIFForwardCompat(t *testing.T) {
+	src := `// tool banner comment
+(SAIFILE
+  (SAIFVERSION "2.0")
+  (PROGRAM_NAME "some tool")
+  (DIVIDER / )
+  (DURATION 10)
+  (INSTANCE top
+    (SOMETHING (NESTED (DEEP 1)))
+    (NET
+      (a (T0 4) (T1 6) (TC 3) (TB 2))
+    )
+  )
+)`
+	p, err := ReadSAIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Signal("top.a")
+	if a == nil || a.Toggles != 3 || a.HighTime != 6 {
+		t.Fatalf("top.a = %+v", a)
+	}
+	if p.Duration != 10 || p.Cycles != 10 {
+		t.Fatalf("window = %d/%d", p.Duration, p.Cycles)
+	}
+}
+
+// PORT groups count like NET groups (tools disagree on which carries
+// the primary-input activity).
+func TestSAIFPortGroup(t *testing.T) {
+	src := `(SAIFILE (DURATION 8) (INSTANCE top
+	  (PORT (in1 (T0 4) (T1 4) (TC 5)))))`
+	p, err := ReadSAIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Signal("top.in1")
+	if s == nil || s.Toggles != 5 {
+		t.Fatalf("top.in1 = %+v", s)
+	}
+}

@@ -1,0 +1,340 @@
+package activity
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// vcdVar is one declared scalar under one id code. Several $var lines
+// may share an id code (aliases of the same net); statistics accumulate
+// once per code and fan out to every alias at the end.
+type vcdVar struct {
+	signals []*Signal // aliases sharing this id code
+
+	val       byte  // current value: '0', '1', 'x' (z folds into x)
+	lastKnown byte  // last binary value seen, 0 if none yet
+	since     int64 // timestamp of the last value change
+	seen      bool  // a value change has been recorded
+}
+
+// vcdParser is the streaming state for one ReadVCD call.
+type vcdParser struct {
+	sc   *bufio.Scanner
+	line int
+
+	profile *Profile
+	vars    map[string]*vcdVar // id code -> var
+	scope   []string           // current $scope stack
+
+	inHeader   bool
+	time       int64
+	haveTime   bool
+	timestamps int64 // distinct timestamp count
+}
+
+func (p *vcdParser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("vcd: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+// ReadVCD parses a Value Change Dump. Only scalar (width-1) variables
+// are profiled; wider vectors and reals are counted in Profile.Ignored.
+// The time a signal holds each value accumulates between value changes,
+// and the profile's cycle count is the number of distinct `#t`
+// timestamps minus one (each timestamp is assumed to be one evaluation
+// instant; use Profile.SetClockPeriod when the dump's time axis is finer
+// than the clock). Errors carry the 1-based line number.
+func ReadVCD(r io.Reader) (*Profile, error) {
+	p := &vcdParser{
+		sc:       bufio.NewScanner(r),
+		profile:  &Profile{Source: "vcd"},
+		vars:     make(map[string]*vcdVar),
+		inHeader: true,
+	}
+	p.sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for p.sc.Scan() {
+		p.line++
+		line := strings.TrimSpace(p.sc.Text())
+		if line == "" {
+			continue
+		}
+		if err := p.handleLine(line); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.sc.Err(); err != nil {
+		return nil, fmt.Errorf("vcd: line %d: %v", p.line, err)
+	}
+	if p.inHeader {
+		return nil, fmt.Errorf("vcd: line %d: missing $enddefinitions", p.line)
+	}
+	p.finish()
+	if err := p.profile.buildIndex(); err != nil {
+		return nil, err
+	}
+	return p.profile, nil
+}
+
+// handleLine dispatches one trimmed, non-empty line.
+func (p *vcdParser) handleLine(line string) error {
+	if p.inHeader {
+		return p.headerLine(line)
+	}
+	return p.bodyLine(line)
+}
+
+// headerLine parses declaration-section directives.
+func (p *vcdParser) headerLine(line string) error {
+	tok := strings.Fields(line)
+	switch tok[0] {
+	case "$date", "$version", "$comment":
+		return p.skipUntilEnd(line)
+	case "$timescale":
+		rest, err := p.collectUntilEnd(line)
+		if err != nil {
+			return err
+		}
+		p.profile.Timescale = strings.TrimSpace(rest)
+		return nil
+	case "$scope":
+		// $scope <type> <name> $end
+		rest, err := p.collectUntilEnd(line)
+		if err != nil {
+			return err
+		}
+		f := strings.Fields(rest)
+		if len(f) != 2 {
+			return p.errf("malformed $scope %q (want: $scope <type> <name> $end)", rest)
+		}
+		p.scope = append(p.scope, f[1])
+		return nil
+	case "$upscope":
+		if _, err := p.collectUntilEnd(line); err != nil {
+			return err
+		}
+		if len(p.scope) == 0 {
+			return p.errf("$upscope without matching $scope")
+		}
+		p.scope = p.scope[:len(p.scope)-1]
+		return nil
+	case "$var":
+		rest, err := p.collectUntilEnd(line)
+		if err != nil {
+			return err
+		}
+		return p.declareVar(rest)
+	case "$enddefinitions":
+		if _, err := p.collectUntilEnd(line); err != nil {
+			return err
+		}
+		p.inHeader = false
+		return nil
+	default:
+		if strings.HasPrefix(tok[0], "$") {
+			// Unknown header directive: skip its body for forward compat.
+			return p.skipUntilEnd(line)
+		}
+		return p.errf("unexpected token %q in declarations (before $enddefinitions)", tok[0])
+	}
+}
+
+// declareVar parses "<type> <width> <id> <name> [index] " (the text
+// between $var and $end).
+func (p *vcdParser) declareVar(rest string) error {
+	f := strings.Fields(rest)
+	if len(f) < 4 {
+		return p.errf("malformed $var %q (want: $var <type> <width> <id> <name> $end)", strings.TrimSpace(rest))
+	}
+	width, err := strconv.Atoi(f[1])
+	if err != nil || width <= 0 {
+		return p.errf("bad $var width %q", f[1])
+	}
+	if f[0] == "real" || width != 1 {
+		p.profile.Ignored++
+		return nil
+	}
+	id := f[2]
+	// Name may carry a bit-select token ("q [0]") — join the remainder.
+	name := strings.Join(f[3:], "")
+	full := name
+	if len(p.scope) > 0 {
+		full = strings.Join(p.scope, ".") + "." + name
+	}
+	sig := &Signal{Name: full}
+	p.profile.Signals = append(p.profile.Signals, sig)
+	v := p.vars[id]
+	if v == nil {
+		v = &vcdVar{val: 'x'}
+		p.vars[id] = v
+	}
+	v.signals = append(v.signals, sig)
+	return nil
+}
+
+// bodyLine parses value-change-section lines.
+func (p *vcdParser) bodyLine(line string) error {
+	switch c := line[0]; {
+	case c == '#':
+		t, err := strconv.ParseInt(line[1:], 10, 64)
+		if err != nil {
+			return p.errf("bad timestamp %q", line)
+		}
+		if p.haveTime && t < p.time {
+			return p.errf("timestamp %d goes backwards (previous %d)", t, p.time)
+		}
+		if !p.haveTime || t > p.time {
+			p.timestamps++
+		}
+		p.time = t
+		p.haveTime = true
+		return nil
+	case c == '$':
+		// $dumpvars/$dumpon/$dumpoff/$dumpall markers and their $end;
+		// value changes inside the block are normal body lines.
+		return nil
+	case c == '0' || c == '1' || c == 'x' || c == 'X' || c == 'z' || c == 'Z':
+		if len(line) < 2 {
+			return p.errf("scalar value change %q missing identifier", line)
+		}
+		return p.change(line[1:], normalizeVal(c))
+	case c == 'b' || c == 'B':
+		// "b<bits> <id>" — only width-1 vectors are profiled.
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			return p.errf("malformed vector change %q (want: b<bits> <id>)", line)
+		}
+		bits := f[0][1:]
+		if len(bits) == 0 {
+			return p.errf("vector change %q has no value bits", line)
+		}
+		if len(bits) > 1 {
+			// A declared-wide vector was ignored at declaration; its
+			// changes have no registered id and fall through harmlessly.
+			if _, ok := p.vars[f[1]]; ok {
+				return p.errf("vector change %q for scalar identifier %q", line, f[1])
+			}
+			return nil
+		}
+		return p.change(f[1], normalizeVal(bits[0]))
+	case c == 'r' || c == 'R':
+		// Real value change: reals are never profiled.
+		return nil
+	default:
+		return p.errf("unexpected token %q in value-change section", line)
+	}
+}
+
+// normalizeVal folds a value character to '0', '1', or 'x' (z and any
+// case variant collapse to x).
+func normalizeVal(c byte) byte {
+	switch c {
+	case '0', '1':
+		return c
+	default:
+		return 'x'
+	}
+}
+
+// change records a value change for the id code at the current time.
+func (p *vcdParser) change(id string, val byte) error {
+	v, ok := p.vars[id]
+	if !ok {
+		// Changes for ignored (wide/real) variables are expected; changes
+		// for identifiers never declared at all are a malformed dump.
+		return p.errf("value change for undeclared identifier %q", id)
+	}
+	if !p.haveTime {
+		return p.errf("value change before any #timestamp")
+	}
+	v.account(p.time)
+	if val != v.val {
+		// A toggle is a transition between two known binary values; the
+		// comparison runs against the last-known binary value so
+		// 0 → x → 1 counts once and 0 → x → 0 not at all.
+		if val == '0' || val == '1' {
+			if v.lastKnown != 0 && v.lastKnown != val {
+				for _, s := range v.signals {
+					s.Toggles++
+				}
+			}
+			v.lastKnown = val
+		}
+		v.val = val
+	}
+	v.since = p.time
+	v.seen = true
+	return nil
+}
+
+// account charges the interval since the last change to the current
+// value's time bucket.
+func (v *vcdVar) account(now int64) {
+	if !v.seen || now <= v.since {
+		return
+	}
+	dt := now - v.since
+	for _, s := range v.signals {
+		switch v.val {
+		case '1':
+			s.HighTime += dt
+		case '0':
+			s.LowTime += dt
+		default:
+			s.UnknownTime += dt
+		}
+	}
+	v.since = now
+}
+
+// finish flushes every variable's tail interval to the final timestamp
+// and derives the window statistics.
+func (p *vcdParser) finish() {
+	for _, v := range p.vars {
+		v.account(p.time)
+	}
+	p.profile.Duration = p.time
+	// Cycles: intervals between distinct timestamps. A one-timestamp dump
+	// still normalizes by 1 so densities stay finite.
+	p.profile.Cycles = p.timestamps - 1
+	if p.profile.Cycles < 1 {
+		p.profile.Cycles = 1
+	}
+}
+
+// skipUntilEnd consumes lines until the $end that closes the directive
+// opened on the current line.
+func (p *vcdParser) skipUntilEnd(line string) error {
+	_, err := p.collectUntilEnd(line)
+	return err
+}
+
+// collectUntilEnd gathers the text between the directive keyword on the
+// current line and its closing $end (which may be on the same line or a
+// later one), returning the enclosed text.
+func (p *vcdParser) collectUntilEnd(line string) (string, error) {
+	directive := strings.Fields(line)[0]
+	rest := strings.TrimSpace(strings.TrimPrefix(line, directive))
+	var b strings.Builder
+	for {
+		if i := strings.Index(rest, "$end"); i >= 0 {
+			b.WriteString(rest[:i])
+			tail := strings.TrimSpace(rest[i+len("$end"):])
+			if tail != "" {
+				return "", p.errf("trailing text %q after $end", tail)
+			}
+			return b.String(), nil
+		}
+		b.WriteString(rest)
+		b.WriteByte('\n')
+		if !p.sc.Scan() {
+			if err := p.sc.Err(); err != nil {
+				return "", fmt.Errorf("vcd: line %d: %v", p.line, err)
+			}
+			return "", p.errf("%s not closed by $end before EOF", directive)
+		}
+		p.line++
+		rest = strings.TrimSpace(p.sc.Text())
+	}
+}

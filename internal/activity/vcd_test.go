@@ -1,0 +1,171 @@
+package activity
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Every malformed dump must be rejected with the 1-based line number of
+// the offense.
+func TestReadVCDMalformed(t *testing.T) {
+	cases := []struct {
+		name, src, wantLine, wantMsg string
+	}{
+		{"missing enddefinitions", "$var wire 1 ! a $end\n#0\n", "line 2", "unexpected token"},
+		{"truncated header", "$var wire 1 ! a $end\n", "line 1", "missing $enddefinitions"},
+		{"bad var width", "$var wire zero ! a $end\n$enddefinitions $end\n#0\n", "line 1", "width"},
+		{"short var", "$var wire 1 $end\n$enddefinitions $end\n#0\n", "line 1", "malformed $var"},
+		{"unclosed directive", "$comment never closed\n", "line 1", "not closed by $end"},
+		{"upscope underflow", "$upscope $end\n$enddefinitions $end\n#0\n", "line 1", "$upscope without"},
+		{"bad timestamp", "$var wire 1 ! a $end\n$enddefinitions $end\n#xyz\n", "line 3", "bad timestamp"},
+		{"time reversal", "$var wire 1 ! a $end\n$enddefinitions $end\n#5\n#3\n", "line 4", "goes backwards"},
+		{"undeclared id", "$var wire 1 ! a $end\n$enddefinitions $end\n#0\n1?\n", "line 4", "undeclared identifier"},
+		{"change before time", "$var wire 1 ! a $end\n$enddefinitions $end\n1!\n", "line 3", "before any #timestamp"},
+		{"bare scalar", "$var wire 1 ! a $end\n$enddefinitions $end\n#0\n1\n", "line 4", "missing identifier"},
+		{"vector on scalar", "$var wire 1 ! a $end\n$enddefinitions $end\n#0\nb01 !\n", "line 4", "for scalar identifier"},
+		{"garbage body", "$var wire 1 ! a $end\n$enddefinitions $end\n#0\nhello\n", "line 4", "unexpected token"},
+		{"malformed scope", "$scope module $end\n$enddefinitions $end\n#0\n", "line 1", "malformed $scope"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadVCD(strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatalf("accepted %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantLine) || !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("error %q does not carry %q and %q", err, tc.wantLine, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// The documented x/z policy: unknown time is excluded from p's
+// denominator, z folds into x, and toggles only count between known
+// binary values (0→x→1 is one toggle, 0→x→0 none).
+func TestVCDUnknownPolicy(t *testing.T) {
+	vcd := `$var wire 1 ! s $end
+$var wire 1 " u $end
+$enddefinitions $end
+#0
+0!
+x"
+#1
+x!
+#2
+1!
+#3
+z!
+#4
+0!
+#5
+`
+	p, err := ReadVCD(strings.NewReader(vcd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Signal("s")
+	// Intervals: [0,1)=0, [1,2)=x, [2,3)=1, [3,4)=z→x, [4,5)=0.
+	if s.LowTime != 2 || s.HighTime != 1 || s.UnknownTime != 2 {
+		t.Fatalf("s times = {L:%d H:%d X:%d}", s.LowTime, s.HighTime, s.UnknownTime)
+	}
+	// 0→x→1 counts once, 1→z→0 counts once.
+	if s.Toggles != 2 {
+		t.Fatalf("s toggles = %d, want 2", s.Toggles)
+	}
+	// p excludes unknown time: 1 high / 3 known.
+	if got, want := s.P(), 1.0/3.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("s P = %g, want %g", got, want)
+	}
+	// A signal only ever seen at x: p = 0.5, no toggles.
+	u := p.Signal("u")
+	if u.P() != 0.5 || u.Toggles != 0 || u.UnknownTime != 5 {
+		t.Fatalf("u = %+v", u)
+	}
+}
+
+// Aliases: two $var declarations sharing one id code both receive the
+// code's statistics.
+func TestVCDAliases(t *testing.T) {
+	vcd := `$scope module top $end
+$var wire 1 ! a $end
+$var wire 1 ! a_alias $end
+$upscope $end
+$enddefinitions $end
+#0
+0!
+#1
+1!
+#2
+`
+	p, err := ReadVCD(strings.NewReader(vcd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"top.a", "top.a_alias"} {
+		s := p.Signal(name)
+		if s == nil || s.Toggles != 1 || s.LowTime != 1 || s.HighTime != 1 {
+			t.Fatalf("%s = %+v", name, s)
+		}
+	}
+}
+
+// Width-1 vector changes (b0 id / b1 id) are value changes; wide vector
+// changes for ignored vars pass through.
+func TestVCDVectorScalars(t *testing.T) {
+	vcd := `$var wire 1 ! a $end
+$var wire 4 # bus $end
+$var real 64 % r $end
+$enddefinitions $end
+#0
+b0 !
+b1010 #
+r1.25 %
+#1
+b1 !
+#2
+`
+	p, err := ReadVCD(strings.NewReader(vcd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ignored != 2 {
+		t.Fatalf("Ignored = %d, want 2", p.Ignored)
+	}
+	a := p.Signal("a")
+	if a.Toggles != 1 || a.LowTime != 1 || a.HighTime != 1 {
+		t.Fatalf("a = %+v", a)
+	}
+}
+
+// $timescale and multi-line directives parse; the timescale is echoed.
+func TestVCDHeaderDirectives(t *testing.T) {
+	vcd := `$date
+   June 26, 1996
+$end
+$timescale
+   10 ps
+$end
+$scope module chip $end
+$scope module alu $end
+$var wire 1 ! carry $end
+$upscope $end
+$upscope $end
+$enddefinitions $end
+#0
+1!
+#1
+0!
+#2
+`
+	p, err := ReadVCD(strings.NewReader(vcd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Timescale != "10 ps" {
+		t.Fatalf("Timescale = %q", p.Timescale)
+	}
+	if p.Signal("chip.alu.carry") == nil {
+		t.Fatalf("scoped name missing; have %v", p.Signals)
+	}
+}

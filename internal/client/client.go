@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand/v2"
+	"mime/multipart"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -278,6 +279,43 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 func (c *Client) Submit(ctx context.Context, blif []byte, query url.Values) (service.Status, error) {
 	var st service.Status
 	data, err := c.do(ctx, http.MethodPost, "/v1/jobs", query, blif, "text/plain")
+	if err != nil {
+		return st, err
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		return st, fmt.Errorf("powderd: bad submit response: %w", err)
+	}
+	return st, nil
+}
+
+// SubmitActivity posts a BLIF circuit together with a workload activity
+// dump (VCD or SAIF bytes, sniffed server-side) as a multipart
+// submission: part "circuit" carries the netlist, part "activity" the
+// dump. The daemon binds the dump onto the circuit's inputs, optimizes
+// under the measured workload instead of the uniform assumption, and
+// keys its result cache on the profile's content digest.
+func (c *Client) SubmitActivity(ctx context.Context, blif, activityDump []byte, query url.Values) (service.Status, error) {
+	var st service.Status
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	cw, err := mw.CreateFormFile("circuit", "circuit.blif")
+	if err == nil {
+		_, err = cw.Write(blif)
+	}
+	if err == nil {
+		var aw io.Writer
+		aw, err = mw.CreateFormFile("activity", "activity.dump")
+		if err == nil {
+			_, err = aw.Write(activityDump)
+		}
+	}
+	if err == nil {
+		err = mw.Close()
+	}
+	if err != nil {
+		return st, fmt.Errorf("powderd: building multipart submission: %w", err)
+	}
+	data, err := c.do(ctx, http.MethodPost, "/v1/jobs", query, buf.Bytes(), mw.FormDataContentType())
 	if err != nil {
 		return st, err
 	}

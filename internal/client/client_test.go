@@ -185,3 +185,69 @@ func TestClientAgainstRealService(t *testing.T) {
 		t.Fatal("nil ledger")
 	}
 }
+
+// TestSubmitActivityAgainstRealService submits a circuit together with
+// a workload dump through the multipart client path and checks the run
+// reports the activity model it used, including after a retried
+// attempt (the multipart body must be rebuilt per attempt, not
+// consumed by the first 429).
+func TestSubmitActivityAgainstRealService(t *testing.T) {
+	svc := service.New(service.Config{Workers: 2, QueueDepth: 8})
+	defer svc.Close()
+	handler := svc.Handler()
+	var calls int
+	flaky := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" {
+			calls++
+			if calls == 1 {
+				w.Header().Set("Retry-After", "0")
+				w.WriteHeader(http.StatusTooManyRequests)
+				return
+			}
+		}
+		handler.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(flaky)
+	defer ts.Close()
+	c := New(ts.URL, Options{BaseDelay: time.Millisecond})
+
+	blif, err := os.ReadFile(filepath.Join("..", "..", "examples", "circuits", "maj3.blif"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := []byte("$timescale 1ns $end\n" +
+		"$scope module maj3 $end\n" +
+		"$var wire 1 ! a $end\n" +
+		"$var wire 1 \" b $end\n" +
+		"$var wire 1 # c $end\n" +
+		"$upscope $end\n" +
+		"$enddefinitions $end\n" +
+		"#0\n0!\n1\"\n0#\n" +
+		"#10\n1!\n0#\n" +
+		"#20\n0!\n1#\n" +
+		"#30\n1!\n0\"\n")
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	st, err := c.SubmitActivity(ctx, blif, dump, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("server saw %d submit attempts, want 2 (one 429 + one accept)", calls)
+	}
+	fin, err := c.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != service.StateCompleted {
+		t.Fatalf("job state %s (error %q)", fin.State, fin.Error)
+	}
+	res := fin.Result
+	if res == nil || res.Activity == "" {
+		t.Fatalf("result %+v carries no activity label", res)
+	}
+	if res.ActivityMatched != 3 || res.ActivityInputs != 3 {
+		t.Fatalf("activity coverage %d/%d, want 3/3", res.ActivityMatched, res.ActivityInputs)
+	}
+}

@@ -99,6 +99,11 @@ type Options struct {
 	InputDrive float64
 	// Power configures the probability estimation.
 	Power power.Options
+	// Activity describes the workload activity model behind
+	// Power.InputProbs/InputToggles, recorded in the run ledger so
+	// realized gains are attributed under the model that produced them.
+	// Empty means the uniform temporal-independence assumption.
+	Activity string
 	// Transform configures candidate generation.
 	Transform transform.Config
 	// LedgerLimit bounds the run ledger's retained entries per outcome
@@ -467,6 +472,7 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 			res.Runtime = time.Since(start)
 			res.Phases = ph.Snapshot()
 			res.Ledger = led.Summary()
+			stampActivity(res.Ledger, opts.Activity)
 			// Best-effort final numbers for the restored netlist; a
 			// second panic here must not mask the restore.
 			func() {
@@ -881,6 +887,7 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (res *R
 	res.Runtime = time.Since(start)
 	res.Phases = ph.Snapshot()
 	res.Ledger = led.Summary()
+	stampActivity(res.Ledger, opts.Activity)
 	reportProgress(true)
 	if o.Tracing() {
 		o.Emit("optimize-done", obs.Fields{
@@ -1127,4 +1134,12 @@ func candidateValid(nl *netlist.Netlist, s *transform.Substitution) bool {
 		}
 	}
 	return true
+}
+
+// stampActivity records the run's workload activity model on the ledger
+// summary (nil-safe for disabled ledgers).
+func stampActivity(s *obs.LedgerSummary, activity string) {
+	if s != nil {
+		s.Activity = activity
+	}
 }

@@ -28,6 +28,10 @@ func WriteReport(w io.Writer, name string, res *Result, reg *obs.Registry) {
 		res.Applied, res.Harvests, res.Candidates, res.Stopped, res.Runtime.Seconds())
 
 	led := res.Ledger
+	if led != nil && led.Activity != "" {
+		fmt.Fprintf(w, "Activity model: %s — all gains above are under this workload, not the uniform assumption.\n\n",
+			led.Activity)
+	}
 	if led != nil {
 		writeMoveTable(w, led)
 		writeCalibration(w, led)

@@ -56,20 +56,26 @@ func baselineOne(spec circuits.Spec, opts *RunOptions) (*BaselineRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	pmInit := power.Estimate(nlR, opts.Core.Power)
+	// One workload-adjusted option set serves both arms: the two compiles
+	// of the same spec share their input names, so the binding is
+	// identical.
+	cOpts := opts.Core
+	if err := opts.applyWorkload(nlR, &cOpts); err != nil {
+		return nil, err
+	}
+	pmInit := power.Estimate(nlR, cOpts.Power)
 	initPower := pmInit.Total()
 	rr, err := redundancy.Remove(nlR, redundancy.Options{})
 	if err != nil {
 		return nil, err
 	}
-	redPower := power.Estimate(nlR, opts.Core.Power).Total()
+	redPower := power.Estimate(nlR, cOpts.Power).Total()
 
 	// POWDER.
 	nlP, err := compile(spec, opts)
 	if err != nil {
 		return nil, err
 	}
-	cOpts := opts.Core
 	res, err := core.Optimize(nlP, cOpts)
 	if err != nil {
 		return nil, err

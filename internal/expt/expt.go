@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"powder/internal/activity"
 	"powder/internal/atpg"
 	"powder/internal/cellib"
 	"powder/internal/circuits"
@@ -35,6 +36,19 @@ type RunOptions struct {
 	// DisableInverted turns off inverted-source substitutions (enabled by
 	// default).
 	DisableInverted bool
+	// InputProbs maps primary-input names to signal probabilities. Each
+	// circuit's inputs found in the map run at that probability, the rest
+	// at the uniform 0.5; names that match no input of a given circuit
+	// are skipped, so one probs file can cover a heterogeneous suite.
+	// Applied to the combinational experiments (Table 1/2, baseline,
+	// Figure 6).
+	InputProbs map[string]float64
+	// Activity, when non-nil, replaces the uniform assumption with a
+	// measured workload: every circuit's primary inputs are bound onto
+	// the profile (case/escape-aware name matching), matched
+	// probabilities drive the power model and matched toggle densities
+	// pin E(i) at the inputs. Mutually exclusive with InputProbs.
+	Activity *activity.Profile
 	// PreOptimize runs ATPG-based redundancy removal on every initial
 	// circuit before measuring it, approximating the POSE-grade (already
 	// area-optimized) starting points of the paper's experiments. With it,
@@ -201,6 +215,39 @@ func compile(spec circuits.Spec, opts *RunOptions) (*netlist.Netlist, error) {
 	return nl, nil
 }
 
+// applyWorkload folds RunOptions.InputProbs / RunOptions.Activity into
+// one engine run's power options, resolving names against the compiled
+// circuit's primary inputs.
+func (o *RunOptions) applyWorkload(nl *netlist.Netlist, copts *core.Options) error {
+	if o.InputProbs == nil && o.Activity == nil {
+		return nil
+	}
+	inputs := nl.Inputs()
+	names := make([]string, len(inputs))
+	for i, id := range inputs {
+		names[i] = nl.Node(id).Name()
+	}
+	if o.Activity != nil {
+		b, err := o.Activity.Bind(names)
+		if err != nil {
+			return fmt.Errorf("activity: %v", err)
+		}
+		copts.Power.InputProbs = b.Probs
+		copts.Power.InputToggles = b.Toggles
+		return nil
+	}
+	probs := make([]float64, len(names))
+	for i, n := range names {
+		p, ok := o.InputProbs[n]
+		if !ok {
+			p = 0.5
+		}
+		probs[i] = p
+	}
+	copts.Power.InputProbs = probs
+	return nil
+}
+
 // forEach runs fn once per spec — sequentially, or fanned out over a
 // service.Pool when opts.Parallel > 1. fn receives the spec index so
 // callers collect results in deterministic circuit order. It is generic
@@ -279,6 +326,9 @@ func runOne(spec circuits.Spec, opts *RunOptions) (*Table1Row, map[transform.Kin
 	freeOpts := opts.Core
 	freeOpts.DelayConstraint = 0
 	freeOpts.DelayFactor = 0
+	if err := opts.applyWorkload(nlFree, &freeOpts); err != nil {
+		return nil, nil, err
+	}
 	fctx, fSpan := trace.StartSpan(ctx, "table1-free")
 	fSpan.SetAttr("circuit", spec.Name)
 	resFree, err := core.OptimizeCtx(fctx, nlFree, freeOpts)
@@ -295,6 +345,9 @@ func runOne(spec circuits.Spec, opts *RunOptions) (*Table1Row, map[transform.Kin
 	start := time.Now()
 	cOpts := opts.Core
 	cOpts.DelayFactor = 1.0
+	if err := opts.applyWorkload(nlC, &cOpts); err != nil {
+		return nil, nil, err
+	}
 	cctx, cSpan := trace.StartSpan(ctx, "table1-constr")
 	cSpan.SetAttr("circuit", spec.Name)
 	resC, err := core.OptimizeCtx(cctx, nlC, cOpts)
@@ -356,6 +409,9 @@ func RunTradeoff(specs []circuits.Spec, pcts []int, opts RunOptions) ([]Tradeoff
 			}
 			cOpts := opts.Core
 			cOpts.DelayFactor = 1.0 + float64(pct)/100
+			if err := opts.applyWorkload(nl, &cOpts); err != nil {
+				return nil, fmt.Errorf("expt: %s: %v", spec.Name, err)
+			}
 			res, err := core.Optimize(nl, cOpts)
 			if err != nil {
 				return nil, fmt.Errorf("expt: %s: %v", spec.Name, err)

@@ -175,6 +175,12 @@ type LedgerNodeAttribution struct {
 // `powder -ledger-json` writes, and what powderd serves at
 // /v1/jobs/{id}/ledger.
 type LedgerSummary struct {
+	// Activity names the workload activity model the run's estimates —
+	// and therefore every predicted and realized gain below — were
+	// computed under. Empty means the uniform temporal-independence
+	// assumption; otherwise it carries the activity source and coverage
+	// (e.g. "workload.vcd sha256:… matched 5/7 inputs").
+	Activity string `json:"activity,omitempty"`
 	// Attempts counts recorded attempts (selected candidates that went
 	// through the delay/proof/apply stages).
 	Attempts int `json:"attempts"`

@@ -15,6 +15,7 @@ package power
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"powder/internal/netlist"
@@ -29,6 +30,12 @@ type Model struct {
 	// e caches the transition probability per node ID; NaN-free: dead or
 	// unknown nodes hold zero and are never summed.
 	e []float64
+	// pinned holds externally measured transition densities per node ID
+	// (NaN = unpinned). A workload activity profile pins E(i) at the
+	// primary inputs, overriding the 2p(1-p) independence value there;
+	// internal stems keep the propagated model. nil when nothing is
+	// pinned.
+	pinned []float64
 	// o records estimate/refresh/resync metrics; nil disables.
 	o *obs.Observer
 }
@@ -56,8 +63,42 @@ func (m *Model) Reestimate() {
 		m.e = e
 	}
 	m.nl.LiveNodes(func(n *netlist.Node) {
-		m.e[n.ID()] = transition(m.s.Probability(n.ID()))
+		m.e[n.ID()] = m.applyPin(n.ID(), transition(m.s.Probability(n.ID())))
 	})
+}
+
+// PinInputs pins the transition density of each primary input to the
+// given per-input values (in input order, matching nl.Inputs()); NaN
+// entries leave the input on the independence model. Pins come from a
+// measured workload activity profile and survive Reestimate, Refresh,
+// and Resync. Panics on a length mismatch, mirroring
+// sim.SetInputsRandom.
+func (m *Model) PinInputs(toggles []float64) {
+	ins := m.nl.Inputs()
+	if len(toggles) != len(ins) {
+		panic(fmt.Sprintf("power: %d toggle densities for %d inputs", len(toggles), len(ins)))
+	}
+	m.pinned = make([]float64, m.nl.NumNodes())
+	for i := range m.pinned {
+		m.pinned[i] = math.NaN()
+	}
+	for i, id := range ins {
+		m.pinned[id] = toggles[i]
+	}
+	for _, id := range ins {
+		m.e[id] = m.applyPin(id, m.e[id])
+	}
+}
+
+// applyPin substitutes a pinned density for the model value, if any.
+func (m *Model) applyPin(id netlist.NodeID, e float64) float64 {
+	if m.pinned == nil || int(id) >= len(m.pinned) {
+		return e
+	}
+	if p := m.pinned[id]; !math.IsNaN(p) {
+		return p
+	}
+	return e
 }
 
 // transition converts a signal probability to a transition probability
@@ -124,7 +165,7 @@ func (m *Model) Refresh(roots ...netlist.NodeID) {
 			return
 		}
 		seen[id] = true
-		m.e[id] = transition(m.s.Probability(id))
+		m.e[id] = m.applyPin(id, transition(m.s.Probability(id)))
 		for _, b := range m.nl.Node(id).Fanouts() {
 			if !b.IsPO() {
 				walk(b.Gate)
@@ -179,6 +220,10 @@ type Options struct {
 	Seed int64
 	// InputProbs optionally gives per-input signal probabilities.
 	InputProbs []float64
+	// InputToggles optionally pins per-input transition densities
+	// measured from a workload activity profile (NaN entries stay on the
+	// independence model). See Model.PinInputs.
+	InputToggles []float64
 	// ExhaustiveLimit: if the circuit has at most this many inputs (and
 	// InputProbs is nil), exhaustive vectors are used and the estimate is
 	// exact. Default 14.
@@ -225,6 +270,9 @@ func Estimate(nl *netlist.Netlist, opts Options) *Model {
 	}
 	s.Run()
 	m := New(nl, s)
+	if opts.InputToggles != nil {
+		m.PinInputs(opts.InputToggles)
+	}
 	m.SetObserver(opts.Obs)
 	opts.Obs.Counter("power.estimates").Inc()
 	opts.Obs.Histogram("power.estimate.seconds").ObserveSince(start)

@@ -236,3 +236,59 @@ func TestDeepAndChainProbability(t *testing.T) {
 		t.Errorf("E(chain) = %v, want %v", got, wantE)
 	}
 }
+
+func TestPinInputsOverridesAndSurvivesRefresh(t *testing.T) {
+	nl, ids := fig2A(t)
+	m := Estimate(nl, Options{})
+	// Pin a's density to a measured 0.9 and c's to 0.1; b stays on the
+	// independence model (NaN marker).
+	pins := []float64{0.9, math.NaN(), 0.1}
+	m.PinInputs(pins)
+	if m.TransitionProb(ids["a"]) != 0.9 || m.TransitionProb(ids["c"]) != 0.1 {
+		t.Fatalf("pins not applied: E(a)=%g E(c)=%g",
+			m.TransitionProb(ids["a"]), m.TransitionProb(ids["c"]))
+	}
+	if m.TransitionProb(ids["b"]) != 0.5 {
+		t.Fatalf("NaN pin disturbed b: %g", m.TransitionProb(ids["b"]))
+	}
+	// Pins survive a full reestimate and a TFO refresh.
+	m.Reestimate()
+	if m.TransitionProb(ids["a"]) != 0.9 {
+		t.Fatalf("pin lost after Reestimate: %g", m.TransitionProb(ids["a"]))
+	}
+	m.Refresh(ids["a"])
+	if m.TransitionProb(ids["a"]) != 0.9 {
+		t.Fatalf("pin lost after Refresh: %g", m.TransitionProb(ids["a"]))
+	}
+	m.Resync()
+	if m.TransitionProb(ids["c"]) != 0.1 {
+		t.Fatalf("pin lost after Resync: %g", m.TransitionProb(ids["c"]))
+	}
+	// Internal stems keep the propagated model (d = a^c under exhaustive
+	// p=0.5 inputs still has E=0.5: the pin changes E at the PI stem, not
+	// the sampled probabilities).
+	if m.TransitionProb(ids["d"]) != 0.5 {
+		t.Fatalf("internal stem disturbed: %g", m.TransitionProb(ids["d"]))
+	}
+	// The pinned model totals differently from the uniform one.
+	uniform := Estimate(nl, Options{})
+	if m.Total() == uniform.Total() {
+		t.Fatal("pinned total identical to uniform total")
+	}
+}
+
+func TestEstimateInputTogglesOption(t *testing.T) {
+	nl, ids := fig2A(t)
+	m := Estimate(nl, Options{InputToggles: []float64{0.2, 0.2, 0.2}})
+	for _, in := range []string{"a", "b", "c"} {
+		if m.TransitionProb(ids[in]) != 0.2 {
+			t.Fatalf("E(%s) = %g, want pinned 0.2", in, m.TransitionProb(ids[in]))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	m.PinInputs([]float64{0.5})
+}

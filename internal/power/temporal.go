@@ -2,6 +2,7 @@ package power
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"powder/internal/netlist"
@@ -24,14 +25,22 @@ type TemporalReport struct {
 	E []float64
 	// Total is sum C(i)*E(i) under the measured activities.
 	Total float64
-	// Pairs is the number of simulated vector pairs.
+	// Pairs is the number of vector pairs actually simulated (after the
+	// words default applies), never the caller's request. Each measured
+	// E is a binomial mean over Pairs trials with standard error
+	// sqrt(E(1-E)/Pairs) — at the default 4096 pairs, about ±0.008 for a
+	// mid-range signal; callers passing tiny words get proportionally
+	// noisier estimates and should read Pairs before trusting them.
 	Pairs int
 }
 
 // TemporalEstimate measures switching activity with correlated inputs.
 // probs gives the per-input signal probability (nil = 0.5); toggles the
 // per-input probability that the input flips between consecutive vectors
-// (nil = the independence-equivalent 2p(1-p)).
+// (nil everywhere, or NaN per entry = the independence-equivalent
+// 2p(1-p), so a partially matched activity binding plugs in directly).
+// words <= 0 defaults to 64 (4096 pairs); the report's Pairs field
+// records what was actually simulated and bounds the sampling variance.
 func TemporalEstimate(nl *netlist.Netlist, words int, seed int64, probs, toggles []float64) (*TemporalReport, error) {
 	if words <= 0 {
 		words = 64
@@ -42,6 +51,16 @@ func TemporalEstimate(nl *netlist.Netlist, words int, seed int64, probs, toggles
 	}
 	if toggles != nil && len(toggles) != len(ins) {
 		return nil, fmt.Errorf("power: %d toggle rates for %d inputs", len(toggles), len(ins))
+	}
+	for i, p := range probs {
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			return nil, fmt.Errorf("power: input %d probability %g outside [0,1]", i, p)
+		}
+	}
+	for i, tgl := range toggles {
+		if !math.IsNaN(tgl) && (tgl < 0 || tgl > 1) {
+			return nil, fmt.Errorf("power: input %d toggle rate %g outside [0,1]", i, tgl)
+		}
 	}
 
 	s0 := sim.New(nl, words)
@@ -57,7 +76,7 @@ func TemporalEstimate(nl *netlist.Netlist, words int, seed int64, probs, toggles
 			p = probs[i]
 		}
 		tgl := 2 * p * (1 - p)
-		if toggles != nil {
+		if toggles != nil && !math.IsNaN(toggles[i]) {
 			tgl = toggles[i]
 		}
 		for w := 0; w < words; w++ {

@@ -2,6 +2,7 @@ package power
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"powder/internal/cellib"
@@ -94,5 +95,92 @@ func TestTemporalBiasedProbabilities(t *testing.T) {
 	a := nl.Inputs()[0]
 	if math.Abs(rep.E[a]-0.18) > 0.02 {
 		t.Errorf("E(a) = %v, want about 0.18", rep.E[a])
+	}
+}
+
+func TestTemporalWordsDefaultReportsPairs(t *testing.T) {
+	// words <= 0 defaults to 64 words; Pairs must report the 4096 pairs
+	// actually simulated, not echo the caller's request.
+	nl, _ := xorPair(t)
+	for _, words := range []int{0, -5} {
+		rep, err := TemporalEstimate(nl, words, 1, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Pairs != 64*64 {
+			t.Errorf("words=%d: Pairs = %d, want 4096", words, rep.Pairs)
+		}
+	}
+	// A tiny explicit request is honored and reported.
+	rep, err := TemporalEstimate(nl, 1, 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pairs != 64 {
+		t.Errorf("words=1: Pairs = %d, want 64", rep.Pairs)
+	}
+}
+
+func TestTemporalRejectsOutOfRange(t *testing.T) {
+	nl, _ := xorPair(t)
+	if _, err := TemporalEstimate(nl, 8, 1, []float64{1.5, 0.5}, nil); err == nil {
+		t.Error("probability above 1 accepted")
+	}
+	if _, err := TemporalEstimate(nl, 8, 1, []float64{math.NaN(), 0.5}, nil); err == nil {
+		t.Error("NaN probability accepted")
+	}
+	if _, err := TemporalEstimate(nl, 8, 1, nil, []float64{-0.1, 0.5}); err == nil {
+		t.Error("negative toggle rate accepted")
+	}
+	// NaN toggle entries are the documented "use 2p(1-p)" marker.
+	if _, err := TemporalEstimate(nl, 8, 1, nil, []float64{math.NaN(), 0.5}); err != nil {
+		t.Errorf("NaN toggle marker rejected: %v", err)
+	}
+}
+
+// Property: for random per-input probabilities, explicitly passing the
+// stationary toggles 2p(1-p) reproduces the independence model's total
+// within sampling tolerance — the temporal estimator degrades gracefully
+// to the paper's model when no correlation information exists.
+func TestTemporalIndependencePropertyRandomProbs(t *testing.T) {
+	lib := cellib.Lib2()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 8; trial++ {
+		nl := netlist.New("prop", lib)
+		a, _ := nl.AddInput("a")
+		b, _ := nl.AddInput("b")
+		c, _ := nl.AddInput("c")
+		d, err := nl.AddGate("d", lib.Cell("xor2"), []netlist.NodeID{a, c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := nl.AddGate("f", lib.Cell("and2"), []netlist.NodeID{d, b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := nl.AddGate("g", lib.Cell("or2"), []netlist.NodeID{f, a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nl.AddOutput("g", g); err != nil {
+			t.Fatal(err)
+		}
+		probs := make([]float64, 3)
+		toggles := make([]float64, 3)
+		for i := range probs {
+			// Keep away from the extremes where relative tolerance blows up.
+			probs[i] = 0.1 + 0.8*rng.Float64()
+			toggles[i] = 2 * probs[i] * (1 - probs[i])
+		}
+		rep, err := TemporalEstimate(nl, 512, int64(1000+trial), probs, toggles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := Estimate(nl, Options{Words: 512, InputProbs: probs})
+		want := m.Total()
+		if math.Abs(rep.Total-want) > 0.10*want+0.02 {
+			t.Errorf("trial %d probs %v: temporal total %g vs independence %g",
+				trial, probs, rep.Total, want)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package seq
 
 import (
 	"context"
+	"fmt"
 	"io"
 
 	"powder/internal/blif"
@@ -19,6 +20,60 @@ type Options struct {
 	// Fixpoint.InputProbs carries the per-primary-input probabilities
 	// (e.g. from a -probs file); Fixpoint.Obs defaults to Core.Obs.
 	Fixpoint FixpointOptions
+	// Activity, when non-nil, folds a measured workload activity binding
+	// into the run: matched true-input probabilities seed the fixpoint,
+	// matched state-line probabilities override the converged values
+	// (the dump observed the real state distribution — trust it over the
+	// model), and the toggle densities pin E(i) across the register cut.
+	Activity *ActivityOverride
+}
+
+// ActivityOverride carries a workload activity binding over the core
+// inputs — true primary inputs followed by state lines, in
+// Core().Inputs() order (the order activity.Profile.Bind produces when
+// given the core input names).
+type ActivityOverride struct {
+	// Probs is the per-core-input signal probability.
+	Probs []float64
+	// Toggles is the per-core-input transition density (NaN = unpinned),
+	// passed through to power.Options.InputToggles.
+	Toggles []float64
+	// Matched flags which entries were actually observed in the dump;
+	// unmatched entries defer to the fixpoint / uniform defaults.
+	Matched []bool
+}
+
+// apply folds the override into the run options before the fixpoint
+// (seeding matched true-input probabilities) and returns the function
+// that rewrites the converged core vector afterwards.
+func (a *ActivityOverride) apply(c *Circuit, opts *Options) (func(core []float64) []float64, error) {
+	nIn := c.Model.NumInputs
+	nCore := nIn + len(c.Model.Latches)
+	if len(a.Probs) != nCore || len(a.Toggles) != nCore || len(a.Matched) != nCore {
+		return nil, fmt.Errorf("seq: activity override covers %d/%d/%d entries for %d core inputs",
+			len(a.Probs), len(a.Toggles), len(a.Matched), nCore)
+	}
+	// Clone before seeding — the caller's -probs vector must not mutate.
+	seed := make([]float64, nIn)
+	for j := range seed {
+		seed[j] = 0.5
+	}
+	copy(seed, opts.Fixpoint.InputProbs)
+	for i := 0; i < nIn; i++ {
+		if a.Matched[i] {
+			seed[i] = a.Probs[i]
+		}
+	}
+	opts.Fixpoint.InputProbs = seed
+	opts.Core.Power.InputToggles = a.Toggles
+	return func(core []float64) []float64 {
+		for i := nIn; i < nCore; i++ {
+			if a.Matched[i] {
+				core[i] = a.Probs[i]
+			}
+		}
+		return core
+	}, nil
 }
 
 // Result bundles the fixpoint that seeded the run with the core
@@ -49,6 +104,14 @@ func OptimizeCtx(ctx context.Context, c *Circuit, opts Options) (*Result, error)
 	if opts.Fixpoint.Obs == nil {
 		opts.Fixpoint.Obs = opts.Core.Obs
 	}
+	var override func([]float64) []float64
+	if opts.Activity != nil {
+		var err error
+		override, err = opts.Activity.apply(c, &opts)
+		if err != nil {
+			return nil, err
+		}
+	}
 	fp, err := SteadyStateCtx(ctx, c, opts.Fixpoint)
 	if err != nil {
 		return nil, err
@@ -56,7 +119,11 @@ func OptimizeCtx(ctx context.Context, c *Circuit, opts Options) (*Result, error)
 	// Even an all-0.5 vector is passed explicitly: it forces the power
 	// model onto biased random vectors, keeping estimates comparable
 	// across circuits of the same family regardless of input count.
-	opts.Core.Power.InputProbs = fp.CoreInputProbs()
+	coreProbs := fp.CoreInputProbs()
+	if override != nil {
+		coreProbs = override(coreProbs)
+	}
+	opts.Core.Power.InputProbs = coreProbs
 	res, err := core.OptimizeCtx(ctx, c.Core(), opts.Core)
 	if res == nil {
 		return nil, err

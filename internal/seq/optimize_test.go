@@ -2,6 +2,7 @@ package seq
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -108,5 +109,46 @@ func TestOptimizeRespectsCoreOptions(t *testing.T) {
 	}
 	if res.Core.Applied > 1 {
 		t.Errorf("MaxSubstitutions=1 ignored: applied %d", res.Core.Applied)
+	}
+}
+
+func TestOptimizeWithActivityOverride(t *testing.T) {
+	// Core inputs of redundant2: en, then state lines q0, q1. The
+	// override pins en's probability (seeding the fixpoint), asserts the
+	// observed q1 distribution over the converged one, and pins toggle
+	// densities across the cut.
+	c := mustCircuit(t, redundant2)
+	nan := math.NaN()
+	ov := &ActivityOverride{
+		Probs:   []float64{0.9, 0.5, 0.25},
+		Toggles: []float64{0.18, nan, 0.375},
+		Matched: []bool{true, false, true},
+	}
+	res, err := Optimize(c, Options{Activity: ov})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fixpoint ran under the seeded p(en)=0.9.
+	if got := res.Fixpoint.InputProbs[0]; got != 0.9 {
+		t.Fatalf("fixpoint seeded with p(en)=%g, want 0.9", got)
+	}
+	// An unmatched state line keeps its converged value; the matched one
+	// is overridden in the vector handed to the power model — visible
+	// through the run having used biased vectors (initial power differs
+	// from the uniform run).
+	uniform, err := Optimize(mustCircuit(t, redundant2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Core.Initial.Power == uniform.Core.Initial.Power {
+		t.Fatal("activity override did not change the initial estimate")
+	}
+
+	// Length mismatch is an explicit error, not a silent partial bind.
+	short := &ActivityOverride{Probs: []float64{0.5}, Toggles: []float64{nan}, Matched: []bool{true}}
+	if _, err := Optimize(mustCircuit(t, redundant2), Options{Activity: short}); err == nil {
+		t.Fatal("short override accepted")
+	} else if !strings.Contains(err.Error(), "core inputs") {
+		t.Fatalf("unexpected error: %v", err)
 	}
 }

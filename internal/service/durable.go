@@ -41,6 +41,12 @@ func (s *Service) cacheKey(sub *submission, opts JobOptions) string {
 	}
 	fmt.Fprintf(h, "opts %s %g %d %t %d\n", opts.Timeout, opts.DelayLimitPct, opts.MaxSubstitutions, opts.Verify, opts.Parallelism)
 	fmt.Fprintf(h, "probs %v\n", sub.inputProbs)
+	if sub.activityDigest != "" {
+		// The profile's content digest, not the dump bytes: a VCD and a
+		// SAIF describing the same workload share one key, while any
+		// change in the measured statistics misses.
+		fmt.Fprintf(h, "activity %s\n", sub.activityDigest)
+	}
 	fmt.Fprintf(h, "power %d %d\n", s.cfg.PowerWords, s.cfg.PowerSeed)
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -114,6 +120,7 @@ func (s *Service) persistSubmit(j *Job, body []byte) {
 	st.AppendSubmit(store.JobRecord{
 		ID: j.id, State: store.StateQueued, Circuit: j.circuit,
 		CacheKey: j.cacheKey, Options: ob, Input: body, SubmittedAt: j.submittedAt,
+		Activity: j.opts.ActivityDump,
 	})
 }
 
@@ -296,6 +303,9 @@ func (s *Service) requeue(rec store.JobRecord) *Job {
 	if len(rec.Options) > 0 {
 		_ = json.Unmarshal(rec.Options, &opts)
 	}
+	// The activity dump is journaled outside the options JSON; restore it
+	// so the re-run sees the same workload.
+	opts.ActivityDump = rec.Activity
 	sub, err := s.parseSubmission(rec.Input, opts)
 	if err != nil {
 		s.restoreTerminal(store.JobRecord{

@@ -1,11 +1,14 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"math/rand/v2"
+	"mime"
+	"mime/multipart"
 	"net/http"
 	"strconv"
 	"strings"
@@ -22,7 +25,14 @@ import (
 //	                               verify, probs (comma-separated name=p
 //	                               input probabilities), and no-cache
 //	                               (bypass the content-addressed result
-//	                               cache); sequential circuits (.latch)
+//	                               cache); a multipart/form-data body
+//	                               carries the BLIF as part "circuit"
+//	                               plus an optional part "activity" (a
+//	                               VCD or SAIF workload dump whose
+//	                               matched signals replace the uniform
+//	                               switching assumption and key the
+//	                               result cache by content digest);
+//	                               sequential circuits (.latch)
 //	                               are cut at their register boundaries
 //	                               and returned with the latches stitched
 //	                               back; 202 + job status (completed on
@@ -258,6 +268,15 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "reading body: %v", err)
 		return
 	}
+	// A multipart body carries the circuit plus an optional workload
+	// activity dump as named parts; a plain body is the BLIF alone.
+	if mt, params, merr := mime.ParseMediaType(r.Header.Get("Content-Type")); merr == nil && mt == "multipart/form-data" {
+		body, opts.ActivityDump, err = splitMultipartSubmit(body, params["boundary"])
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
 	j, err := s.Submit(body, opts)
 	switch {
 	case err == nil:
@@ -277,6 +296,41 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		writeError(w, http.StatusInternalServerError, "%v", err)
 	}
+}
+
+// splitMultipartSubmit extracts the "circuit" (required) and "activity"
+// (optional) parts of a multipart submission. Unknown part names are
+// rejected so typos fail loudly instead of silently running uniform.
+func splitMultipartSubmit(body []byte, boundary string) (circuit, activityDump []byte, err error) {
+	if boundary == "" {
+		return nil, nil, errors.New("multipart submission without a boundary")
+	}
+	mr := multipart.NewReader(bytes.NewReader(body), boundary)
+	for {
+		p, perr := mr.NextPart()
+		if perr == io.EOF {
+			break
+		}
+		if perr != nil {
+			return nil, nil, fmt.Errorf("bad multipart body: %v", perr)
+		}
+		data, rerr := io.ReadAll(p)
+		if rerr != nil {
+			return nil, nil, fmt.Errorf("reading part %q: %v", p.FormName(), rerr)
+		}
+		switch p.FormName() {
+		case "circuit":
+			circuit = data
+		case "activity":
+			activityDump = data
+		default:
+			return nil, nil, fmt.Errorf("unknown multipart part %q (want \"circuit\" and optionally \"activity\")", p.FormName())
+		}
+	}
+	if circuit == nil {
+		return nil, nil, errors.New("multipart submission without a \"circuit\" part")
+	}
+	return circuit, activityDump, nil
 }
 
 func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {

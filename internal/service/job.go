@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"powder/internal/activity"
 	"powder/internal/core"
 	"powder/internal/netlist"
 	"powder/internal/obs"
@@ -68,6 +69,15 @@ type JobOptions struct {
 	// pool size so one job can never oversubscribe the daemon; <= 1 runs
 	// the sequential engine.
 	Parallelism int `json:"parallelism,omitempty"`
+	// ActivityDump carries the raw bytes of a workload activity dump
+	// (VCD or SAIF, sniffed by content) uploaded as the "activity" part
+	// of a multipart submission. Matched signals drive the input
+	// probabilities and pin the per-input transition densities, replacing
+	// the uniform assumption; mutually exclusive with Probs. Excluded
+	// from the options JSON — the journal persists it as
+	// store.JobRecord.Activity, and the cache key carries the profile's
+	// content digest instead of the bytes.
+	ActivityDump []byte `json:"-"`
 	// TraceID / TraceParent carry an inbound X-Powder-Trace /
 	// X-Powder-Parent header pair from a client that wants its own spans
 	// stitched into the job trace: a non-empty TraceID forces tracing
@@ -104,6 +114,13 @@ type JobResult struct {
 	Latches            int     `json:"latches,omitempty"`
 	FixpointIterations int     `json:"fixpoint_iterations,omitempty"`
 	FixpointResidual   float64 `json:"fixpoint_residual,omitempty"`
+	// Activity labels the workload activity model of a submission that
+	// uploaded a dump (source digest + coverage); empty means the run
+	// used the uniform assumption. ActivityMatched / ActivityInputs
+	// report how many of the circuit's inputs the dump covered.
+	Activity        string `json:"activity,omitempty"`
+	ActivityMatched int    `json:"activity_matched,omitempty"`
+	ActivityInputs  int    `json:"activity_inputs,omitempty"`
 }
 
 // Status is the JSON representation of a job returned by the API.
@@ -153,9 +170,13 @@ type Job struct {
 	nl         *netlist.Netlist // input circuit, consumed by the worker
 	circ       *seq.Circuit     // the same circuit with its register cut
 	inputProbs []float64        // resolved JobOptions.Probs, or nil
-	original   *netlist.Netlist // pre-optimization clone (verify only)
-	resultBLIF []byte
-	ledger     *obs.LedgerSummary
+	// binding and activityLabel carry a parsed activity upload; the raw
+	// dump bytes ride JobOptions.ActivityDump for journal persistence.
+	binding       *activity.Binding
+	activityLabel string
+	original      *netlist.Netlist // pre-optimization clone (verify only)
+	resultBLIF    []byte
+	ledger        *obs.LedgerSummary
 
 	// tracer and the submit-time spans are set once in Submit on sampled
 	// jobs and immutable afterwards (the spans themselves are

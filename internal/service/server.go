@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"powder/internal/activity"
 	"powder/internal/atpg"
 	"powder/internal/blif"
 	"powder/internal/cellib"
@@ -127,6 +128,12 @@ type submission struct {
 	circ       *seq.Circuit
 	nl         *netlist.Netlist
 	inputProbs []float64
+	// binding, activityDigest, and activityLabel describe a workload
+	// activity upload bound onto the circuit's core inputs; all empty
+	// without one.
+	binding        *activity.Binding
+	activityDigest string
+	activityLabel  string
 }
 
 // parseSubmission parses and validates a BLIF body plus its options
@@ -153,7 +160,35 @@ func (s *Service) parseSubmission(body []byte, opts JobOptions) (*submission, er
 			return nil, &ParseError{Err: perr}
 		}
 	}
-	return &submission{model: model, circ: circ, nl: model.Netlist, inputProbs: inputProbs}, nil
+	sub := &submission{model: model, circ: circ, nl: model.Netlist, inputProbs: inputProbs}
+	if len(opts.ActivityDump) > 0 {
+		if opts.Probs != "" {
+			return nil, &ParseError{Err: errors.New("use either probs or an activity upload, not both (the dump already carries input probabilities)")}
+		}
+		prof, perr := activity.Read(bytes.NewReader(opts.ActivityDump))
+		if perr != nil {
+			return nil, &ParseError{Err: fmt.Errorf("activity: %v", perr)}
+		}
+		coreInputs := circ.Core().Inputs()
+		names := make([]string, len(coreInputs))
+		for i, id := range coreInputs {
+			names[i] = circ.Core().Node(id).Name()
+		}
+		b, perr := prof.Bind(names)
+		if perr != nil {
+			return nil, &ParseError{Err: fmt.Errorf("activity: %v", perr)}
+		}
+		if b.MatchedCount == 0 {
+			// A dump from the wrong design must fail loudly, not silently
+			// run the uniform assumption it was supposed to replace.
+			return nil, &ParseError{Err: fmt.Errorf("activity: dump matched none of the circuit's %d inputs (profile signals: %d)",
+				len(b.Names), len(prof.Signals))}
+		}
+		sub.binding = b
+		sub.activityDigest = prof.Digest()
+		sub.activityLabel = fmt.Sprintf("%s sha256:%.12s %s", prof.Source, sub.activityDigest, b.Coverage())
+	}
+	return sub, nil
 }
 
 // newJob builds a queued Job (with event hub and optional span tracer)
@@ -167,18 +202,20 @@ func (s *Service) newJob(id string, sub *submission, opts JobOptions, cacheKey s
 	hub.SetDropCounter(s.reg.Counter("obs.dropped.events"))
 	hub.SetMirror(obs.Flight())
 	j := &Job{
-		id:          id,
-		opts:        opts,
-		hub:         hub,
-		ctx:         ctx,
-		cancel:      cancel,
-		state:       StateQueued,
-		circuit:     sub.nl.Name,
-		cacheKey:    cacheKey,
-		submittedAt: time.Now(),
-		nl:          sub.nl,
-		circ:        sub.circ,
-		inputProbs:  sub.inputProbs,
+		id:            id,
+		opts:          opts,
+		hub:           hub,
+		ctx:           ctx,
+		cancel:        cancel,
+		state:         StateQueued,
+		circuit:       sub.nl.Name,
+		cacheKey:      cacheKey,
+		submittedAt:   time.Now(),
+		nl:            sub.nl,
+		circ:          sub.circ,
+		inputProbs:    sub.inputProbs,
+		binding:       sub.binding,
+		activityLabel: sub.activityLabel,
 	}
 	if opts.Verify {
 		j.original = sub.nl.Clone()
@@ -438,6 +475,7 @@ func (s *Service) optimize(ctx context.Context, j *Job) (*core.Result, error) {
 		Parallelism:      j.opts.Parallelism,
 		Power:            power.Options{Words: s.cfg.PowerWords, Seed: s.cfg.PowerSeed},
 		Transform:        transform.Config{AllowInverted: true},
+		Activity:         j.activityLabel,
 		Obs:              obs.New(j.hub, s.reg),
 		Progress:         j.setProgress,
 	}
@@ -452,11 +490,19 @@ func (s *Service) optimize(ctx context.Context, j *Job) (*core.Result, error) {
 		// Sequential jobs run at the register cut: the fixpoint seeds the
 		// power model, the core engine sees the cut as a combinational
 		// circuit with the next-state cones anchored as outputs.
-		var sres *seq.Result
-		sres, err = seq.OptimizeCtx(ctx, j.circ, seq.Options{
+		sopts := seq.Options{
 			Core:     opts,
 			Fixpoint: seq.FixpointOptions{InputProbs: j.inputProbs},
-		})
+		}
+		if j.binding != nil {
+			sopts.Activity = &seq.ActivityOverride{
+				Probs:   j.binding.Probs,
+				Toggles: j.binding.Toggles,
+				Matched: j.binding.Matched,
+			}
+		}
+		var sres *seq.Result
+		sres, err = seq.OptimizeCtx(ctx, j.circ, sopts)
 		if sres != nil {
 			fp = sres.Fixpoint
 			res = sres.Core
@@ -464,6 +510,10 @@ func (s *Service) optimize(ctx context.Context, j *Job) (*core.Result, error) {
 	} else {
 		if j.inputProbs != nil {
 			opts.Power.InputProbs = j.inputProbs
+		}
+		if j.binding != nil {
+			opts.Power.InputProbs = j.binding.Probs
+			opts.Power.InputToggles = j.binding.Toggles
 		}
 		res, err = core.OptimizeCtx(ctx, j.nl, opts)
 	}
@@ -505,6 +555,11 @@ func (s *Service) optimize(ctx context.Context, j *Job) (*core.Result, error) {
 		jr.Latches = j.circ.NumLatches()
 		jr.FixpointIterations = fp.Iterations
 		jr.FixpointResidual = fp.Residual
+	}
+	if j.binding != nil {
+		jr.Activity = j.activityLabel
+		jr.ActivityMatched = j.binding.MatchedCount
+		jr.ActivityInputs = len(j.binding.Names)
 	}
 	j.mu.Lock()
 	j.resultBLIF = buf.Bytes()

@@ -64,9 +64,13 @@ type JobRecord struct {
 	Circuit string `json:"circuit,omitempty"`
 	// CacheKey is the content-addressed key of the submission (structural
 	// hash + options), used to warm the result cache from recovered jobs.
-	CacheKey    string          `json:"cache_key,omitempty"`
-	Options     json.RawMessage `json:"options,omitempty"`
-	Input       []byte          `json:"input,omitempty"`
+	CacheKey string          `json:"cache_key,omitempty"`
+	Options  json.RawMessage `json:"options,omitempty"`
+	Input    []byte          `json:"input,omitempty"`
+	// Activity is the raw workload activity dump (VCD or SAIF) uploaded
+	// with the submission, kept so an interrupted job re-runs under the
+	// same workload after a restart.
+	Activity    []byte          `json:"activity,omitempty"`
 	SubmittedAt time.Time       `json:"submitted_at"`
 	FinishedAt  time.Time       `json:"finished_at"`
 	Result      json.RawMessage `json:"result,omitempty"`
